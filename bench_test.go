@@ -1,0 +1,391 @@
+// Benchmarks reproducing every table and figure of the paper's evaluation
+// (Section 6) at laptop scale, one benchmark per experiment of DESIGN.md's
+// per-experiment index. Each reports the figure's key metric through
+// b.ReportMetric; cmd/benchrunner runs the full-size versions and renders
+// the complete tables into EXPERIMENTS.md.
+package segdiff_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"segdiff/internal/bench"
+	"segdiff/internal/feature"
+	"segdiff/internal/segment"
+	"segdiff/internal/storage/sqlmini"
+	"segdiff/internal/timeseries"
+)
+
+// benchConfig is the scaled-down experiment configuration used by the
+// testing.B targets.
+func benchConfig() bench.Config {
+	cfg := bench.DefaultConfig()
+	cfg.Days = 3
+	cfg.FullDays = 3
+	cfg.FullSensors = 2
+	cfg.Repeats = 1
+	cfg.RandomQs = 8
+	return cfg
+}
+
+func mustWorkload(b *testing.B, cfg bench.Config) []*timeseries.Series {
+	b.Helper()
+	series, err := bench.Workload(cfg, cfg.Sensors, cfg.Days)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return series
+}
+
+func buildSets(b *testing.B, cfg bench.Config, eps float64) (*bench.SegDiffSet, *bench.ExhSet) {
+	b.Helper()
+	series := mustWorkload(b, cfg)
+	w := cfg.DefaultWH * 3600
+	set, err := bench.BuildSegDiff(cfg, series, eps, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := set.Finish(); err != nil {
+		b.Fatal(err)
+	}
+	ex, err := bench.BuildExh(cfg, series, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		set.Close()
+		ex.Close()
+	})
+	return set, ex
+}
+
+// E01 — Table 3: segmentation compression rate r per ε. The measured
+// operation is the online segmentation itself.
+func BenchmarkTable3CompressionRate(b *testing.B) {
+	cfg := benchConfig()
+	series := mustWorkload(b, cfg)
+	for _, eps := range cfg.Epsilons {
+		b.Run(fmt.Sprintf("eps=%.1f", eps), func(b *testing.B) {
+			var r float64
+			for i := 0; i < b.N; i++ {
+				segs, err := segment.Series(series[0], eps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r = float64(series[0].Len()) / float64(len(segs))
+			}
+			b.ReportMetric(r, "r")
+		})
+	}
+}
+
+// E02/E03 — Figures 7, 8: SegDiff feature size and the Exh/SegDiff size
+// ratio. The measured operation is the full SegDiff build.
+func BenchmarkFig7x8FeatureSize(b *testing.B) {
+	cfg := benchConfig()
+	series := mustWorkload(b, cfg)
+	w := cfg.DefaultWH * 3600
+	ex, err := bench.BuildExh(cfg, series, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ex.Close()
+	exhBytes, err := ex.FeatureBytes()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var segBytes int64
+	for i := 0; i < b.N; i++ {
+		set, err := bench.BuildSegDiff(cfg, series, cfg.DefaultEps, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := set.Finish(); err != nil {
+			b.Fatal(err)
+		}
+		if segBytes, err = set.FeatureBytes(); err != nil {
+			b.Fatal(err)
+		}
+		if err := set.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(segBytes), "seg-bytes")
+	b.ReportMetric(float64(exhBytes)/float64(segBytes), "size-ratio")
+}
+
+// E04 — Figure 9: disk size (features + indexes).
+func BenchmarkFig9DiskSize(b *testing.B) {
+	cfg := benchConfig()
+	set, ex := buildSets(b, cfg, cfg.DefaultEps)
+	b.ResetTimer()
+	var segDisk, exhDisk int64
+	var err error
+	for i := 0; i < b.N; i++ {
+		if segDisk, err = set.DiskBytes(); err != nil {
+			b.Fatal(err)
+		}
+		if exhDisk, err = ex.DiskBytes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(segDisk), "seg-disk-bytes")
+	b.ReportMetric(float64(exhDisk)/float64(segDisk), "disk-ratio")
+}
+
+// E05 — Table 4: corner-case distribution.
+func BenchmarkTable4CornerCases(b *testing.B) {
+	cfg := benchConfig()
+	set, _ := buildSets(b, cfg, cfg.DefaultEps)
+	b.ResetTimer()
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		hist, err := set.CornerHistogram()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = hist.AverageCorners()
+	}
+	b.ReportMetric(avg, "avg-corners")
+}
+
+// E06 — Figure 10: sequential-scan query time (cold cache).
+func BenchmarkFig10SeqScan(b *testing.B) {
+	cfg := benchConfig()
+	set, _ := buildSets(b, cfg, cfg.DefaultEps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := set.DropCache(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := set.Search(feature.Drop, cfg.QueryT, cfg.QueryV, sqlmini.PlanForceScan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E07 — Figure 11: index-plan query time (cold cache).
+func BenchmarkFig11IndexScan(b *testing.B) {
+	cfg := benchConfig()
+	set, _ := buildSets(b, cfg, cfg.DefaultEps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := set.DropCache(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := set.Search(feature.Drop, cfg.QueryT, cfg.QueryV, sqlmini.PlanForceIndex); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E08/E09 — Tables 5, 6: Exh/SegDiff time ratios on the default query.
+func BenchmarkTable5x6Ratios(b *testing.B) {
+	cfg := benchConfig()
+	set, ex := buildSets(b, cfg, cfg.DefaultEps)
+	b.ResetTimer()
+	var segNS, exhNS int64
+	for i := 0; i < b.N; i++ {
+		segNS += timeOnce(b, set, cfg, sqlmini.PlanForceScan)
+		exhNS += timeOnce(b, ex, cfg, sqlmini.PlanForceScan)
+	}
+	if segNS > 0 {
+		b.ReportMetric(float64(exhNS)/float64(segNS), "r_st")
+	}
+}
+
+type coldSearcher interface {
+	Search(kind feature.Kind, T int64, V float64, mode sqlmini.PlanMode) (int, error)
+	DropCache() error
+}
+
+func timeOnce(b *testing.B, s coldSearcher, cfg bench.Config, mode sqlmini.PlanMode) int64 {
+	b.Helper()
+	if err := s.DropCache(); err != nil {
+		b.Fatal(err)
+	}
+	start := nowNano()
+	if _, err := s.Search(feature.Drop, cfg.QueryT, cfg.QueryV, mode); err != nil {
+		b.Fatal(err)
+	}
+	return nowNano() - start
+}
+
+// E10/E11/E12 — Figures 12, 13 and Table 7: the w sweep.
+func BenchmarkFig12x13WindowSweep(b *testing.B) {
+	cfg := benchConfig()
+	cfg.WindowsH = []int64{1, 4, 8}
+	series := mustWorkload(b, cfg)
+	for _, wh := range cfg.WindowsH {
+		b.Run(fmt.Sprintf("w=%dh", wh), func(b *testing.B) {
+			var ratioF float64
+			for i := 0; i < b.N; i++ {
+				set, err := bench.BuildSegDiff(cfg, series, cfg.DefaultEps, wh*3600)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := set.Finish(); err != nil {
+					b.Fatal(err)
+				}
+				ex, err := bench.BuildExh(cfg, series, wh*3600)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sb, err := set.FeatureBytes()
+				if err != nil {
+					b.Fatal(err)
+				}
+				eb, err := ex.FeatureBytes()
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratioF = float64(eb) / float64(sb)
+				set.Close()
+				ex.Close()
+			}
+			b.ReportMetric(ratioF, "r_f")
+		})
+	}
+}
+
+// E13/E14 — Figures 14, 15: scalability with n (incremental groups).
+func BenchmarkFig14x15Growth(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunGrowth(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(float64(last.SegFeatBytes), "final-seg-bytes")
+		b.ReportMetric(float64(last.SegSeqTime.Microseconds())/1000, "final-query-ms")
+	}
+}
+
+// E15 — Figure 16: the random query set (coverage run, warm, seq scan).
+func BenchmarkFig16QueryCoverage(b *testing.B) {
+	cfg := benchConfig()
+	set, _ := buildSets(b, cfg, cfg.DefaultEps)
+	qs := bench.RandomQueries(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			if _, err := set.Search(feature.Drop, q.T, q.V, sqlmini.PlanForceScan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(qs)), "queries")
+}
+
+// E16 — Figures 17, 18: per-query seq scan, warm cache.
+func BenchmarkFig17x18SeqScanWarm(b *testing.B) {
+	benchQuerySet(b, sqlmini.PlanForceScan, false)
+}
+
+// E17 — Figures 19, 20: per-query index plan, warm cache.
+func BenchmarkFig19x20IndexWarm(b *testing.B) {
+	benchQuerySet(b, sqlmini.PlanForceIndex, false)
+}
+
+// E18 — Figures 21, 22: Exh/SegDiff ratios, warm cache.
+func BenchmarkFig21x22RatiosWarm(b *testing.B) {
+	benchQuerySetRatio(b, false)
+}
+
+// E19 — Figures 23, 24: Exh/SegDiff ratios, cold cache.
+func BenchmarkFig23x24RatiosCold(b *testing.B) {
+	benchQuerySetRatio(b, true)
+}
+
+func benchQuerySet(b *testing.B, mode sqlmini.PlanMode, cold bool) {
+	cfg := benchConfig()
+	set, _ := buildSets(b, cfg, cfg.DefaultEps)
+	qs := bench.RandomQueries(cfg)
+	// Warm up.
+	for _, q := range qs {
+		if _, err := set.Search(feature.Drop, q.T, q.V, mode); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			if cold {
+				if err := set.DropCache(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := set.Search(feature.Drop, q.T, q.V, mode); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchQuerySetRatio(b *testing.B, cold bool) {
+	cfg := benchConfig()
+	set, ex := buildSets(b, cfg, cfg.DefaultEps)
+	qs := bench.RandomQueries(cfg)
+	b.ResetTimer()
+	var segNS, exhNS int64
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			if cold {
+				if err := set.DropCache(); err != nil {
+					b.Fatal(err)
+				}
+				if err := ex.DropCache(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			s := nowNano()
+			if _, err := set.Search(feature.Drop, q.T, q.V, sqlmini.PlanForceScan); err != nil {
+				b.Fatal(err)
+			}
+			segNS += nowNano() - s
+			s = nowNano()
+			if _, err := ex.Search(feature.Drop, q.T, q.V, sqlmini.PlanForceScan); err != nil {
+				b.Fatal(err)
+			}
+			exhNS += nowNano() - s
+		}
+	}
+	if segNS > 0 {
+		b.ReportMetric(float64(exhNS)/float64(segNS), "seq-ratio")
+	}
+}
+
+// A1 — ablation: Table-2 corner reduction vs all four corners.
+func BenchmarkAblationAllCorners(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblationCorners(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// A3 — ablation: buffer-pool size sweep.
+func BenchmarkAblationBufferPool(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblationPool(cfg, b.TempDir()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// A4 — ablation: durable vs in-memory ingest.
+func BenchmarkAblationIngest(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblationIngest(cfg, b.TempDir()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func nowNano() int64 { return time.Now().UnixNano() }

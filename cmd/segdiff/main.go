@@ -1,0 +1,216 @@
+// Command segdiff is the exploration CLI around the SegDiff index: it
+// ingests CSV sensor data into an on-disk index and answers ad-hoc drop
+// and jump searches, the workflow the paper's biologists use.
+//
+// Subcommands:
+//
+//	segdiff ingest -db DIR -csv FILE [-epsilon 0.2] [-window 8h] [-denoise]
+//	segdiff search -db DIR [-kind drop] [-span 1h] [-v -3] [-plan auto]
+//	segdiff stats  -db DIR
+//	segdiff sql    -db DIR -q "SELECT COUNT(*) FROM dropf2"
+//	segdiff plot   -db DIR -span 1h -v -3
+//	segdiff verify -db DIR -csv FILE -span 1h -v -3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"segdiff/internal/core"
+	"segdiff/internal/feature"
+	"segdiff/internal/smooth"
+	"segdiff/internal/storage/sqlmini"
+	"segdiff/internal/timeseries"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "ingest":
+		err = ingest(os.Args[2:])
+	case "search":
+		err = search(os.Args[2:])
+	case "stats":
+		err = stats(os.Args[2:])
+	case "sql":
+		err = sqlCmd(os.Args[2:])
+	case "plot":
+		err = plotCmd(os.Args[2:])
+	case "verify":
+		err = verifyCmd(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "segdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: segdiff <ingest|search|stats|sql> [flags]
+  ingest -db DIR -csv FILE [-epsilon 0.2] [-window 8h] [-denoise]
+  search -db DIR [-kind drop|jump] [-span 1h] [-v -3] [-plan auto|scan|index]
+  stats  -db DIR
+  sql    -db DIR -q "SELECT ..."
+  plot   -db DIR [-from T0 -to T1] [-span 1h] [-v -3] [-width 100 -height 20]
+  verify -db DIR -csv FILE [-span 1h] [-v -3]   (check the Theorem 1 guarantees)`)
+	os.Exit(2)
+}
+
+func openStore(db string, eps float64, window time.Duration) (*core.Store, error) {
+	if db == "" {
+		return nil, fmt.Errorf("missing -db")
+	}
+	return core.Open(db, core.Options{Epsilon: eps, Window: int64(window / time.Second)})
+}
+
+func ingest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	db := fs.String("db", "", "index directory")
+	csvPath := fs.String("csv", "", "input CSV of t,v rows ('-' for stdin)")
+	eps := fs.Float64("epsilon", 0.2, "segmentation error tolerance ε")
+	window := fs.Duration("window", 8*time.Hour, "largest supported time span w")
+	denoise := fs.Bool("denoise", false, "apply robust smoothing before ingest (removes anomaly spikes)")
+	fs.Parse(args)
+
+	in := os.Stdin
+	if *csvPath != "-" && *csvPath != "" {
+		f, err := os.Open(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	} else if *csvPath == "" {
+		return fmt.Errorf("missing -csv")
+	}
+	series, err := timeseries.ReadCSV(in)
+	if err != nil {
+		return err
+	}
+	if *denoise {
+		series, err = smooth.Robust(series, smooth.Config{})
+		if err != nil {
+			return err
+		}
+	}
+	st, err := openStore(*db, *eps, *window)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := st.AppendSeries(series); err != nil {
+		return err
+	}
+	if err := st.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("ingested %d points in %v\n", series.Len(), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func search(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	db := fs.String("db", "", "index directory")
+	kindStr := fs.String("kind", "drop", "drop or jump")
+	span := fs.Duration("span", time.Hour, "time span threshold T")
+	v := fs.Float64("v", -3, "change threshold V (negative for drops, positive for jumps)")
+	planStr := fs.String("plan", "auto", "auto, scan or index")
+	fs.Parse(args)
+
+	kind := feature.Drop
+	if strings.EqualFold(*kindStr, "jump") {
+		kind = feature.Jump
+	}
+	var mode sqlmini.PlanMode
+	switch *planStr {
+	case "auto":
+		mode = sqlmini.PlanAuto
+	case "scan":
+		mode = sqlmini.PlanForceScan
+	case "index":
+		mode = sqlmini.PlanForceIndex
+	default:
+		return fmt.Errorf("unknown -plan %q", *planStr)
+	}
+
+	st, err := openStore(*db, 0, 0)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	start := time.Now()
+	matches, err := st.SearchMode(kind, int64(*span/time.Second), *v, mode)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	for _, m := range matches {
+		fmt.Printf("%s starts in [%d, %d], ends in [%d, %d]\n", kind, m.TD, m.TC, m.TB, m.TA)
+	}
+	fmt.Printf("%d periods in %v (ε=%.3g: every result contains an event within 2ε of V)\n",
+		len(matches), elapsed.Round(time.Microsecond), st.Epsilon())
+	return nil
+}
+
+func stats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	db := fs.String("db", "", "index directory")
+	fs.Parse(args)
+	st, err := openStore(*db, 0, 0)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	s, err := st.Stats()
+	if err != nil {
+		return err
+	}
+	segs, err := st.Segments()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("epsilon:        %g\n", s.Epsilon)
+	fmt.Printf("window:         %s\n", time.Duration(s.Window)*time.Second)
+	fmt.Printf("segments:       %d\n", len(segs))
+	fmt.Printf("feature rows:   %d\n", s.FeatureRows)
+	fmt.Printf("feature bytes:  %d\n", s.FeatureBytes)
+	fmt.Printf("index bytes:    %d\n", s.IndexBytes)
+	fmt.Printf("disk bytes:     %d\n", s.DiskBytes())
+	return nil
+}
+
+func sqlCmd(args []string) error {
+	fs := flag.NewFlagSet("sql", flag.ExitOnError)
+	db := fs.String("db", "", "index directory")
+	q := fs.String("q", "", "SELECT or EXPLAIN statement")
+	fs.Parse(args)
+	if *q == "" {
+		return fmt.Errorf("missing -q")
+	}
+	st, err := openStore(*db, 0, 0)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	rows, err := st.DB().Query(*q)
+	if err != nil {
+		return err
+	}
+	fmt.Println(strings.Join(rows.Columns, "\t"))
+	for _, r := range rows.Data {
+		cells := make([]string, len(r))
+		for i, v := range r {
+			cells[i] = v.String()
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	return nil
+}

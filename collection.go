@@ -1,0 +1,168 @@
+package segdiff
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Collection manages one Index per sensor, like the 25-sensor Cold Air
+// Drainage transect of the paper. Searches fan out across sensors
+// concurrently.
+type Collection struct {
+	mu      sync.Mutex
+	dir     string // "" = in-memory
+	opts    Options
+	sensors map[string]*Index
+	closed  bool
+}
+
+var sensorNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]*$`)
+
+// OpenCollection opens (creating if needed) a directory of per-sensor
+// indexes. Existing sensors are discovered and opened lazily.
+func OpenCollection(dir string, opts Options) (*Collection, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("segdiff: create collection dir: %w", err)
+	}
+	return &Collection{dir: dir, opts: opts, sensors: map[string]*Index{}}, nil
+}
+
+// NewMemoryCollection returns an in-memory collection.
+func NewMemoryCollection(opts Options) *Collection {
+	return &Collection{opts: opts, sensors: map[string]*Index{}}
+}
+
+// Sensor returns (opening or creating) the index for the named sensor.
+func (c *Collection) Sensor(name string) (*Index, error) {
+	if !sensorNameRE.MatchString(name) {
+		return nil, fmt.Errorf("segdiff: invalid sensor name %q", name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("segdiff: collection is closed")
+	}
+	if ix, ok := c.sensors[name]; ok {
+		return ix, nil
+	}
+	var ix *Index
+	var err error
+	if c.dir == "" {
+		ix, err = NewMemory(c.opts)
+	} else {
+		ix, err = Open(filepath.Join(c.dir, name), c.opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.sensors[name] = ix
+	return ix, nil
+}
+
+// Names lists all sensors: the opened ones plus, for on-disk collections,
+// any subdirectory holding an index not yet opened.
+func (c *Collection) Names() ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := map[string]bool{}
+	for name := range c.sensors {
+		set[name] = true
+	}
+	if c.dir != "" {
+		entries, err := os.ReadDir(c.dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.IsDir() && sensorNameRE.MatchString(e.Name()) {
+				set[e.Name()] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// SensorMatches pairs a sensor name with its matches.
+type SensorMatches struct {
+	Sensor  string
+	Matches []Match
+}
+
+// Drops searches every sensor concurrently for drops of at least |v|
+// within span, returning per-sensor results sorted by sensor name.
+func (c *Collection) Drops(span time.Duration, v float64) ([]SensorMatches, error) {
+	return c.fanout(span, v, func(ix *Index) ([]Match, error) { return ix.Drops(span, v) })
+}
+
+// Jumps is the symmetric multi-sensor jump search.
+func (c *Collection) Jumps(span time.Duration, v float64) ([]SensorMatches, error) {
+	return c.fanout(span, v, func(ix *Index) ([]Match, error) { return ix.Jumps(span, v) })
+}
+
+func (c *Collection) fanout(span time.Duration, v float64, search func(*Index) ([]Match, error)) ([]SensorMatches, error) {
+	names, err := c.Names()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SensorMatches, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		ix, err := c.Sensor(name)
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(i int, name string, ix *Index) {
+			defer wg.Done()
+			ms, err := search(ix)
+			out[i] = SensorMatches{Sensor: name, Matches: ms}
+			errs[i] = err
+		}(i, name, ix)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Finish flushes every opened sensor index.
+func (c *Collection) Finish() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, ix := range c.sensors {
+		if err := ix.Finish(); err != nil {
+			return fmt.Errorf("segdiff: finish sensor %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Close closes every opened sensor index.
+func (c *Collection) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	for name, ix := range c.sensors {
+		if err := ix.Close(); err != nil {
+			return fmt.Errorf("segdiff: close sensor %s: %w", name, err)
+		}
+	}
+	return nil
+}

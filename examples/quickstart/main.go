@@ -1,0 +1,63 @@
+// Quickstart: build an in-memory drop-search index over one day of
+// temperature readings and ask the paper's canonical question — where did
+// the temperature fall by at least 3 °C within one hour?
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"segdiff"
+)
+
+func main() {
+	ix, err := segdiff.NewMemory(segdiff.Options{
+		Epsilon: 0.2,           // results exact up to 2ε = 0.4 °C
+		Window:  8 * time.Hour, // largest span we will ever query
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ix.Close()
+
+	// One day of 5-minute samples: a smooth diurnal curve with a sharp
+	// cold-air-drainage event before dawn (04:00–04:40).
+	for i := 0; i < 288; i++ {
+		t := int64(i) * 300
+		v := 10 + 6*math.Sin(2*math.Pi*(float64(t)/86400-0.375))
+		if t >= 4*3600 && t < 4*3600+2400 {
+			v -= 5 * float64(t-4*3600) / 2400 // 5 °C drop over 40 min
+		} else if t >= 4*3600+2400 && t < 8*3600 {
+			v -= 5 * (1 - float64(t-4*3600-2400)/float64(8*3600-4*3600-2400))
+		}
+		if err := ix.Append(t, v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := ix.Finish(); err != nil {
+		log.Fatal(err)
+	}
+
+	matches, err := ix.Drops(time.Hour, -3) // ≥3 °C drop within 1 h
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found %d period(s) with a ≥3°C drop within 1h:\n", len(matches))
+	for _, m := range matches {
+		fmt.Printf("  drop starts in [%s, %s] and ends in [%s, %s]\n",
+			clock(m.From.Start), clock(m.From.End), clock(m.To.Start), clock(m.To.End))
+	}
+
+	st, err := ix.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index: %d points compressed into %d segments (r=%.1f), %d feature rows\n",
+		st.Points, st.Segments, st.CompressionRate, st.FeatureRows)
+}
+
+func clock(t int64) string {
+	return fmt.Sprintf("%02d:%02d", t/3600, (t%3600)/60)
+}

@@ -1,0 +1,3 @@
+module segdiff
+
+go 1.22

@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps unit tests fast: 2 days, 1 sensor, fewer ε values.
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Days = 2
+	cfg.FullDays = 2
+	cfg.FullSensors = 2
+	cfg.Epsilons = []float64{0.2, 1.0}
+	cfg.WindowsH = []int64{1, 4}
+	cfg.Repeats = 1
+	cfg.RandomQs = 4
+	return cfg
+}
+
+func TestWorkload(t *testing.T) {
+	cfg := tinyConfig()
+	series, err := Workload(cfg, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("sensors = %d", len(series))
+	}
+	want := 2 * 86400 / 300
+	if series[0].Len() != want {
+		t.Fatalf("points = %d, want %d", series[0].Len(), want)
+	}
+	// Deterministic.
+	again, err := Workload(cfg, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series[0].At(17) != again[0].At(17) {
+		t.Fatal("workload not deterministic")
+	}
+}
+
+func TestEpsilonSweepShape(t *testing.T) {
+	cfg := tinyConfig()
+	sweep, err := RunEpsilonSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(sweep.Rows))
+	}
+	// Compression rate grows with ε; feature size shrinks.
+	if sweep.Rows[1].R <= sweep.Rows[0].R {
+		t.Fatalf("r not increasing: %v then %v", sweep.Rows[0].R, sweep.Rows[1].R)
+	}
+	if sweep.Rows[1].SegFeatBytes > sweep.Rows[0].SegFeatBytes {
+		t.Fatalf("feature size grew with ε: %d -> %d",
+			sweep.Rows[0].SegFeatBytes, sweep.Rows[1].SegFeatBytes)
+	}
+	// Exh must be bigger than SegDiff at every ε (the headline result).
+	for _, r := range sweep.Rows {
+		if sweep.ExhFeatBytes <= r.SegFeatBytes {
+			t.Fatalf("Exh features (%d) not larger than SegDiff (%d) at ε=%v",
+				sweep.ExhFeatBytes, r.SegFeatBytes, r.Eps)
+		}
+	}
+	// Corner distribution sums to ~100%.
+	for _, r := range sweep.Rows {
+		sum := r.Corner1Pct + r.Corner2Pct + r.Corner3Pct
+		if sum < 99.9 || sum > 100.1 {
+			t.Fatalf("corner distribution sums to %v", sum)
+		}
+		if r.AvgCorners < 1 || r.AvgCorners > 3 {
+			t.Fatalf("avg corners = %v", r.AvgCorners)
+		}
+	}
+	// Tables render.
+	for _, tab := range []*Table{sweep.Table3(), sweep.Figures7to9(), sweep.Table4(), sweep.Figures10and11(), sweep.Tables5and6()} {
+		var buf bytes.Buffer
+		if err := tab.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "|") {
+			t.Fatalf("table %s rendered empty", tab.ID)
+		}
+	}
+}
+
+func TestWindowSweepShape(t *testing.T) {
+	cfg := tinyConfig()
+	rows, err := RunWindowSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Both feature sizes grow with w; Exh grows faster (ratio increases).
+	if rows[1].ExhFeatBytes <= rows[0].ExhFeatBytes {
+		t.Fatal("Exh features did not grow with w")
+	}
+	r0 := float64(rows[0].ExhFeatBytes) / float64(rows[0].SegFeatBytes)
+	r1 := float64(rows[1].ExhFeatBytes) / float64(rows[1].SegFeatBytes)
+	if r1 <= r0 {
+		t.Fatalf("feature ratio did not grow with w: %.2f then %.2f", r0, r1)
+	}
+	var buf bytes.Buffer
+	if err := WindowTable(rows).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowthShape(t *testing.T) {
+	cfg := tinyConfig()
+	rows, err := RunGrowth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Points <= rows[i-1].Points {
+			t.Fatal("points not increasing")
+		}
+		if rows[i].SegFeatBytes < rows[i-1].SegFeatBytes {
+			t.Fatal("SegDiff features shrank")
+		}
+	}
+	if rows[1].ExhEstimated || !rows[2].ExhEstimated {
+		t.Fatal("Exh extrapolation should start at group 3")
+	}
+	var buf bytes.Buffer
+	if err := GrowthTable(rows).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryRegions(t *testing.T) {
+	cfg := tinyConfig()
+	rows, err := RunQueryRegions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != cfg.RandomQs {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	tables := QueryRegionTables(rows)
+	if len(tables) != 3 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for _, tab := range tables {
+		var buf bytes.Buffer
+		if err := tab.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRandomQueriesDeterministicAndInRange(t *testing.T) {
+	cfg := tinyConfig()
+	a := RandomQueries(cfg)
+	b := RandomQueries(cfg)
+	w := cfg.DefaultWH * 3600
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("query set not deterministic")
+		}
+		if a[i].T <= 0 || a[i].T > w {
+			t.Fatalf("query T=%d outside (0, w]", a[i].T)
+		}
+		if a[i].V >= 0 {
+			t.Fatalf("query V=%v not negative", a[i].V)
+		}
+	}
+}
+
+func TestNaiveComparison(t *testing.T) {
+	tab, err := NaiveComparison(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestAblationCorners(t *testing.T) {
+	tab, err := RunAblationCorners(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestAblationPoolAndIngest(t *testing.T) {
+	cfg := tinyConfig()
+	dir := t.TempDir()
+	tab, err := RunAblationPool(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("pool rows = %d", len(tab.Rows))
+	}
+	tab2, err := RunAblationIngest(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab2.Rows) != 2 {
+		t.Fatalf("ingest rows = %d", len(tab2.Rows))
+	}
+}

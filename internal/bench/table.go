@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is one rendered experiment result.
+type Table struct {
+	ID     string // experiment id, e.g. "E01"
+	Title  string // e.g. "Table 3: compression rate r under different error tolerances"
+	Paper  string // the paper's headline numbers, for side-by-side reading
+	Header []string
+	Rows   [][]string
+}
+
+// Render writes the table as GitHub-flavoured markdown.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if t.Paper != "" {
+		if _, err := fmt.Fprintf(w, "Paper: %s\n\n", t.Paper); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func mib(b int64) string  { return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20)) }
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f ms", float64(d.Microseconds())/1000)
+}
+func ratio(a, b int64) string {
+	if b == 0 {
+		return "∞"
+	}
+	return f2(float64(a) / float64(b))
+}
+func ratioDur(a, b time.Duration) string {
+	if b == 0 {
+		return "∞"
+	}
+	return f2(float64(a) / float64(b))
+}

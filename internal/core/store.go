@@ -1,0 +1,593 @@
+// Package core is the SegDiff framework itself: it wires the online
+// segmentation (internal/segment), the windowed parallelogram feature
+// extraction (internal/extract), and the relational storage layer
+// (internal/storage/sqlmini) into the system of the paper —
+//
+//	observations → piecewise linear segments → ε-shifted boundary corners
+//	            → relational tables with B-tree indexes
+//	drop/jump search → union of point queries and line queries
+//	            → segment-pair tuples ((t_D, t_C), (t_B, t_A))
+//
+// Storage schema. Features are stored by search kind and corner count,
+// matching the paper's variable-width layout (Section 5.2, c₂ ∈ {5,6,7}):
+//
+//	dropf1(dt1, dv1, td, tc, tb, ta)              jumpf1(...)
+//	dropf2(dt1, dv1, dt2, dv2, td, tc, tb, ta)    jumpf2(...)
+//	dropf3(dt1, dv1, ..., dt3, dv3, td, tc, tb, ta)  jumpf3(...)
+//	segs(ts, vs, te, ve)       -- the data-segment catalog
+//	meta(k, v)                 -- persisted ε and w
+//
+// Each corner carries a B-tree index on (dtᵢ, dvᵢ) for the point query and
+// each boundary edge an index on (dtᵢ, dvᵢ, dtᵢ₊₁, dvᵢ₊₁) for the line
+// query, reproducing the paper's observation that SegDiff's index overhead
+// exceeds its feature size.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"segdiff/internal/extract"
+	"segdiff/internal/feature"
+	"segdiff/internal/segment"
+	"segdiff/internal/storage/sqlmini"
+	"segdiff/internal/timeseries"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Epsilon is the segmentation error tolerance ε (default 0.2, the
+	// paper's default). Search results are exact up to 2ε (Theorem 1).
+	Epsilon float64
+	// Window is w, the longest supported time span in time units
+	// (default 8 hours in seconds, the paper's default). Searches require
+	// T ≤ Window.
+	Window int64
+	// DB tunes the underlying storage engine.
+	DB sqlmini.Options
+}
+
+func (o Options) normalize() (Options, error) {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.2
+	}
+	if o.Epsilon < 0 || math.IsNaN(o.Epsilon) || math.IsInf(o.Epsilon, 0) {
+		return o, fmt.Errorf("core: invalid epsilon %v", o.Epsilon)
+	}
+	if o.Window == 0 {
+		o.Window = 8 * 3600
+	}
+	if o.Window < 0 {
+		return o, fmt.Errorf("core: negative window %d", o.Window)
+	}
+	return o, nil
+}
+
+// Match is a search result: the paper's tuple ((t_D, t_C), (t_B, t_A)).
+// The drop (or jump) starts somewhere in [TD, TC] and ends in [TB, TA].
+type Match struct {
+	TD, TC, TB, TA int64
+}
+
+// Store is a single-sensor SegDiff feature store.
+type Store struct {
+	db   *sqlmini.DB
+	opts Options
+
+	seg *segment.Segmenter
+	ext *extract.Extractor
+
+	insSeg     *sqlmini.Stmt
+	insFeat    map[feature.Kind]map[int]*sqlmini.Stmt // by kind, corner count
+	searchStmt map[feature.Kind]*sqlmini.Stmt         // one UNION statement per kind
+	finished   bool
+	dirty      bool
+}
+
+// Open opens (creating or resuming) an on-disk store.
+func Open(dir string, opts Options) (*Store, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	db, err := sqlmini.Open(dir, opts.DB)
+	if err != nil {
+		return nil, err
+	}
+	s, err := initStore(db, opts)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenMemory opens an in-memory store.
+func OpenMemory(opts Options) (*Store, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	return initStore(sqlmini.OpenMemory(opts.DB), opts)
+}
+
+func initStore(db *sqlmini.DB, opts Options) (*Store, error) {
+	s := &Store{db: db, opts: opts}
+	fresh, err := s.ensureSchema()
+	if err != nil {
+		return nil, err
+	}
+	if fresh {
+		if err := s.writeMeta(); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := s.checkMeta(); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.prepareStatements(); err != nil {
+		return nil, err
+	}
+	if err := s.initPipeline(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func tableName(kind feature.Kind, nc int) string {
+	base := "dropf"
+	if kind == feature.Jump {
+		base = "jumpf"
+	}
+	return fmt.Sprintf("%s%d", base, nc)
+}
+
+// ensureSchema creates tables and indexes; it reports whether the schema
+// was freshly created.
+func (s *Store) ensureSchema() (bool, error) {
+	tables := s.db.Tables()
+	for _, t := range tables {
+		if t == "segs" {
+			return false, nil // already initialized
+		}
+	}
+	ddl := []string{
+		"CREATE TABLE meta (k TEXT, v REAL)",
+		"CREATE TABLE segs (ts INT, vs REAL, te INT, ve REAL)",
+		"CREATE INDEX segs_ts ON segs (ts)",
+	}
+	for _, kind := range []feature.Kind{feature.Drop, feature.Jump} {
+		for nc := 1; nc <= 3; nc++ {
+			name := tableName(kind, nc)
+			var cols []string
+			for i := 1; i <= nc; i++ {
+				cols = append(cols, fmt.Sprintf("dt%d INT, dv%d REAL", i, i))
+			}
+			cols = append(cols, "td INT, tc INT, tb INT, ta INT")
+			ddl = append(ddl, fmt.Sprintf("CREATE TABLE %s (%s)", name, strings.Join(cols, ", ")))
+			// Point-query index per corner.
+			for i := 1; i <= nc; i++ {
+				ddl = append(ddl, fmt.Sprintf("CREATE INDEX %s_c%d ON %s (dt%d, dv%d)", name, i, name, i, i))
+			}
+			// Line-query index per boundary edge.
+			for i := 1; i < nc; i++ {
+				ddl = append(ddl, fmt.Sprintf(
+					"CREATE INDEX %s_l%d ON %s (dt%d, dv%d, dt%d, dv%d)",
+					name, i, name, i, i, i+1, i+1))
+			}
+		}
+	}
+	for _, stmt := range ddl {
+		if _, err := s.db.Exec(stmt); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+func (s *Store) writeMeta() error {
+	if _, err := s.db.Exec("INSERT INTO meta VALUES ('epsilon', ?)", sqlmini.Real(s.opts.Epsilon)); err != nil {
+		return err
+	}
+	_, err := s.db.Exec("INSERT INTO meta VALUES ('window', ?)", sqlmini.Real(float64(s.opts.Window)))
+	return err
+}
+
+// checkMeta loads ε and w from a resumed store; explicit options must
+// match the persisted values.
+func (s *Store) checkMeta() error {
+	r, err := s.db.Query("SELECT k, v FROM meta")
+	if err != nil {
+		return err
+	}
+	stored := map[string]float64{}
+	for _, row := range r.Data {
+		stored[row[0].S] = row[1].R
+	}
+	eps, ok1 := stored["epsilon"]
+	win, ok2 := stored["window"]
+	if !ok1 || !ok2 {
+		return fmt.Errorf("core: store meta incomplete")
+	}
+	if s.opts.Epsilon != 0.2 && s.opts.Epsilon != eps {
+		return fmt.Errorf("core: store was built with epsilon=%v, reopened with %v", eps, s.opts.Epsilon)
+	}
+	if s.opts.Window != 8*3600 && s.opts.Window != int64(win) {
+		return fmt.Errorf("core: store was built with window=%v, reopened with %v", int64(win), s.opts.Window)
+	}
+	s.opts.Epsilon = eps
+	s.opts.Window = int64(win)
+	return nil
+}
+
+func (s *Store) prepareStatements() error {
+	var err error
+	s.insSeg, err = s.db.Prepare("INSERT INTO segs VALUES (?, ?, ?, ?)")
+	if err != nil {
+		return err
+	}
+	s.insFeat = map[feature.Kind]map[int]*sqlmini.Stmt{
+		feature.Drop: {},
+		feature.Jump: {},
+	}
+	for _, kind := range []feature.Kind{feature.Drop, feature.Jump} {
+		for nc := 1; nc <= 3; nc++ {
+			ph := make([]string, 2*nc+4)
+			for i := range ph {
+				ph[i] = "?"
+			}
+			stmt, err := s.db.Prepare(fmt.Sprintf(
+				"INSERT INTO %s VALUES (%s)", tableName(kind, nc), strings.Join(ph, ", ")))
+			if err != nil {
+				return err
+			}
+			s.insFeat[kind][nc] = stmt
+		}
+	}
+	// One UNION of all point and line queries per search kind
+	// (Section 4.4: "the union of the results of two point queries and
+	// one line query", here across the three corner-count tables).
+	s.searchStmt = map[feature.Kind]*sqlmini.Stmt{}
+	for _, kind := range []feature.Kind{feature.Drop, feature.Jump} {
+		qs := searchQueries(kind)
+		parts := make([]string, len(qs))
+		for i, q := range qs {
+			parts[i] = q.sql
+		}
+		stmt, err := s.db.Prepare(strings.Join(parts, " UNION "))
+		if err != nil {
+			return err
+		}
+		s.searchStmt[kind] = stmt
+	}
+	return nil
+}
+
+// initPipeline builds the segmenter and extractor, preloading the
+// extractor window from persisted segments when resuming.
+func (s *Store) initPipeline() error {
+	ext, err := extract.New(s.opts.Epsilon, s.opts.Window, s.storeBoundary)
+	if err != nil {
+		return err
+	}
+	s.ext = ext
+
+	// Resume: reload window-relevant segments. (The segmenter restarts
+	// fresh: a reopen behaves like a sensor gap at the boundary.)
+	r, err := s.db.Query("SELECT MAX(te) FROM segs")
+	if err != nil {
+		return err
+	}
+	if n, _ := s.db.RowCount("segs"); n > 0 {
+		maxTe := r.Data[0][0]
+		var lastEnd int64
+		switch maxTe.T {
+		case sqlmini.IntType:
+			lastEnd = maxTe.I
+		case sqlmini.RealType:
+			lastEnd = int64(maxTe.R)
+		}
+		rows, err := s.db.Query("SELECT ts, vs, te, ve FROM segs WHERE te > ? ORDER BY ts",
+			sqlmini.Int(lastEnd-s.opts.Window))
+		if err != nil {
+			return err
+		}
+		segs := make([]segment.Segment, 0, rows.Len())
+		for _, row := range rows.Data {
+			segs = append(segs, segment.Segment{Ts: row[0].I, Vs: row[1].R, Te: row[2].I, Ve: row[3].R})
+		}
+		if err := s.ext.Preload(segs); err != nil {
+			return err
+		}
+	}
+
+	s.seg, err = segment.NewSegmenter(s.opts.Epsilon, s.storeSegment)
+	return err
+}
+
+func (s *Store) storeSegment(g segment.Segment) error {
+	if _, err := s.insSeg.Exec(
+		sqlmini.Int(g.Ts), sqlmini.Real(g.Vs), sqlmini.Int(g.Te), sqlmini.Real(g.Ve)); err != nil {
+		return err
+	}
+	return s.ext.Push(g)
+}
+
+func (s *Store) storeBoundary(b feature.Boundary) error {
+	nc := len(b.Corners)
+	args := make([]sqlmini.Value, 0, 2*nc+4)
+	for _, c := range b.Corners {
+		args = append(args, sqlmini.Int(c.Dt), sqlmini.Real(c.Dv))
+	}
+	args = append(args,
+		sqlmini.Int(b.TD), sqlmini.Int(b.TC), sqlmini.Int(b.TB), sqlmini.Int(b.TA))
+	_, err := s.insFeat[b.Kind][nc].Exec(args...)
+	return err
+}
+
+// Append feeds one observation through segmentation and feature
+// extraction. Inserts are batched; call Sync (or Close) to make them
+// durable and, in particular, before searching for recently appended data.
+func (s *Store) Append(p timeseries.Point) error {
+	if s.finished {
+		return fmt.Errorf("core: append after Finish")
+	}
+	if !s.dirty {
+		s.db.BeginBatch()
+		s.dirty = true
+	}
+	return s.seg.Push(p)
+}
+
+// AppendSeries appends a whole series and commits the batch.
+func (s *Store) AppendSeries(series *timeseries.Series) error {
+	for _, p := range series.Points() {
+		if err := s.Append(p); err != nil {
+			return err
+		}
+	}
+	return s.Sync()
+}
+
+// Sync commits the current ingest batch. The trailing partial segment (if
+// any) remains open: its observations become searchable once the segment
+// closes (more data arrives or Finish is called).
+func (s *Store) Sync() error {
+	if !s.dirty {
+		return nil
+	}
+	s.dirty = false
+	return s.db.CommitBatch()
+}
+
+// Finish flushes the trailing partial segment and commits. After Finish
+// the store is read-only for search.
+func (s *Store) Finish() error {
+	if s.finished {
+		return nil
+	}
+	s.finished = true
+	if !s.dirty {
+		s.db.BeginBatch()
+		s.dirty = true
+	}
+	if err := s.seg.Close(); err != nil {
+		return err
+	}
+	return s.Sync()
+}
+
+// Close finishes ingestion and closes the underlying database.
+func (s *Store) Close() error {
+	if err := s.Finish(); err != nil {
+		return err
+	}
+	return s.db.Close()
+}
+
+// SearchDrops returns every segment pair whose parallelogram intersects
+// the drop query region (Δv ≤ V within 0 < Δt ≤ T). V must be negative, T
+// positive and at most the store's window. The guarantee of Theorem 1
+// holds: no true event is missed, and every returned pair contains an
+// event with Δv ≤ V + 2ε within (0, T].
+func (s *Store) SearchDrops(T int64, V float64) ([]Match, error) {
+	return s.search(feature.Drop, T, V, sqlmini.PlanAuto)
+}
+
+// SearchJumps is the symmetric jump search (Δv ≥ V > 0).
+func (s *Store) SearchJumps(T int64, V float64) ([]Match, error) {
+	return s.search(feature.Jump, T, V, sqlmini.PlanAuto)
+}
+
+// SearchMode runs a drop or jump search under an explicit access-path
+// mode (sequential scan vs indexes), as the experiments require.
+func (s *Store) SearchMode(kind feature.Kind, T int64, V float64, mode sqlmini.PlanMode) ([]Match, error) {
+	return s.search(kind, T, V, mode)
+}
+
+func (s *Store) search(kind feature.Kind, T int64, V float64, mode sqlmini.PlanMode) ([]Match, error) {
+	if _, err := feature.NewRegion(kind, T, V); err != nil {
+		return nil, err
+	}
+	if T > s.opts.Window {
+		return nil, fmt.Errorf("core: T=%d exceeds the store window w=%d", T, s.opts.Window)
+	}
+	var args []sqlmini.Value
+	for _, q := range searchQueries(kind) {
+		args = append(args, q.args(T, V)...)
+	}
+	rows, err := s.searchStmt[kind].QueryMode(mode, args...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, 0, rows.Len())
+	for _, row := range rows.Data {
+		out = append(out, Match{TD: row[0].I, TC: row[1].I, TB: row[2].I, TA: row[3].I})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TD != out[j].TD {
+			return out[i].TD < out[j].TD
+		}
+		return out[i].TB < out[j].TB
+	})
+	return out, nil
+}
+
+// searchQuery is one point or line query of the union.
+type searchQuery struct {
+	sql   string
+	nArgs int
+}
+
+func (q searchQuery) args(T int64, V float64) []sqlmini.Value {
+	out := make([]sqlmini.Value, 0, q.nArgs)
+	for i := 0; i < q.nArgs; i += 2 {
+		out = append(out, sqlmini.Int(T), sqlmini.Real(V))
+	}
+	return out
+}
+
+// searchQueries builds the union of queries for a search kind
+// (Section 4.4): one point query per stored corner and one line query per
+// stored boundary edge, across the three corner-count tables.
+func searchQueries(kind feature.Kind) []searchQuery {
+	cmp, inv := "<=", ">"
+	if kind == feature.Jump {
+		cmp, inv = ">=", "<"
+	}
+	var out []searchQuery
+	for nc := 1; nc <= 3; nc++ {
+		name := tableName(kind, nc)
+		for i := 1; i <= nc; i++ {
+			out = append(out, searchQuery{
+				sql: fmt.Sprintf(
+					"SELECT td, tc, tb, ta FROM %s WHERE dt%d <= ? AND dv%d %s ?",
+					name, i, i, cmp),
+				nArgs: 2,
+			})
+		}
+		for i := 1; i < nc; i++ {
+			out = append(out, searchQuery{
+				sql: fmt.Sprintf(
+					"SELECT td, tc, tb, ta FROM %s WHERE dt%d <= ? AND dv%d %s ? AND dt%d > ? AND dv%d %s ? "+
+						"AND dv%d + (dv%d - dv%d) / (dt%d - dt%d) * (? - dt%d) %s ?",
+					name,
+					i, i, inv, // left end outside in value
+					i+1, i+1, cmp, // right end beyond T, inside in value
+					i, i+1, i, i+1, i, i, cmp), // boundary value at Δt=T
+				nArgs: 6,
+			})
+		}
+	}
+	return out
+}
+
+// Stats describes the store's contents and compression behaviour.
+type Stats struct {
+	Points          int     // observations consumed this session
+	Segments        int     // segments stored this session
+	CompressionRate float64 // r: points per segment (this session)
+	Extraction      extract.Stats
+	FeatureRows     int   // rows across all feature tables
+	FeatureBytes    int64 // heap bytes across feature tables + segs
+	IndexBytes      int64 // index bytes across feature tables + segs
+	Epsilon         float64
+	Window          int64
+}
+
+// DiskBytes is features plus indexes — the paper's "disk size".
+func (st Stats) DiskBytes() int64 { return st.FeatureBytes + st.IndexBytes }
+
+// Stats gathers current statistics.
+func (s *Store) Stats() (Stats, error) {
+	st := Stats{Epsilon: s.opts.Epsilon, Window: s.opts.Window}
+	st.Points, st.Segments = s.seg.Stats()
+	st.CompressionRate = s.seg.CompressionRate()
+	st.Extraction = s.ext.Stats()
+	tables := []string{"segs"}
+	for _, kind := range []feature.Kind{feature.Drop, feature.Jump} {
+		for nc := 1; nc <= 3; nc++ {
+			tables = append(tables, tableName(kind, nc))
+		}
+	}
+	for _, t := range tables {
+		n, err := s.db.RowCount(t)
+		if err != nil {
+			return st, err
+		}
+		if t != "segs" {
+			st.FeatureRows += n
+		}
+		fb, err := s.db.TableSizeBytes(t)
+		if err != nil {
+			return st, err
+		}
+		st.FeatureBytes += fb
+		ib, err := s.db.IndexSizeBytes(t)
+		if err != nil {
+			return st, err
+		}
+		st.IndexBytes += ib
+	}
+	return st, nil
+}
+
+// DropCache simulates a cold cache before a query (paper Sections 6.1–6.3
+// flush the OS cache before every query).
+func (s *Store) DropCache() error { return s.db.DropCache() }
+
+// DB exposes the underlying engine for ad-hoc SQL exploration (used by the
+// CLI's sql subcommand and the benchmarks).
+func (s *Store) DB() *sqlmini.DB { return s.db }
+
+// Epsilon returns the store's ε.
+func (s *Store) Epsilon() float64 { return s.opts.Epsilon }
+
+// Window returns the store's w.
+func (s *Store) Window() int64 { return s.opts.Window }
+
+// Prune deletes every feature row and data segment that lies entirely
+// before the cutoff timestamp, bounding the index for long-running
+// deployments (retention). It returns the number of feature rows removed.
+// Periods before the cutoff are no longer searchable; space is reclaimed
+// logically (heap pages keep their tombstones).
+func (s *Store) Prune(before int64) (int, error) {
+	if s.dirty {
+		if err := s.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	s.db.BeginBatch()
+	removed := 0
+	for _, kind := range []feature.Kind{feature.Drop, feature.Jump} {
+		for nc := 1; nc <= 3; nc++ {
+			n, err := s.db.Exec(
+				fmt.Sprintf("DELETE FROM %s WHERE ta <= ?", tableName(kind, nc)),
+				sqlmini.Int(before))
+			if err != nil {
+				return removed, err
+			}
+			removed += n
+		}
+	}
+	if _, err := s.db.Exec("DELETE FROM segs WHERE te <= ?", sqlmini.Int(before)); err != nil {
+		return removed, err
+	}
+	return removed, s.db.CommitBatch()
+}
+
+// Segments returns the persisted data-segment catalog in temporal order.
+func (s *Store) Segments() ([]segment.Segment, error) {
+	rows, err := s.db.Query("SELECT ts, vs, te, ve FROM segs ORDER BY ts")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]segment.Segment, 0, rows.Len())
+	for _, row := range rows.Data {
+		out = append(out, segment.Segment{Ts: row[0].I, Vs: row[1].R, Te: row[2].I, Ve: row[3].R})
+	}
+	return out, nil
+}

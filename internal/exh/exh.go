@@ -1,0 +1,244 @@
+// Package exh implements the paper's comparison system Exh, the
+// exhaustive search: it materializes the difference (Δt, Δv) between
+// every pair of observations whose time span is within the window w and
+// stores each as one relational row (Δt, Δv, t) — Δv the change, Δt the
+// span, and t the later observation's timestamp, which uniquely identifies
+// the event (c₁ = 3 columns, Section 5.2). A drop search is then the
+// standard range query Δt ≤ T AND Δv ≤ V over this table, with a B-tree
+// index on the concatenation (Δt, Δv) available for the index-plan
+// experiments.
+//
+// Exh only considers sampled observations, so unlike SegDiff it can miss
+// events of the data generating model G that occur between samples
+// (Section 5.1); the tests document this difference.
+package exh
+
+import (
+	"fmt"
+
+	"segdiff/internal/feature"
+	"segdiff/internal/storage/sqlmini"
+	"segdiff/internal/timeseries"
+)
+
+// Options configures an Exh store.
+type Options struct {
+	// Window is w: pairs farther apart than this are not materialized
+	// (default 8 hours in seconds).
+	Window int64
+	// DB tunes the underlying engine.
+	DB sqlmini.Options
+}
+
+func (o Options) normalize() (Options, error) {
+	if o.Window == 0 {
+		o.Window = 8 * 3600
+	}
+	if o.Window < 0 {
+		return o, fmt.Errorf("exh: negative window %d", o.Window)
+	}
+	return o, nil
+}
+
+// Event is a search result: the pair of observation timestamps and its
+// change.
+type Event struct {
+	T1, T2 int64
+	Dv     float64
+}
+
+// Store is the exhaustive feature store.
+type Store struct {
+	db   *sqlmini.DB
+	opts Options
+
+	ins     *sqlmini.Stmt
+	recent  []timeseries.Point // observations within the window
+	dirty   bool
+	nPoints int
+	nRows   int
+}
+
+// Open opens an on-disk Exh store.
+func Open(dir string, opts Options) (*Store, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	db, err := sqlmini.Open(dir, opts.DB)
+	if err != nil {
+		return nil, err
+	}
+	s, err := initStore(db, opts)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenMemory opens an in-memory Exh store.
+func OpenMemory(opts Options) (*Store, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	return initStore(sqlmini.OpenMemory(opts.DB), opts)
+}
+
+func initStore(db *sqlmini.DB, opts Options) (*Store, error) {
+	s := &Store{db: db, opts: opts}
+	has := false
+	for _, t := range db.Tables() {
+		if t == "exh" {
+			has = true
+		}
+	}
+	if !has {
+		for _, ddl := range []string{
+			"CREATE TABLE exh (dt INT, dv REAL, t INT)",
+			"CREATE INDEX exh_dtdv ON exh (dt, dv)",
+		} {
+			if _, err := db.Exec(ddl); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var err error
+	s.ins, err = db.Prepare("INSERT INTO exh VALUES (?, ?, ?)")
+	if err != nil {
+		return nil, err
+	}
+	n, err := db.RowCount("exh")
+	if err != nil {
+		return nil, err
+	}
+	s.nRows = n
+	return s, nil
+}
+
+// Append materializes the differences between p and every retained
+// earlier observation within the window.
+func (s *Store) Append(p timeseries.Point) error {
+	if n := len(s.recent); n > 0 && p.T <= s.recent[n-1].T {
+		return fmt.Errorf("exh: out-of-order timestamp %d", p.T)
+	}
+	if !s.dirty {
+		s.db.BeginBatch()
+		s.dirty = true
+	}
+	// Evict observations outside the window.
+	keep := 0
+	for _, q := range s.recent {
+		if p.T-q.T <= s.opts.Window {
+			s.recent[keep] = q
+			keep++
+		}
+	}
+	s.recent = s.recent[:keep]
+
+	for _, q := range s.recent {
+		if _, err := s.ins.Exec(
+			sqlmini.Int(p.T-q.T), sqlmini.Real(p.V-q.V), sqlmini.Int(p.T)); err != nil {
+			return err
+		}
+		s.nRows++
+	}
+	s.recent = append(s.recent, p)
+	s.nPoints++
+	return nil
+}
+
+// AppendSeries appends a whole series and commits.
+func (s *Store) AppendSeries(series *timeseries.Series) error {
+	for _, p := range series.Points() {
+		if err := s.Append(p); err != nil {
+			return err
+		}
+	}
+	return s.Sync()
+}
+
+// Sync commits the current ingest batch.
+func (s *Store) Sync() error {
+	if !s.dirty {
+		return nil
+	}
+	s.dirty = false
+	return s.db.CommitBatch()
+}
+
+// SearchDrops returns all events with 0 < Δt ≤ T and Δv ≤ V (V < 0) among
+// sampled observations.
+func (s *Store) SearchDrops(T int64, V float64) ([]Event, error) {
+	return s.search(feature.Drop, T, V, sqlmini.PlanAuto)
+}
+
+// SearchJumps returns all events with 0 < Δt ≤ T and Δv ≥ V (V > 0).
+func (s *Store) SearchJumps(T int64, V float64) ([]Event, error) {
+	return s.search(feature.Jump, T, V, sqlmini.PlanAuto)
+}
+
+// SearchMode runs a search under an explicit plan mode.
+func (s *Store) SearchMode(kind feature.Kind, T int64, V float64, mode sqlmini.PlanMode) ([]Event, error) {
+	return s.search(kind, T, V, mode)
+}
+
+func (s *Store) search(kind feature.Kind, T int64, V float64, mode sqlmini.PlanMode) ([]Event, error) {
+	if _, err := feature.NewRegion(kind, T, V); err != nil {
+		return nil, err
+	}
+	if T > s.opts.Window {
+		return nil, fmt.Errorf("exh: T=%d exceeds the window w=%d", T, s.opts.Window)
+	}
+	cmp := "<="
+	if kind == feature.Jump {
+		cmp = ">="
+	}
+	rows, err := s.db.QueryMode(mode,
+		fmt.Sprintf("SELECT t, dt, dv FROM exh WHERE dt <= ? AND dv %s ?", cmp),
+		sqlmini.Int(T), sqlmini.Real(V))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Event, 0, rows.Len())
+	for _, r := range rows.Data {
+		out = append(out, Event{T2: r[0].I, T1: r[0].I - r[1].I, Dv: r[2].R})
+	}
+	return out, nil
+}
+
+// Stats describes the store's contents.
+type Stats struct {
+	Points       int   // observations consumed this session
+	Rows         int   // feature rows stored
+	FeatureBytes int64 // heap bytes of the exh table
+	IndexBytes   int64 // index bytes
+}
+
+// DiskBytes is features plus indexes.
+func (st Stats) DiskBytes() int64 { return st.FeatureBytes + st.IndexBytes }
+
+// Stats gathers current statistics.
+func (s *Store) Stats() (Stats, error) {
+	st := Stats{Points: s.nPoints, Rows: s.nRows}
+	var err error
+	if st.FeatureBytes, err = s.db.TableSizeBytes("exh"); err != nil {
+		return st, err
+	}
+	if st.IndexBytes, err = s.db.IndexSizeBytes("exh"); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// DropCache simulates a cold cache.
+func (s *Store) DropCache() error { return s.db.DropCache() }
+
+// Close commits and closes the store.
+func (s *Store) Close() error {
+	if err := s.Sync(); err != nil {
+		return err
+	}
+	return s.db.Close()
+}

@@ -1,0 +1,236 @@
+package exh
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"segdiff/internal/feature"
+	"segdiff/internal/naive"
+	"segdiff/internal/storage/sqlmini"
+	"segdiff/internal/timeseries"
+)
+
+func walk(seed int64, n int) *timeseries.Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := &timeseries.Series{}
+	v := 0.0
+	tt := int64(0)
+	for i := 0; i < n; i++ {
+		tt += 30 + rng.Int63n(40)
+		v += rng.NormFloat64()
+		if err := s.Append(timeseries.Point{T: tt, V: v}); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}
+
+func memStore(t *testing.T, w int64) *Store {
+	t.Helper()
+	s, err := OpenMemory(Options{Window: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func sortEvents(evs []naive.Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].T1 != evs[j].T1 {
+			return evs[i].T1 < evs[j].T1
+		}
+		return evs[i].T2 < evs[j].T2
+	})
+}
+
+func sortExh(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].T1 != evs[j].T1 {
+			return evs[i].T1 < evs[j].T1
+		}
+		return evs[i].T2 < evs[j].T2
+	})
+}
+
+// Exh over sampled observations must agree exactly with the naive oracle.
+func TestMatchesNaiveOracle(t *testing.T) {
+	series := walk(3, 300)
+	st := memStore(t, 3000)
+	if err := st.AppendSeries(series); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []struct {
+		T int64
+		V float64
+	}{{500, -1}, {1500, -2}, {3000, -0.5}} {
+		want, err := naive.Drops(series, q.T, q.V)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.SearchDrops(q.T, q.V)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortEvents(want)
+		sortExh(got)
+		if len(got) != len(want) {
+			t.Fatalf("T=%d V=%v: %d events, oracle %d", q.T, q.V, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].T1 != want[i].T1 || got[i].T2 != want[i].T2 {
+				t.Fatalf("event %d = %+v, oracle %+v", i, got[i], want[i])
+			}
+		}
+	}
+	// Jumps too.
+	wantJ, err := naive.Jumps(series, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJ, err := st.SearchJumps(1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotJ) != len(wantJ) {
+		t.Fatalf("jumps: %d vs oracle %d", len(gotJ), len(wantJ))
+	}
+}
+
+func TestPlanModesAgree(t *testing.T) {
+	series := walk(9, 400)
+	st := memStore(t, 2000)
+	if err := st.AppendSeries(series); err != nil {
+		t.Fatal(err)
+	}
+	a, err := st.SearchMode(feature.Drop, 800, -1.5, sqlmini.PlanForceScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.SearchMode(feature.Drop, 800, -1.5, sqlmini.PlanForceIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortExh(a)
+	sortExh(b)
+	if len(a) != len(b) {
+		t.Fatalf("scan %d vs index %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestRowCountQuadraticInWindow(t *testing.T) {
+	series := walk(1, 200)
+	small := memStore(t, 200)
+	big := memStore(t, 2000)
+	if err := small.AppendSeries(series); err != nil {
+		t.Fatal(err)
+	}
+	if err := big.AppendSeries(series); err != nil {
+		t.Fatal(err)
+	}
+	ss, err := small.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := big.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Rows <= ss.Rows*3 {
+		t.Fatalf("larger window did not inflate rows: %d vs %d", bs.Rows, ss.Rows)
+	}
+	if ss.Points != 200 || bs.Points != 200 {
+		t.Fatalf("points: %d, %d", ss.Points, bs.Points)
+	}
+	if bs.FeatureBytes == 0 || bs.IndexBytes == 0 {
+		t.Fatalf("sizes empty: %+v", bs)
+	}
+	if bs.DiskBytes() != bs.FeatureBytes+bs.IndexBytes {
+		t.Fatal("DiskBytes inconsistent")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	st := memStore(t, 1000)
+	if err := st.Append(timeseries.Point{T: 100, V: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(timeseries.Point{T: 100, V: 2}); err == nil {
+		t.Fatal("duplicate timestamp accepted")
+	}
+	if _, err := st.SearchDrops(2000, -1); err == nil {
+		t.Fatal("T > w accepted")
+	}
+	if _, err := st.SearchDrops(100, 1); err == nil {
+		t.Fatal("positive V accepted")
+	}
+	if _, err := OpenMemory(Options{Window: -1}); err == nil {
+		t.Fatal("negative window accepted")
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	dir := t.TempDir()
+	series := walk(4, 150)
+	st, err := Open(dir, Options{Window: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendSeries(series); err != nil {
+		t.Fatal(err)
+	}
+	want, err := st.SearchDrops(1000, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{Window: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got, err := st2.SearchDrops(1000, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("matches after reopen: %d vs %d", len(got), len(want))
+	}
+	stats, err := st2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rows == 0 {
+		t.Fatal("row count not recovered")
+	}
+}
+
+func TestDropCache(t *testing.T) {
+	series := walk(6, 200)
+	st := memStore(t, 1000)
+	if err := st.AppendSeries(series); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := st.SearchDrops(500, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := st.SearchDrops(500, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("cold differs: %d vs %d", len(warm), len(cold))
+	}
+}

@@ -1,0 +1,184 @@
+// Package extract implements Algorithm 1 of the paper: online feature
+// extraction. As each data segment AB is finalized by the segmentation
+// process, the extractor
+//
+//  1. emits the boundaries of AB's degenerate self-parallelogram (covering
+//     events occurring within AB),
+//  2. pairs AB with every previous data segment CD inside the time window
+//     [t_B − w, t_A], truncating CD at the window start when it begins
+//     earlier (lines 4–5 of Algorithm 1), and emits the ε-shifted boundary
+//     corners selected by the Table 2 case analysis, and
+//  3. evicts segments that have fallen entirely out of the window.
+//
+// Extraction is online: features are available for search as soon as the
+// segment is produced.
+package extract
+
+import (
+	"fmt"
+
+	"segdiff/internal/feature"
+	"segdiff/internal/segment"
+)
+
+// Stats counts extraction activity, including the Table 4 corner-case
+// distribution (how many boundaries were stored with 1, 2 or 3 corners).
+type Stats struct {
+	Segments       int    // data segments consumed
+	Pairs          int    // (CD, AB) pairs considered (incl. self-pairs)
+	Boundaries     int    // boundaries emitted (drop + jump)
+	CornerCount    [4]int // CornerCount[c] = boundaries stored with c corners
+	CornersStored  int    // total corner points stored
+	DropBoundaries int
+	JumpBoundaries int
+}
+
+// AverageCorners returns the mean number of stored corners per boundary —
+// the paper's "effectively two corner points" metric (≈2.13 at ε=0.2).
+func (s Stats) AverageCorners() float64 {
+	if s.Boundaries == 0 {
+		return 0
+	}
+	return float64(s.CornersStored) / float64(s.Boundaries)
+}
+
+// Extractor consumes data segments in temporal order.
+type Extractor struct {
+	eps  float64
+	w    int64
+	emit func(feature.Boundary) error
+
+	window []segment.Segment // previous segments, oldest first
+	last   *segment.Segment  // most recent segment (for contiguity check)
+	stats  Stats
+}
+
+// New returns an extractor with error tolerance eps (the ε used for
+// shifting, i.e. the segmentation tolerance) and time window w. emit is
+// called with every stored boundary.
+func New(eps float64, w int64, emit func(feature.Boundary) error) (*Extractor, error) {
+	if eps < 0 {
+		return nil, fmt.Errorf("extract: negative epsilon %v", eps)
+	}
+	if w <= 0 {
+		return nil, fmt.Errorf("extract: non-positive window %d", w)
+	}
+	if emit == nil {
+		return nil, fmt.Errorf("extract: nil emit callback")
+	}
+	return &Extractor{eps: eps, w: w, emit: emit}, nil
+}
+
+// Stats returns a copy of the extraction counters.
+func (x *Extractor) Stats() Stats { return x.stats }
+
+// Push processes the next data segment. Segments must arrive in temporal
+// order; gaps are allowed (a sensor outage splits the stream), overlap is
+// not.
+func (x *Extractor) Push(ab segment.Segment) error {
+	if ab.Te <= ab.Ts {
+		return fmt.Errorf("extract: non-positive segment duration %v", ab)
+	}
+	if x.last != nil && ab.Ts < x.last.Te {
+		return fmt.Errorf("extract: segment %v overlaps previous ending at %d", ab, x.last.Te)
+	}
+	x.stats.Segments++
+
+	// Within-segment events: the degenerate self-pair.
+	self, err := feature.SelfPair(ab)
+	if err != nil {
+		return err
+	}
+	if err := x.emitBoundaries(self); err != nil {
+		return err
+	}
+	x.stats.Pairs++
+
+	// Algorithm 1: window [win.start, win.end] with win.end = t_A and
+	// win.start = t_B − w.
+	winStart := ab.Ts - x.w
+
+	// Evict segments entirely before the window.
+	keep := 0
+	for _, cd := range x.window {
+		if cd.Te > winStart {
+			x.window[keep] = cd
+			keep++
+		}
+	}
+	x.window = x.window[:keep]
+
+	for _, cd := range x.window {
+		use := cd
+		if use.Ts < winStart {
+			// Truncate CD at the window start (Algorithm 1 line 4).
+			use = segment.Segment{Ts: winStart, Vs: cd.Value(winStart), Te: cd.Te, Ve: cd.Ve}
+		}
+		if use.Te == use.Ts {
+			continue // truncation consumed the whole segment
+		}
+		p, err := feature.NewParallelogram(use, ab)
+		if err != nil {
+			return err
+		}
+		x.stats.Pairs++
+		if err := x.emitBoundaries(p); err != nil {
+			return err
+		}
+	}
+
+	x.window = append(x.window, ab)
+	x.last = &ab
+	return nil
+}
+
+func (x *Extractor) emitBoundaries(p feature.Parallelogram) error {
+	bs, err := feature.ExtractBoundaries(p, x.eps)
+	if err != nil {
+		return err
+	}
+	for _, b := range bs {
+		nc := len(b.Corners)
+		if nc < 1 || nc > 3 {
+			return fmt.Errorf("extract: boundary with %d corners", nc)
+		}
+		x.stats.Boundaries++
+		x.stats.CornerCount[nc]++
+		x.stats.CornersStored += nc
+		if b.Kind == feature.Drop {
+			x.stats.DropBoundaries++
+		} else {
+			x.stats.JumpBoundaries++
+		}
+		if err := x.emit(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WindowLen reports how many previous segments are currently retained
+// (used by tests to verify eviction).
+func (x *Extractor) WindowLen() int { return len(x.window) }
+
+// Preload seeds the window with already-processed segments (temporal
+// order) without emitting any features. It is used when a store reopens:
+// features for these segments are already persisted, but upcoming segments
+// must still pair with them.
+func (x *Extractor) Preload(segs []segment.Segment) error {
+	if x.stats.Segments > 0 || len(x.window) > 0 {
+		return fmt.Errorf("extract: Preload on a non-fresh extractor")
+	}
+	for _, g := range segs {
+		if g.Te <= g.Ts {
+			return fmt.Errorf("extract: non-positive segment duration %v", g)
+		}
+		if x.last != nil && g.Ts < x.last.Te {
+			return fmt.Errorf("extract: preloaded segment %v overlaps previous", g)
+		}
+		x.window = append(x.window, g)
+		gg := g
+		x.last = &gg
+	}
+	return nil
+}

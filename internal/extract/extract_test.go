@@ -1,0 +1,257 @@
+package extract
+
+import (
+	"testing"
+
+	"segdiff/internal/feature"
+	"segdiff/internal/segment"
+)
+
+func collect() (*[]feature.Boundary, func(feature.Boundary) error) {
+	var out []feature.Boundary
+	return &out, func(b feature.Boundary) error {
+		out = append(out, b)
+		return nil
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	_, emit := collect()
+	if _, err := New(-1, 100, emit); err == nil {
+		t.Fatal("negative eps accepted")
+	}
+	if _, err := New(0.1, 0, emit); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := New(0.1, 100, nil); err == nil {
+		t.Fatal("nil emit accepted")
+	}
+}
+
+func TestSelfPairEmitted(t *testing.T) {
+	out, emit := collect()
+	x, err := New(0.1, 1000, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A falling segment: its self-pair must produce a drop boundary.
+	if err := x.Push(segment.Segment{Ts: 0, Vs: 10, Te: 100, Ve: 2}); err != nil {
+		t.Fatal(err)
+	}
+	foundDrop := false
+	for _, b := range *out {
+		if b.Kind == feature.Drop && b.TB == 0 && b.TA == 100 {
+			foundDrop = true
+		}
+	}
+	if !foundDrop {
+		t.Fatalf("no self-pair drop boundary: %+v", *out)
+	}
+}
+
+func TestPairingWithinWindow(t *testing.T) {
+	out, emit := collect()
+	x, err := New(0, 500, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := []segment.Segment{
+		{Ts: 0, Vs: 0, Te: 100, Ve: 5},
+		{Ts: 100, Vs: 5, Te: 200, Ve: -5},
+		{Ts: 200, Vs: -5, Te: 300, Ve: 0},
+	}
+	for _, g := range segs {
+		if err := x.Push(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pairs: 3 self + (s0,s1) + (s0,s2) + (s1,s2) = 6.
+	if got := x.Stats().Pairs; got != 6 {
+		t.Fatalf("pairs = %d, want 6", got)
+	}
+	// Boundary identifying timestamps must reference real segment pairs:
+	// each interval ordered, CD no later than AB. (Self-pairs report both
+	// intervals as the whole segment, so TC may exceed TB there.)
+	for _, b := range *out {
+		if b.TD > b.TC || b.TB > b.TA || b.TD > b.TB || b.TC > b.TA {
+			t.Fatalf("timestamps out of order: %+v", b)
+		}
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	_, emit := collect()
+	x, err := New(0, 150, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		g := segment.Segment{Ts: i * 100, Vs: float64(i), Te: (i + 1) * 100, Ve: float64(i + 1)}
+		if err := x.Push(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Window w=150 behind t_B: only segments ending after t_B-150 stay.
+	if n := x.WindowLen(); n > 3 {
+		t.Fatalf("window retains %d segments; eviction broken", n)
+	}
+}
+
+// A previous segment straddling the window start must be truncated, not
+// dropped: events within w of the new segment must still be captured.
+func TestTruncationAtWindowStart(t *testing.T) {
+	out, emit := collect()
+	x, err := New(0, 100, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long old segment [0, 500] falling steeply, then a short one.
+	if err := x.Push(segment.Segment{Ts: 0, Vs: 50, Te: 500, Ve: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Push(segment.Segment{Ts: 500, Vs: 0, Te: 600, Ve: -10}); err != nil {
+		t.Fatal(err)
+	}
+	// Window start = 500-100 = 400; CD must appear truncated to [400,500].
+	var cross []feature.Boundary
+	for _, b := range *out {
+		if b.TB == 500 && b.TD != b.TB { // the cross pair, not a self-pair
+			cross = append(cross, b)
+		}
+	}
+	if len(cross) == 0 {
+		t.Fatal("no cross-pair boundaries emitted")
+	}
+	for _, b := range cross {
+		if b.TD != 400 {
+			t.Fatalf("TD = %d, want truncated 400", b.TD)
+		}
+		if b.TC != 500 {
+			t.Fatalf("TC = %d", b.TC)
+		}
+	}
+}
+
+func TestRejectsOverlapAndZeroLength(t *testing.T) {
+	_, emit := collect()
+	x, _ := New(0, 100, emit)
+	if err := x.Push(segment.Segment{Ts: 10, Vs: 0, Te: 10, Ve: 0}); err == nil {
+		t.Fatal("zero-length segment accepted")
+	}
+	if err := x.Push(segment.Segment{Ts: 0, Vs: 0, Te: 100, Ve: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Push(segment.Segment{Ts: 50, Vs: 0, Te: 150, Ve: 1}); err == nil {
+		t.Fatal("overlapping segment accepted")
+	}
+	// A gap is fine (sensor outage).
+	if err := x.Push(segment.Segment{Ts: 500, Vs: 0, Te: 600, Ve: 1}); err != nil {
+		t.Fatalf("gap rejected: %v", err)
+	}
+}
+
+func TestCornerStats(t *testing.T) {
+	_, emit := collect()
+	x, _ := New(0.1, 10000, emit)
+	segs := []segment.Segment{
+		{Ts: 0, Vs: 0, Te: 100, Ve: 8},
+		{Ts: 100, Vs: 8, Te: 200, Ve: -3},
+		{Ts: 200, Vs: -3, Te: 300, Ve: -9},
+		{Ts: 300, Vs: -9, Te: 400, Ve: 2},
+	}
+	for _, g := range segs {
+		if err := x.Push(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := x.Stats()
+	if st.Boundaries == 0 {
+		t.Fatal("no boundaries emitted")
+	}
+	if st.CornerCount[1]+st.CornerCount[2]+st.CornerCount[3] != st.Boundaries {
+		t.Fatalf("corner histogram inconsistent: %+v", st)
+	}
+	avg := st.AverageCorners()
+	if avg < 1 || avg > 3 {
+		t.Fatalf("average corners = %v", avg)
+	}
+	if st.DropBoundaries+st.JumpBoundaries != st.Boundaries {
+		t.Fatalf("kind split inconsistent: %+v", st)
+	}
+	if st.Segments != 4 {
+		t.Fatalf("segments = %d", st.Segments)
+	}
+}
+
+func TestEmitErrorPropagates(t *testing.T) {
+	boom := func(feature.Boundary) error { return errBoom }
+	x, _ := New(0.1, 100, boom)
+	if err := x.Push(segment.Segment{Ts: 0, Vs: 5, Te: 100, Ve: 0}); err != errBoom {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+var errBoom = &boomErr{}
+
+type boomErr struct{}
+
+func (*boomErr) Error() string { return "boom" }
+
+func TestPreload(t *testing.T) {
+	out, emit := collect()
+	x, err := New(0.1, 1000, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := []segment.Segment{
+		{Ts: 0, Vs: 0, Te: 100, Ve: 5},
+		{Ts: 100, Vs: 5, Te: 200, Ve: 2},
+	}
+	if err := x.Preload(pre); err != nil {
+		t.Fatal(err)
+	}
+	if len(*out) != 0 {
+		t.Fatalf("preload emitted %d boundaries", len(*out))
+	}
+	if x.WindowLen() != 2 {
+		t.Fatalf("window = %d", x.WindowLen())
+	}
+	// A new segment must pair with the preloaded ones: 1 self + 2 cross.
+	if err := x.Push(segment.Segment{Ts: 200, Vs: 2, Te: 300, Ve: -4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Stats().Pairs; got != 3 {
+		t.Fatalf("pairs after preload push = %d, want 3", got)
+	}
+	crossSeen := false
+	for _, b := range *out {
+		if b.TD == 0 && b.TB == 200 {
+			crossSeen = true
+		}
+	}
+	if !crossSeen {
+		t.Fatal("no boundary pairing the new segment with preloaded history")
+	}
+}
+
+func TestPreloadValidation(t *testing.T) {
+	_, emit := collect()
+	x, _ := New(0.1, 1000, emit)
+	if err := x.Preload([]segment.Segment{{Ts: 5, Vs: 0, Te: 5, Ve: 0}}); err == nil {
+		t.Fatal("zero-length preload accepted")
+	}
+	x2, _ := New(0.1, 1000, emit)
+	if err := x2.Preload([]segment.Segment{
+		{Ts: 0, Vs: 0, Te: 100, Ve: 1},
+		{Ts: 50, Vs: 0, Te: 150, Ve: 1},
+	}); err == nil {
+		t.Fatal("overlapping preload accepted")
+	}
+	x3, _ := New(0.1, 1000, emit)
+	if err := x3.Push(segment.Segment{Ts: 0, Vs: 0, Te: 100, Ve: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := x3.Preload([]segment.Segment{{Ts: 100, Vs: 1, Te: 200, Ve: 2}}); err == nil {
+		t.Fatal("preload on a non-fresh extractor accepted")
+	}
+}

@@ -1,0 +1,134 @@
+package feature
+
+import "fmt"
+
+// Boundary is the stored feature for one (segment pair, search kind): the
+// ε-shifted corner points of the parallelogram boundary that a query
+// region of that kind must intersect if it intersects the parallelogram
+// (lower-left boundary for drops shifted down by ε, upper-left boundary
+// for jumps shifted up by ε — Table 2 plus Lemma 4).
+//
+// Corners holds 1 to 3 feature points ordered by ascending Δt. The four
+// timestamps identify the two data segments so a search can report the
+// paper's result tuple ((t_D, t_C), (t_B, t_A)).
+type Boundary struct {
+	Kind           Kind
+	Case           Case
+	Corners        []Point
+	TD, TC, TB, TA int64
+}
+
+// shift returns p with Dv displaced by d.
+func shift(p Point, d float64) Point { return Point{Dt: p.Dt, Dv: p.Dv + d} }
+
+// ExtractBoundaries applies the case analysis of Section 4.3.1 (Table 2 and
+// the Appendix) to parallelogram p: it selects the necessary corner points
+// for drop and jump detection, applies the ε-shift of Lemma 4 (down for
+// drops, up for jumps), and applies the storage gates that skip boundaries
+// which can never satisfy a drop (V < 0) or jump (V > 0) query. The result
+// contains at most one Drop and one Jump boundary.
+func ExtractBoundaries(p Parallelogram, epsilon float64) ([]Boundary, error) {
+	if epsilon < 0 {
+		return nil, fmt.Errorf("feature: negative epsilon %v", epsilon)
+	}
+	var out []Boundary
+
+	add := func(kind Kind, d float64, corners ...Point) {
+		b := Boundary{Kind: kind, Case: p.Case, TD: p.TD, TC: p.TC, TB: p.TB, TA: p.TA}
+		for _, c := range corners {
+			sc := shift(c, d)
+			// Degenerate pairs (zero-length CD) repeat a corner; the
+			// duplicate adds nothing to point or line queries.
+			if n := len(b.Corners); n > 0 && b.Corners[n-1] == sc {
+				continue
+			}
+			b.Corners = append(b.Corners, sc)
+		}
+		out = append(out, b)
+	}
+	addDrop := func(corners ...Point) { add(Drop, -epsilon, corners...) }
+	addJump := func(corners ...Point) { add(Jump, epsilon, corners...) }
+
+	e := epsilon
+	switch p.Case {
+	case Case1: // k_CD ≥ 0, k_AB ≤ 0
+		if p.AC.Dv-e <= 0 {
+			addDrop(p.BC, p.AC)
+		}
+		if p.BD.Dv+e >= 0 {
+			addJump(p.BC, p.BD)
+		}
+	case Case2: // k_CD ≥ 0, k_AB ≥ k_CD
+		if p.BC.Dv-e <= 0 {
+			addDrop(p.BC)
+		}
+		switch {
+		case p.AC.Dv+e >= 0:
+			addJump(p.BC, p.AC, p.AD)
+		case p.AD.Dv+e >= 0:
+			addJump(p.AC, p.AD)
+		}
+	case Case3: // k_CD ≥ 0, 0 < k_AB < k_CD — case 2 with AC ↔ BD
+		if p.BC.Dv-e <= 0 {
+			addDrop(p.BC)
+		}
+		switch {
+		case p.BD.Dv+e >= 0:
+			addJump(p.BC, p.BD, p.AD)
+		case p.AD.Dv+e >= 0:
+			addJump(p.BD, p.AD)
+		}
+	case Case4: // k_CD < 0, k_AB ≥ 0
+		if p.BD.Dv-e <= 0 {
+			addDrop(p.BC, p.BD)
+		}
+		if p.AC.Dv+e >= 0 {
+			addJump(p.BC, p.AC)
+		}
+	case Case5: // k_CD < 0, k_AB ≤ k_CD
+		switch {
+		case p.AC.Dv-e <= 0:
+			addDrop(p.BC, p.AC, p.AD)
+		case p.AD.Dv-e <= 0:
+			addDrop(p.AC, p.AD)
+		}
+		if p.BC.Dv+e >= 0 {
+			addJump(p.BC)
+		}
+	case Case6: // k_CD < 0, k_CD < k_AB < 0 — case 5 with AC ↔ BD
+		switch {
+		case p.BD.Dv-e <= 0:
+			addDrop(p.BC, p.BD, p.AD)
+		case p.AD.Dv-e <= 0:
+			addDrop(p.BD, p.AD)
+		}
+		if p.BC.Dv+e >= 0 {
+			addJump(p.BC)
+		}
+	default:
+		return nil, fmt.Errorf("feature: unknown case %v", p.Case)
+	}
+	return out, nil
+}
+
+// AllCornersBoundary returns the un-reduced alternative used by the A1
+// ablation: the full perimeter walk BC→BD→AD→AC→BC (the first corner is
+// repeated so the polyline's consecutive pairs cover all four parallelogram
+// edges), ε-shifted for the given kind, with no storage gate. Storing the
+// full perimeter supports the same point/line queries but costs more
+// space — exactly the design choice Table 2 eliminates.
+func AllCornersBoundary(p Parallelogram, epsilon float64, kind Kind) (Boundary, error) {
+	if epsilon < 0 {
+		return Boundary{}, fmt.Errorf("feature: negative epsilon %v", epsilon)
+	}
+	d := -epsilon
+	if kind == Jump {
+		d = epsilon
+	}
+	b := Boundary{Kind: kind, Case: p.Case, TD: p.TD, TC: p.TC, TB: p.TB, TA: p.TA}
+	for _, c := range p.Corners() {
+		b.Corners = append(b.Corners, shift(c, d))
+	}
+	b.Corners = append(b.Corners, b.Corners[0])
+	return b, nil
+}

@@ -1,0 +1,228 @@
+// Package feature implements the feature-space machinery of the paper:
+//
+//   - feature space: a plane whose axes are Δt (time span) and Δv (value
+//     change), in which every potential event is a point (Section 3);
+//   - feature parallelograms: the convex region in feature space covering
+//     all events occurring across two data segments (Lemma 3), degenerating
+//     to a feature segment for within-segment events;
+//   - the six-way corner case analysis (Table 2 and the Appendix) selecting
+//     the boundary corners sufficient for intersection detection;
+//   - the ε-shift of Lemma 4 that makes the stored boundaries capture every
+//     true event despite segmentation error;
+//   - query regions and the point/line query predicates of Section 4.4.
+//
+// Notation follows the paper: for a data segment AB, B is its start
+// observation and A its end; for CD, D is the start and C the end. CD is
+// the earlier segment (t_B ≥ t_C) and Δv_ij = v_i − v_j, Δt_ij = t_i − t_j
+// with t_i ≥ t_j.
+package feature
+
+import (
+	"fmt"
+
+	"segdiff/internal/segment"
+)
+
+// Point is a feature point (Δt, Δv): a potential event with time span Dt
+// and value change Dv.
+type Point struct {
+	Dt int64
+	Dv float64
+}
+
+// Kind distinguishes drop search from jump search.
+type Kind int8
+
+const (
+	// Drop searches for Δv ≤ V < 0 within 0 < Δt ≤ T.
+	Drop Kind = iota
+	// Jump searches for Δv ≥ V > 0 within 0 < Δt ≤ T.
+	Jump
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Drop:
+		return "drop"
+	case Jump:
+		return "jump"
+	default:
+		return fmt.Sprintf("Kind(%d)", int8(k))
+	}
+}
+
+// Case identifies one of the six slope configurations of Table 2.
+type Case int8
+
+// The six cases of Table 2, keyed by the slopes k_CD (earlier segment) and
+// k_AB (later segment).
+const (
+	Case1 Case = 1 + iota // k_CD ≥ 0, k_AB ≤ 0
+	Case2                 // k_CD ≥ 0, k_AB ≥ k_CD
+	Case3                 // k_CD ≥ 0, 0 < k_AB < k_CD
+	Case4                 // k_CD < 0, k_AB ≥ 0
+	Case5                 // k_CD < 0, k_AB ≤ k_CD
+	Case6                 // k_CD < 0, k_CD < k_AB < 0
+)
+
+func (c Case) String() string { return fmt.Sprintf("case%d", int8(c)) }
+
+// Classify returns the Table 2 case for slopes kCD and kAB. Boundary
+// configurations that satisfy two cases are routed deterministically to the
+// lower-numbered case; the resulting corner choice remains correct because
+// at the shared boundary the corner sets describe the same geometry.
+func Classify(kCD, kAB float64) Case {
+	if kCD >= 0 {
+		switch {
+		case kAB <= 0:
+			return Case1
+		case kAB >= kCD:
+			return Case2
+		default:
+			return Case3
+		}
+	}
+	switch {
+	case kAB >= 0:
+		return Case4
+	case kAB <= kCD:
+		return Case5
+	default:
+		return Case6
+	}
+}
+
+// Parallelogram is the feature-space parallelogram (BC, BD, AD, AC) built
+// from the earlier data segment CD and the later data segment AB
+// (Lemma 3). It captures every feature point of an event with one end on
+// CD and the other on AB. If CD is zero-length (including the degenerate
+// self-pair construction, where CD is taken as the zero-length segment at
+// AB's start) the parallelogram collapses to a feature segment.
+type Parallelogram struct {
+	BC, BD, AD, AC Point
+	// Identifying timestamps of the two data segments:
+	// CD = ((TD, ·), (TC, ·)), AB = ((TB, ·), (TA, ·)).
+	TD, TC, TB, TA int64
+	Case           Case
+}
+
+// NewParallelogram builds the parallelogram for the pair (cd, ab). cd must
+// end no later than ab starts (t_C ≤ t_B). cd may be zero-length; its
+// slope is then taken to be ab's (the degenerate feature segment has ab's
+// slope, which is what the case analysis needs).
+func NewParallelogram(cd, ab segment.Segment) (Parallelogram, error) {
+	if cd.Te > ab.Ts {
+		return Parallelogram{}, fmt.Errorf("feature: CD ends at %d after AB starts at %d", cd.Te, ab.Ts)
+	}
+	if ab.Te <= ab.Ts {
+		return Parallelogram{}, fmt.Errorf("feature: AB has non-positive duration [%d,%d]", ab.Ts, ab.Te)
+	}
+	if cd.Te < cd.Ts {
+		return Parallelogram{}, fmt.Errorf("feature: CD has negative duration [%d,%d]", cd.Ts, cd.Te)
+	}
+	tD, vD := cd.Ts, cd.Vs
+	tC, vC := cd.Te, cd.Ve
+	tB, vB := ab.Ts, ab.Vs
+	tA, vA := ab.Te, ab.Ve
+
+	kAB := ab.Slope()
+	kCD := kAB
+	if cd.Te > cd.Ts {
+		kCD = cd.Slope()
+	}
+
+	return Parallelogram{
+		BC:   Point{Dt: tB - tC, Dv: vB - vC},
+		BD:   Point{Dt: tB - tD, Dv: vB - vD},
+		AD:   Point{Dt: tA - tD, Dv: vA - vD},
+		AC:   Point{Dt: tA - tC, Dv: vA - vC},
+		TD:   tD,
+		TC:   tC,
+		TB:   tB,
+		TA:   tA,
+		Case: Classify(kCD, kAB),
+	}, nil
+}
+
+// SelfPair builds the degenerate parallelogram summarizing all events
+// occurring within the single data segment ab: the feature segment from
+// (0, 0) to (Δt_AB, Δv_AB), encoded as a parallelogram whose CD is the
+// zero-length segment at ab's start. The identifying timestamps report
+// both intervals as the whole segment — a within-segment event starts and
+// ends anywhere on ab — matching the paper's result tuple for a pair of
+// identical segments.
+func SelfPair(ab segment.Segment) (Parallelogram, error) {
+	zero := segment.Segment{Ts: ab.Ts, Vs: ab.Vs, Te: ab.Ts, Ve: ab.Vs}
+	p, err := NewParallelogram(zero, ab)
+	if err != nil {
+		return Parallelogram{}, err
+	}
+	p.TD, p.TC, p.TB, p.TA = ab.Ts, ab.Te, ab.Ts, ab.Te
+	return p, nil
+}
+
+// Corners returns the four corners in the conventional order BC, BD, AD, AC
+// (a walk around the parallelogram's perimeter).
+func (p Parallelogram) Corners() [4]Point { return [4]Point{p.BC, p.BD, p.AD, p.AC} }
+
+// vertices returns the perimeter walk as float64 coordinates for the exact
+// geometric tests.
+func (p Parallelogram) vertices() [][2]float64 {
+	cs := p.Corners()
+	out := make([][2]float64, 0, 4)
+	for _, c := range cs {
+		out = append(out, [2]float64{float64(c.Dt), c.Dv})
+	}
+	return out
+}
+
+// Contains reports whether the feature point (dt, dv) lies inside the
+// parallelogram (boundary inclusive, with tolerance tol on Δv to absorb
+// floating-point error).
+func (p Parallelogram) Contains(dt, dv, tol float64) bool {
+	vs := p.vertices()
+	// The quadrilateral BC→BD→AD→AC is convex (it is a parallelogram,
+	// possibly degenerate). A point is inside iff it is on the same side
+	// of every directed edge, allowing zero cross products.
+	sign := 0
+	for i := 0; i < 4; i++ {
+		a, b := vs[i], vs[(i+1)%4]
+		ex, ey := b[0]-a[0], b[1]-a[1]
+		px, py := dt-a[0], dv-a[1]
+		cross := ex*py - ey*px
+		// Normalize tolerance by edge length scale.
+		scale := abs(ex) + abs(ey) + 1
+		switch {
+		case cross > tol*scale:
+			if sign < 0 {
+				return false
+			}
+			sign = 1
+		case cross < -tol*scale:
+			if sign > 0 {
+				return false
+			}
+			sign = -1
+		}
+	}
+	if sign != 0 {
+		return true
+	}
+	// All cross products vanished: the parallelogram is degenerate (a
+	// feature segment or a point) and (dt, dv) is on its supporting line.
+	// Require the point to lie within the bounding box of the vertices.
+	minX, maxX := vs[0][0], vs[0][0]
+	minY, maxY := vs[0][1], vs[0][1]
+	for _, v := range vs[1:] {
+		minX, maxX = min(minX, v[0]), max(maxX, v[0])
+		minY, maxY = min(minY, v[1]), max(maxY, v[1])
+	}
+	return dt >= minX-tol && dt <= maxX+tol && dv >= minY-tol && dv <= maxY+tol
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

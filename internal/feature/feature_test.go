@@ -1,0 +1,223 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"segdiff/internal/segment"
+)
+
+func TestClassifyTable2(t *testing.T) {
+	cases := []struct {
+		kCD, kAB float64
+		want     Case
+	}{
+		{1, -1, Case1},
+		{0, 0, Case1}, // boundary: routed to case 1
+		{1, 0, Case1}, // k_AB = 0
+		{0.5, 2, Case2},
+		{1, 1, Case2}, // k_AB = k_CD
+		{0, 1, Case2},
+		{2, 1, Case3}, // 0 < k_AB < k_CD
+		{5, 0.1, Case3},
+		{-1, 0, Case4},
+		{-1, 3, Case4},
+		{-1, -1, Case5}, // k_AB = k_CD < 0
+		{-1, -2, Case5},
+		{-2, -1, Case6}, // k_CD < k_AB < 0
+		{-5, -0.1, Case6},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.kCD, tc.kAB); got != tc.want {
+			t.Errorf("Classify(%v, %v) = %v, want %v", tc.kCD, tc.kAB, got, tc.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Drop.String() != "drop" || Jump.String() != "jump" {
+		t.Fatal("kind strings wrong")
+	}
+	if Case3.String() != "case3" {
+		t.Fatalf("case string %v", Case3.String())
+	}
+}
+
+func TestNewParallelogramCorners(t *testing.T) {
+	// CD from (0,1) to (10,3); AB from (20,5) to (30,2).
+	cd := segment.Segment{Ts: 0, Vs: 1, Te: 10, Ve: 3}
+	ab := segment.Segment{Ts: 20, Vs: 5, Te: 30, Ve: 2}
+	p, err := NewParallelogram(cd, ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BC != (Point{Dt: 10, Dv: 2}) { // t_B−t_C=10, v_B−v_C=2
+		t.Errorf("BC = %v", p.BC)
+	}
+	if p.BD != (Point{Dt: 20, Dv: 4}) {
+		t.Errorf("BD = %v", p.BD)
+	}
+	if p.AD != (Point{Dt: 30, Dv: 1}) {
+		t.Errorf("AD = %v", p.AD)
+	}
+	if p.AC != (Point{Dt: 20, Dv: -1}) {
+		t.Errorf("AC = %v", p.AC)
+	}
+	// k_CD = 0.2 ≥ 0, k_AB = −0.3 ≤ 0 → case 1.
+	if p.Case != Case1 {
+		t.Errorf("case = %v", p.Case)
+	}
+	if p.TD != 0 || p.TC != 10 || p.TB != 20 || p.TA != 30 {
+		t.Errorf("timestamps %d %d %d %d", p.TD, p.TC, p.TB, p.TA)
+	}
+}
+
+func TestNewParallelogramRejectsBadPairs(t *testing.T) {
+	ab := segment.Segment{Ts: 0, Vs: 0, Te: 10, Ve: 1}
+	cd := segment.Segment{Ts: 5, Vs: 0, Te: 15, Ve: 1} // overlaps AB
+	if _, err := NewParallelogram(cd, ab); err == nil {
+		t.Fatal("overlapping pair accepted")
+	}
+	zeroAB := segment.Segment{Ts: 10, Vs: 0, Te: 10, Ve: 0}
+	if _, err := NewParallelogram(segment.Segment{Ts: 0, Vs: 0, Te: 5, Ve: 0}, zeroAB); err == nil {
+		t.Fatal("zero-length AB accepted")
+	}
+	negCD := segment.Segment{Ts: 8, Vs: 0, Te: 5, Ve: 0}
+	if _, err := NewParallelogram(negCD, segment.Segment{Ts: 9, Vs: 0, Te: 12, Ve: 1}); err == nil {
+		t.Fatal("negative-duration CD accepted")
+	}
+}
+
+// randomPair generates a valid (cd, ab) pair with continuous random values.
+func randomPair(rng *rand.Rand) (cd, ab segment.Segment) {
+	tD := rng.Int63n(1000)
+	lenCD := 1 + rng.Int63n(200)
+	gap := rng.Int63n(100) // 0 means adjacent
+	lenAB := 1 + rng.Int63n(200)
+	cd = segment.Segment{
+		Ts: tD, Vs: rng.NormFloat64() * 5,
+		Te: tD + lenCD, Ve: rng.NormFloat64() * 5,
+	}
+	ab = segment.Segment{
+		Ts: cd.Te + gap, Vs: rng.NormFloat64() * 5,
+		Te: cd.Te + gap + lenAB, Ve: rng.NormFloat64() * 5,
+	}
+	return cd, ab
+}
+
+// Lemma 3: the feature point of an event with one end on CD and the other
+// on AB lies inside the parallelogram.
+func TestLemma3Containment(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cd, ab := randomPair(rng)
+		p, err := NewParallelogram(cd, ab)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 50; k++ {
+			t1 := cd.Ts + rng.Int63n(cd.Te-cd.Ts+1)
+			t2 := ab.Ts + rng.Int63n(ab.Te-ab.Ts+1)
+			dv := ab.Value(t2) - cd.Value(t1)
+			dt := t2 - t1
+			if !p.Contains(float64(dt), dv, 1e-9) {
+				t.Logf("seed %d: point (%d, %v) outside parallelogram %+v", seed, dt, dv, p)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The converse sanity check: points well outside the parallelogram's
+// bounding box are not contained.
+func TestContainsRejectsFarPoints(t *testing.T) {
+	cd := segment.Segment{Ts: 0, Vs: 0, Te: 10, Ve: 1}
+	ab := segment.Segment{Ts: 15, Vs: 2, Te: 25, Ve: 0}
+	p, err := NewParallelogram(cd, ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Contains(1000, 0, 1e-9) {
+		t.Error("far Δt contained")
+	}
+	if p.Contains(10, 100, 1e-9) {
+		t.Error("far Δv contained")
+	}
+	if p.Contains(-5, 0, 1e-9) {
+		t.Error("negative Δt contained")
+	}
+}
+
+// SelfPair must contain exactly the within-segment events and reject
+// points off the feature segment.
+func TestSelfPair(t *testing.T) {
+	ab := segment.Segment{Ts: 100, Vs: 5, Te: 200, Ve: 1}
+	p, err := SelfPair(ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within-segment event from t1 to t2 (t2 > t1): Δv = slope·Δt.
+	for _, dt := range []int64{0, 10, 50, 100} {
+		dv := ab.Slope() * float64(dt)
+		if !p.Contains(float64(dt), dv, 1e-9) {
+			t.Errorf("within-segment event (%d, %v) not contained", dt, dv)
+		}
+	}
+	if p.Contains(50, 0, 1e-9) {
+		t.Error("off-line point contained in degenerate parallelogram")
+	}
+	if p.Contains(150, ab.Slope()*150, 1e-9) {
+		t.Error("Δt beyond segment length contained")
+	}
+}
+
+func TestSelfPairZeroLengthRejected(t *testing.T) {
+	if _, err := SelfPair(segment.Segment{Ts: 5, Vs: 1, Te: 5, Ve: 1}); err == nil {
+		t.Fatal("zero-length self pair accepted")
+	}
+}
+
+// The perimeter walk BC→BD→AD→AC must form a parallelogram: BD−BC equals
+// AD−AC (the CD vector) and AC−BC equals AD−BD (the AB vector).
+func TestParallelogramShape(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cd, ab := randomPair(rng)
+		p, err := NewParallelogram(cd, ab)
+		if err != nil {
+			return false
+		}
+		if p.BD.Dt-p.BC.Dt != p.AD.Dt-p.AC.Dt {
+			return false
+		}
+		if math.Abs((p.BD.Dv-p.BC.Dv)-(p.AD.Dv-p.AC.Dv)) > 1e-9 {
+			return false
+		}
+		if p.AC.Dt-p.BC.Dt != p.AD.Dt-p.BD.Dt {
+			return false
+		}
+		if math.Abs((p.AC.Dv-p.BC.Dv)-(p.AD.Dv-p.BD.Dv)) > 1e-9 {
+			return false
+		}
+		// Feature segment (BC,BD) has CD's time span and slope (Lemma 3).
+		if p.BD.Dt-p.BC.Dt != cd.Duration() {
+			return false
+		}
+		if cd.Duration() > 0 {
+			slope := (p.BD.Dv - p.BC.Dv) / float64(p.BD.Dt-p.BC.Dt)
+			if math.Abs(slope-cd.Slope()) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

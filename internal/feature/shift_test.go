@@ -1,0 +1,56 @@
+package feature
+
+import (
+	"testing"
+
+	"segdiff/internal/segment"
+	"segdiff/internal/timeseries"
+)
+
+// A2 ablation as a test: Lemma 4's ε-shift is what makes the framework
+// lossless. With the shift disabled, a true event hidden by segmentation
+// error is missed; with it, the event is found.
+func TestNoFalseNegativesRequiresShift(t *testing.T) {
+	// Segmentation with ε = 0.5 flattens this small bump into one segment
+	// (max deviation 0.24 ≤ ε/2), so the true drop of 0.24 from the bump's
+	// top to the end is invisible in the approximation itself.
+	s := timeseries.MustNew([]timeseries.Point{
+		{T: 0, V: 0}, {T: 10, V: 0.24}, {T: 20, V: 0},
+	})
+	const eps = 0.5
+	segs, err := segment.Series(s, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("expected the bump to be flattened into 1 segment, got %d", len(segs))
+	}
+
+	region, err := NewRegion(Drop, 20, -0.2) // the true event: Δv = −0.24 ≤ −0.2
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesWith := func(shiftEps float64) bool {
+		p, err := SelfPair(segs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs, err := ExtractBoundaries(p, shiftEps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range bs {
+			if region.MatchesBoundary(b) {
+				return true
+			}
+		}
+		return false
+	}
+
+	if matchesWith(0) {
+		t.Fatal("unshifted boundaries matched; the scenario no longer exercises the shift")
+	}
+	if !matchesWith(eps) {
+		t.Fatal("ε-shifted boundaries missed a true event: Lemma 4 violated")
+	}
+}

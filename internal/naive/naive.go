@@ -1,0 +1,203 @@
+// Package naive implements the paper's "naive approach": direct search
+// over the raw series by comparing pairs of observations. It serves two
+// roles:
+//
+//   - the brute-force baseline the introduction dismisses as too slow, and
+//   - the ground-truth oracle for the framework's quality guarantees
+//     (Theorem 1): Events enumerates true events among sampled
+//     observations, and ExtremeChange computes the exact extreme change
+//     achievable between two time intervals under the data generating
+//     model G — used to verify that every returned segment pair really
+//     contains an event within the 2ε tolerance.
+package naive
+
+import (
+	"fmt"
+	"math"
+
+	"segdiff/internal/timeseries"
+)
+
+// Event is a true event between two observation times: Δv = V2 − V1 over
+// Δt = T2 − T1.
+type Event struct {
+	T1, T2 int64
+	Dv     float64
+}
+
+// Drops scans the sampled observations of s and returns every event with
+// 0 < Δt ≤ T and Δv ≤ V (V < 0). It is O(n·k) where k is the number of
+// samples per T window.
+func Drops(s *timeseries.Series, T int64, V float64) ([]Event, error) {
+	if T <= 0 || V >= 0 {
+		return nil, fmt.Errorf("naive: drop search requires T > 0 and V < 0 (got T=%d, V=%v)", T, V)
+	}
+	return scan(s, T, func(dv float64) bool { return dv <= V }), nil
+}
+
+// Jumps scans for events with 0 < Δt ≤ T and Δv ≥ V (V > 0).
+func Jumps(s *timeseries.Series, T int64, V float64) ([]Event, error) {
+	if T <= 0 || V <= 0 {
+		return nil, fmt.Errorf("naive: jump search requires T > 0 and V > 0 (got T=%d, V=%v)", T, V)
+	}
+	return scan(s, T, func(dv float64) bool { return dv >= V }), nil
+}
+
+func scan(s *timeseries.Series, T int64, match func(float64) bool) []Event {
+	pts := s.Points()
+	var out []Event
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts) && pts[j].T-pts[i].T <= T; j++ {
+			dv := pts[j].V - pts[i].V
+			if match(dv) {
+				out = append(out, Event{T1: pts[i].T, T2: pts[j].T, Dv: dv})
+			}
+		}
+	}
+	return out
+}
+
+// ExtremeChange computes, exactly under model G, the extreme value of
+// v(t″) − v(t′) subject to t′ ∈ [a1, b1], t″ ∈ [a2, b2], 0 < t″ − t′ ≤ T.
+// For drop (min=true) it returns the minimum change; for jump the maximum.
+// ok is false when the constraint set is empty. The intervals must lie
+// within the series' time range.
+//
+// Because v is piecewise linear, the objective restricted to the feasible
+// polygon attains its extreme at a point where t′ and t″ are each at a
+// breakpoint of v, an interval endpoint, or on the active constraint
+// t″ − t′ = T with the other coordinate at such a point — exactly the
+// candidate set enumerated here.
+func ExtremeChange(s *timeseries.Series, a1, b1, a2, b2, T int64, min bool) (float64, bool, error) {
+	if a1 > b1 || a2 > b2 {
+		return 0, false, fmt.Errorf("naive: inverted interval")
+	}
+	if T <= 0 {
+		return 0, false, fmt.Errorf("naive: non-positive T")
+	}
+	if a1 < s.Start() || b1 > s.End() || a2 < s.Start() || b2 > s.End() {
+		return 0, false, fmt.Errorf("naive: interval outside series range")
+	}
+
+	// Candidate t′ values: breakpoints and endpoints of [a1,b1], plus
+	// t″ − T for each candidate t″ in [a2,b2].
+	cand1 := candidates(s, a1, b1)
+	cand2 := candidates(s, a2, b2)
+	for _, t2 := range cand2 {
+		if c := t2 - T; c >= a1 && c <= b1 {
+			cand1 = append(cand1, c)
+		}
+	}
+	// And symmetric: t′ + T for each candidate t′.
+	extra2 := make([]int64, 0, len(cand1))
+	for _, t1 := range cand1 {
+		if c := t1 + T; c >= a2 && c <= b2 {
+			extra2 = append(extra2, c)
+		}
+	}
+	cand2 = append(cand2, extra2...)
+
+	best := math.Inf(1)
+	if !min {
+		best = math.Inf(-1)
+	}
+	found := false
+	for _, t1 := range cand1 {
+		v1, err := s.Value(t1)
+		if err != nil {
+			return 0, false, err
+		}
+		// For fixed t1 the feasible t2 range is [max(a2, t1+1), min(b2, t1+T)]
+		// (Δt > 0 means t2 > t1; timestamps are integral so t2 ≥ t1+1).
+		lo := max64(a2, t1+1)
+		hi := min64(b2, t1+T)
+		if lo > hi {
+			continue
+		}
+		v2, err := extremeValue(s, lo, hi, min)
+		if err != nil {
+			return 0, false, err
+		}
+		d := v2 - v1
+		if min && d < best || !min && d > best {
+			best = d
+		}
+		found = true
+	}
+	// Also evaluate with t2 fixed at its candidates (t1 optimized), to
+	// cover extremes where t2 is at a vertex.
+	for _, t2 := range cand2 {
+		v2, err := s.Value(t2)
+		if err != nil {
+			return 0, false, err
+		}
+		lo := max64(a1, t2-T)
+		hi := min64(b1, t2-1)
+		if lo > hi {
+			continue
+		}
+		// Extreme of v2 − v1: minimize d ⇒ maximize v1.
+		v1, err := extremeValue(s, lo, hi, !min)
+		if err != nil {
+			return 0, false, err
+		}
+		d := v2 - v1
+		if min && d < best || !min && d > best {
+			best = d
+		}
+		found = true
+	}
+	return best, found, nil
+}
+
+// candidates returns the sample breakpoints within [lo, hi] plus the
+// interval endpoints.
+func candidates(s *timeseries.Series, lo, hi int64) []int64 {
+	out := []int64{lo, hi}
+	for _, p := range s.Slice(lo, hi).Points() {
+		out = append(out, p.T)
+	}
+	return out
+}
+
+// extremeValue returns the exact min (or max) of model G over [lo, hi].
+func extremeValue(s *timeseries.Series, lo, hi int64, min bool) (float64, error) {
+	vLo, err := s.Value(lo)
+	if err != nil {
+		return 0, err
+	}
+	vHi, err := s.Value(hi)
+	if err != nil {
+		return 0, err
+	}
+	best := vLo
+	better := func(v float64) bool {
+		if min {
+			return v < best
+		}
+		return v > best
+	}
+	if better(vHi) {
+		best = vHi
+	}
+	for _, p := range s.Slice(lo, hi).Points() {
+		if better(p.V) {
+			best = p.V
+		}
+	}
+	return best, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

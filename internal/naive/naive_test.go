@@ -1,0 +1,211 @@
+package naive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"segdiff/internal/timeseries"
+)
+
+func series(t *testing.T, pts []timeseries.Point) *timeseries.Series {
+	t.Helper()
+	s, err := timeseries.New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDropsBasic(t *testing.T) {
+	s := series(t, []timeseries.Point{
+		{T: 0, V: 10}, {T: 100, V: 9}, {T: 200, V: 4}, {T: 300, V: 5},
+	})
+	// Drop of ≥5 within 200: (0→200) = −6, (100→200) = −5.
+	evs, err := Drops(s, 200, -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("events = %+v", evs)
+	}
+	for _, e := range evs {
+		if e.Dv > -5 || e.T2-e.T1 > 200 || e.T2 <= e.T1 {
+			t.Fatalf("bad event %+v", e)
+		}
+	}
+	// With T=100 only (100→200) qualifies.
+	evs, err = Drops(s, 100, -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].T1 != 100 {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestJumpsBasic(t *testing.T) {
+	s := series(t, []timeseries.Point{{T: 0, V: 0}, {T: 50, V: 4}, {T: 100, V: 1}})
+	evs, err := Jumps(s, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].T2 != 50 || evs[0].Dv != 4 {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := series(t, []timeseries.Point{{T: 0, V: 0}, {T: 10, V: 1}})
+	if _, err := Drops(s, 0, -1); err == nil {
+		t.Fatal("T=0 accepted")
+	}
+	if _, err := Drops(s, 10, 1); err == nil {
+		t.Fatal("positive V accepted for drops")
+	}
+	if _, err := Jumps(s, 10, -1); err == nil {
+		t.Fatal("negative V accepted for jumps")
+	}
+}
+
+func TestExtremeChangeSimple(t *testing.T) {
+	// V shape: 0 → −10 at t=100 → 0 at t=200.
+	s := series(t, []timeseries.Point{{T: 0, V: 0}, {T: 100, V: -10}, {T: 200, V: 0}})
+	// Biggest drop from [0,50] into [60,150] within T=150: from v(0)=0
+	// down to v(100)=−10 ⇒ −10.
+	d, ok, err := ExtremeChange(s, 0, 50, 60, 150, 150, true)
+	if err != nil || !ok {
+		t.Fatalf("err=%v ok=%v", err, ok)
+	}
+	if d != -10 {
+		t.Fatalf("extreme drop = %v", d)
+	}
+	// Biggest jump from [60,150] into [150,200] within T=200: from −10 up
+	// to v(200)=0 ⇒ +10... t′ ∈ [60,150] lowest is −10 at 100; t″ up to 200.
+	j, ok, err := ExtremeChange(s, 60, 150, 150, 200, 200, false)
+	if err != nil || !ok {
+		t.Fatalf("err=%v ok=%v", err, ok)
+	}
+	if j != 10 {
+		t.Fatalf("extreme jump = %v", j)
+	}
+}
+
+func TestExtremeChangeRespectsT(t *testing.T) {
+	// Linear fall of slope −0.1/unit: drop within T is exactly 0.1·T.
+	s := series(t, []timeseries.Point{{T: 0, V: 100}, {T: 1000, V: 0}})
+	d, ok, err := ExtremeChange(s, 0, 1000, 0, 1000, 200, true)
+	if err != nil || !ok {
+		t.Fatalf("err=%v ok=%v", err, ok)
+	}
+	if math.Abs(d-(-20)) > 1e-9 {
+		t.Fatalf("T-limited drop = %v, want -20", d)
+	}
+}
+
+func TestExtremeChangeEmpty(t *testing.T) {
+	s := series(t, []timeseries.Point{{T: 0, V: 0}, {T: 1000, V: 1}})
+	// Second interval entirely more than T after the first.
+	_, ok, err := ExtremeChange(s, 0, 10, 500, 600, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("infeasible constraint set reported ok")
+	}
+	if _, _, err := ExtremeChange(s, 10, 0, 0, 10, 100, true); err == nil {
+		t.Fatal("inverted interval accepted")
+	}
+	if _, _, err := ExtremeChange(s, -5, 10, 0, 10, 100, true); err == nil {
+		t.Fatal("out-of-range interval accepted")
+	}
+	if _, _, err := ExtremeChange(s, 0, 10, 0, 10, 0, true); err == nil {
+		t.Fatal("T=0 accepted")
+	}
+}
+
+// Differential test: ExtremeChange must match a dense grid search.
+func TestExtremeChangeAgainstGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		pts := make([]timeseries.Point, 12)
+		tt := int64(0)
+		for i := range pts {
+			tt += 5 + rng.Int63n(20)
+			pts[i] = timeseries.Point{T: tt, V: rng.NormFloat64() * 10}
+		}
+		s := series(t, pts)
+		a1 := s.Start() + rng.Int63n(s.Span()/2)
+		b1 := a1 + rng.Int63n(s.Span()/4)
+		a2 := b1 + rng.Int63n(20)
+		b2 := a2 + rng.Int63n(s.Span()/4)
+		if b1 > s.End() || b2 > s.End() {
+			continue
+		}
+		T := 10 + rng.Int63n(s.Span())
+		got, ok, err := ExtremeChange(s, a1, b1, a2, b2, T, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Grid search at unit resolution.
+		best := math.Inf(1)
+		found := false
+		for t1 := a1; t1 <= b1; t1++ {
+			v1, err := s.Value(t1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for t2 := max64(a2, t1+1); t2 <= min64(b2, t1+T); t2++ {
+				v2, err := s.Value(t2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := v2 - v1; d < best {
+					best = d
+				}
+				found = true
+			}
+		}
+		if ok != found {
+			t.Fatalf("trial %d: feasibility mismatch (got %v, grid %v)", trial, ok, found)
+		}
+		if !ok {
+			continue
+		}
+		if math.Abs(got-best) > 1e-9 {
+			t.Fatalf("trial %d: extreme %v, grid %v", trial, got, best)
+		}
+	}
+}
+
+// The oracle scan itself: property that no qualifying pair is missed,
+// cross-checked against an independent double loop.
+func TestScanCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]timeseries.Point, 60)
+	tt := int64(0)
+	for i := range pts {
+		tt += 1 + rng.Int63n(10)
+		pts[i] = timeseries.Point{T: tt, V: rng.NormFloat64() * 4}
+	}
+	s := series(t, pts)
+	const T, V = 50, -3.0
+	evs, err := Drops(s, T, V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := map[[2]int64]bool{}
+	for _, e := range evs {
+		set[[2]int64{e.T1, e.T2}] = true
+	}
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			dt := pts[j].T - pts[i].T
+			dv := pts[j].V - pts[i].V
+			want := dt > 0 && dt <= T && dv <= V
+			if want != set[[2]int64{pts[i].T, pts[j].T}] {
+				t.Fatalf("pair (%d,%d): want %v", pts[i].T, pts[j].T, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package segment implements the online sliding-window piecewise linear
+// segmentation the paper uses (Section 4.1): the generic online sliding
+// window algorithm of Keogh, Chu, Hart and Pazzani (ICDM 2001, Section 2.1)
+// with *linear interpolation* as the approximation and a maximum-error
+// criterion of ε/2, so that the resulting piecewise linear function f
+// satisfies |f(t) − v| ≤ ε/2 at every sample (and, by Lemma 1, at every
+// point of the data generating model G).
+//
+// Consecutive output segments share endpoints: the end observation of one
+// segment is the start observation of the next, as required by the feature
+// extraction procedure (Algorithm 1).
+package segment
+
+import (
+	"fmt"
+	"math"
+
+	"segdiff/internal/timeseries"
+)
+
+// Segment is a data segment ((Ts, Vs), (Te, Ve)): the piece of the
+// piecewise linear approximation from its start observation to its end
+// observation. In the paper's notation a segment AB has B = start and
+// A = end (timestamps increase from B to A).
+type Segment struct {
+	Ts int64   // start timestamp
+	Vs float64 // value at Ts
+	Te int64   // end timestamp
+	Ve float64 // value at Te
+}
+
+// Slope returns the segment's slope in value units per time unit.
+func (g Segment) Slope() float64 {
+	return (g.Ve - g.Vs) / float64(g.Te-g.Ts)
+}
+
+// Duration returns Te − Ts.
+func (g Segment) Duration() int64 { return g.Te - g.Ts }
+
+// Value evaluates the segment's line at time t (which should lie within
+// [Ts, Te], though this is not enforced).
+func (g Segment) Value(t int64) float64 {
+	if g.Te == g.Ts {
+		return g.Vs
+	}
+	return g.Vs + (g.Ve-g.Vs)*float64(t-g.Ts)/float64(g.Te-g.Ts)
+}
+
+func (g Segment) String() string {
+	return fmt.Sprintf("seg[(%d,%.3f)->(%d,%.3f)]", g.Ts, g.Vs, g.Te, g.Ve)
+}
+
+// Segmenter consumes observations one at a time and emits data segments
+// online. Emit is called with each finalized segment as soon as it is
+// known; Close flushes the final partial segment.
+type Segmenter struct {
+	maxErr float64 // ε/2
+	emit   func(Segment) error
+
+	buf    []timeseries.Point // current window, buf[0] is the anchor
+	closed bool
+
+	// Stats.
+	nPoints   int
+	nSegments int
+}
+
+// NewSegmenter returns a Segmenter with error tolerance ε (the emitted
+// piecewise linear approximation deviates from the input by at most ε/2).
+// emit receives each finalized segment in temporal order.
+func NewSegmenter(epsilon float64, emit func(Segment) error) (*Segmenter, error) {
+	if epsilon < 0 || math.IsNaN(epsilon) || math.IsInf(epsilon, 0) {
+		return nil, fmt.Errorf("segment: invalid epsilon %v", epsilon)
+	}
+	if emit == nil {
+		return nil, fmt.Errorf("segment: nil emit callback")
+	}
+	return &Segmenter{maxErr: epsilon / 2, emit: emit}, nil
+}
+
+// Push adds one observation. Observations must arrive with strictly
+// increasing timestamps.
+func (sg *Segmenter) Push(p timeseries.Point) error {
+	if sg.closed {
+		return fmt.Errorf("segment: push after Close")
+	}
+	if n := len(sg.buf); n > 0 && p.T <= sg.buf[n-1].T {
+		return fmt.Errorf("segment: out-of-order timestamp %d after %d", p.T, sg.buf[n-1].T)
+	}
+	if math.IsNaN(p.V) || math.IsInf(p.V, 0) {
+		return fmt.Errorf("segment: non-finite value at t=%d", p.T)
+	}
+	sg.nPoints++
+	sg.buf = append(sg.buf, p)
+	if len(sg.buf) <= 2 {
+		return nil // a two-point window is always exact
+	}
+	if sg.fits(sg.buf) {
+		return nil
+	}
+	// The window no longer fits: finalize the segment ending at the
+	// previous point and restart the window there (shared endpoint).
+	last := len(sg.buf) - 1
+	if err := sg.finalize(sg.buf[0], sg.buf[last-1]); err != nil {
+		return err
+	}
+	// Keep the new anchor and the point that broke the window.
+	sg.buf[0] = sg.buf[last-1]
+	sg.buf[1] = sg.buf[last]
+	sg.buf = sg.buf[:2]
+	return nil
+}
+
+// fits reports whether the line interpolating the first and last points of
+// win approximates every interior point within maxErr.
+func (sg *Segmenter) fits(win []timeseries.Point) bool {
+	a, b := win[0], win[len(win)-1]
+	seg := Segment{Ts: a.T, Vs: a.V, Te: b.T, Ve: b.V}
+	for _, p := range win[1 : len(win)-1] {
+		if math.Abs(seg.Value(p.T)-p.V) > sg.maxErr {
+			return false
+		}
+	}
+	return true
+}
+
+func (sg *Segmenter) finalize(a, b timeseries.Point) error {
+	sg.nSegments++
+	return sg.emit(Segment{Ts: a.T, Vs: a.V, Te: b.T, Ve: b.V})
+}
+
+// Close flushes the trailing partial segment (if the window holds at least
+// two points) and marks the segmenter finished. Close is idempotent.
+func (sg *Segmenter) Close() error {
+	if sg.closed {
+		return nil
+	}
+	sg.closed = true
+	if len(sg.buf) >= 2 {
+		if err := sg.finalize(sg.buf[0], sg.buf[len(sg.buf)-1]); err != nil {
+			return err
+		}
+	}
+	sg.buf = nil
+	return nil
+}
+
+// Stats reports the number of observations consumed and segments emitted.
+func (sg *Segmenter) Stats() (points, segments int) {
+	return sg.nPoints, sg.nSegments
+}
+
+// CompressionRate returns r, the average number of observations represented
+// by one data segment (paper Table 1). It is 0 before any segment is
+// emitted.
+func (sg *Segmenter) CompressionRate() float64 {
+	if sg.nSegments == 0 {
+		return 0
+	}
+	return float64(sg.nPoints) / float64(sg.nSegments)
+}
+
+// Series segments a whole series at once and returns the segment list.
+func Series(s *timeseries.Series, epsilon float64) ([]Segment, error) {
+	var out []Segment
+	sg, err := NewSegmenter(epsilon, func(g Segment) error {
+		out = append(out, g)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range s.Points() {
+		if err := sg.Push(p); err != nil {
+			return nil, err
+		}
+	}
+	if err := sg.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Approximation evaluates the piecewise linear approximation defined by
+// contiguous segments at time t. Segments must be in temporal order.
+func Approximation(segs []Segment, t int64) (float64, error) {
+	for _, g := range segs {
+		if t >= g.Ts && t <= g.Te {
+			return g.Value(t), nil
+		}
+	}
+	return 0, fmt.Errorf("segment: t=%d outside approximation range", t)
+}

@@ -1,0 +1,301 @@
+package segment
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"segdiff/internal/synth"
+	"segdiff/internal/timeseries"
+)
+
+func mustSeries(t *testing.T, pts []timeseries.Point) *timeseries.Series {
+	t.Helper()
+	s, err := timeseries.New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSegmentValueAndSlope(t *testing.T) {
+	g := Segment{Ts: 0, Vs: 0, Te: 10, Ve: 5}
+	if g.Slope() != 0.5 {
+		t.Fatalf("slope = %v", g.Slope())
+	}
+	if g.Value(4) != 2 {
+		t.Fatalf("value(4) = %v", g.Value(4))
+	}
+	if g.Duration() != 10 {
+		t.Fatalf("duration = %v", g.Duration())
+	}
+	zero := Segment{Ts: 5, Vs: 3, Te: 5, Ve: 3}
+	if zero.Value(5) != 3 {
+		t.Fatalf("degenerate value = %v", zero.Value(5))
+	}
+}
+
+func TestLinearSeriesOneSegment(t *testing.T) {
+	pts := make([]timeseries.Point, 100)
+	for i := range pts {
+		pts[i] = timeseries.Point{T: int64(i) * 10, V: float64(i) * 0.5}
+	}
+	segs, err := Series(mustSeries(t, pts), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("perfectly linear data produced %d segments", len(segs))
+	}
+	if segs[0].Ts != 0 || segs[0].Te != 990 {
+		t.Fatalf("segment bounds %v", segs[0])
+	}
+}
+
+func TestZeroEpsilonExactBreaks(t *testing.T) {
+	// A V shape with zero tolerance must break exactly at the corner.
+	pts := []timeseries.Point{{T: 0, V: 0}, {T: 10, V: -10}, {T: 20, V: 0}}
+	segs, err := Series(mustSeries(t, pts), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("V shape with eps=0 produced %d segments: %v", len(segs), segs)
+	}
+	if segs[0].Te != 10 || segs[1].Ts != 10 {
+		t.Fatalf("break point wrong: %v", segs)
+	}
+}
+
+func TestSegmentsAreContiguous(t *testing.T) {
+	s, _, err := synth.Generate(synth.Config{Seed: 4, Duration: 5 * synth.SecondsPerDay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := Series(s, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("only %d segments", len(segs))
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Ts != segs[i-1].Te || segs[i].Vs != segs[i-1].Ve {
+			t.Fatalf("segments %d,%d not contiguous: %v | %v", i-1, i, segs[i-1], segs[i])
+		}
+	}
+	if segs[0].Ts != s.Start() || segs[len(segs)-1].Te != s.End() {
+		t.Fatal("approximation does not span the series")
+	}
+}
+
+// Lemma 1 (at samples): |f(t_i) − v_i| ≤ ε/2 for every observation.
+func TestLemma1ErrorBoundAtSamples(t *testing.T) {
+	for _, eps := range []float64{0.1, 0.2, 0.4, 0.8, 1.0} {
+		s, _, err := synth.Generate(synth.Config{Seed: 17, Duration: 10 * synth.SecondsPerDay})
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs, err := Series(s, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range s.Points() {
+			f, err := Approximation(segs, p.T)
+			if err != nil {
+				t.Fatalf("eps=%v: %v", eps, err)
+			}
+			if math.Abs(f-p.V) > eps/2+1e-9 {
+				t.Fatalf("eps=%v: |f-v|=%v at t=%d exceeds eps/2", eps, math.Abs(f-p.V), p.T)
+			}
+		}
+	}
+}
+
+// Lemma 1 (full model G): sample G between observations too.
+func TestLemma1ErrorBoundOnModelG(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	pts := make([]timeseries.Point, 200)
+	tt := int64(0)
+	for i := range pts {
+		tt += 1 + rng.Int63n(20)
+		pts[i] = timeseries.Point{T: tt, V: rng.NormFloat64() * 3}
+	}
+	s := mustSeries(t, pts)
+	const eps = 0.5
+	segs, err := Series(s, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tm := s.Start(); tm <= s.End(); tm++ {
+		v, err := s.Value(tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Approximation(segs, tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(f-v) > eps/2+1e-9 {
+			t.Fatalf("model G violated at t=%d: |f-v|=%v", tm, math.Abs(f-v))
+		}
+	}
+}
+
+func TestCompressionRateGrowsWithEpsilon(t *testing.T) {
+	s, _, err := synth.Generate(synth.Config{Seed: 23, Duration: 20 * synth.SecondsPerDay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, eps := range []float64{0.1, 0.4, 1.0} {
+		segs, err := Series(s, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := float64(s.Len()) / float64(len(segs))
+		if r <= prev {
+			t.Fatalf("compression rate not increasing: r(%v)=%v <= %v", eps, r, prev)
+		}
+		prev = r
+	}
+	if prev < 2 {
+		t.Fatalf("compression rate at eps=1.0 implausibly low: %v", prev)
+	}
+}
+
+func TestSegmenterStats(t *testing.T) {
+	var segs []Segment
+	sg, err := NewSegmenter(0.5, func(g Segment) error { segs = append(segs, g); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		v := 0.0
+		if i >= 5 {
+			v = float64(i-4) * 10
+		}
+		if err := sg.Push(timeseries.Point{T: int64(i), V: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pN, sN := sg.Stats()
+	if pN != 10 || sN != len(segs) || sN == 0 {
+		t.Fatalf("stats = %d,%d segs=%d", pN, sN, len(segs))
+	}
+	if got := sg.CompressionRate(); got != float64(pN)/float64(sN) {
+		t.Fatalf("compression rate %v", got)
+	}
+}
+
+func TestSegmenterErrors(t *testing.T) {
+	if _, err := NewSegmenter(-1, func(Segment) error { return nil }); err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+	if _, err := NewSegmenter(math.NaN(), func(Segment) error { return nil }); err == nil {
+		t.Fatal("NaN epsilon accepted")
+	}
+	if _, err := NewSegmenter(1, nil); err == nil {
+		t.Fatal("nil emit accepted")
+	}
+	sg, _ := NewSegmenter(1, func(Segment) error { return nil })
+	if err := sg.Push(timeseries.Point{T: 5, V: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sg.Push(timeseries.Point{T: 5, V: 1}); err == nil {
+		t.Fatal("duplicate timestamp accepted")
+	}
+	if err := sg.Push(timeseries.Point{T: 6, V: math.NaN()}); err == nil {
+		t.Fatal("NaN value accepted")
+	}
+	if err := sg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sg.Push(timeseries.Point{T: 7, V: 0}); err == nil {
+		t.Fatal("push after close accepted")
+	}
+	if err := sg.Close(); err != nil {
+		t.Fatal("second close should be nil")
+	}
+}
+
+func TestEmitErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	sg, _ := NewSegmenter(0, func(Segment) error { return boom })
+	_ = sg.Push(timeseries.Point{T: 0, V: 0})
+	_ = sg.Push(timeseries.Point{T: 1, V: 0})
+	if err := sg.Push(timeseries.Point{T: 2, V: 100}); !errors.Is(err, boom) {
+		t.Fatalf("push err = %v", err)
+	}
+	sg2, _ := NewSegmenter(0, func(Segment) error { return boom })
+	_ = sg2.Push(timeseries.Point{T: 0, V: 0})
+	_ = sg2.Push(timeseries.Point{T: 1, V: 0})
+	if err := sg2.Close(); !errors.Is(err, boom) {
+		t.Fatalf("close err = %v", err)
+	}
+}
+
+func TestShortInputs(t *testing.T) {
+	if segs, err := Series(&timeseries.Series{}, 0.2); err != nil || len(segs) != 0 {
+		t.Fatalf("empty: %v %v", segs, err)
+	}
+	one := mustSeries(t, []timeseries.Point{{T: 0, V: 1}})
+	if segs, err := Series(one, 0.2); err != nil || len(segs) != 0 {
+		t.Fatalf("single point: %v %v", segs, err)
+	}
+	two := mustSeries(t, []timeseries.Point{{T: 0, V: 1}, {T: 5, V: 2}})
+	segs, err := Series(two, 0.2)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("two points: %v %v", segs, err)
+	}
+}
+
+func TestApproximationOutOfRange(t *testing.T) {
+	segs := []Segment{{Ts: 0, Vs: 0, Te: 10, Ve: 1}}
+	if _, err := Approximation(segs, 11); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+}
+
+// Property: for random series and random ε, the approximation error at all
+// samples is within ε/2 and segments are contiguous.
+func TestQuickSegmentationInvariants(t *testing.T) {
+	f := func(seed int64, epsRaw uint8) bool {
+		eps := float64(epsRaw%100)/50 + 0.01 // (0.01, 2.01)
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]timeseries.Point, 80)
+		tt := int64(0)
+		for i := range pts {
+			tt += 1 + rng.Int63n(10)
+			pts[i] = timeseries.Point{T: tt, V: rng.NormFloat64() * 5}
+		}
+		s, err := timeseries.New(pts)
+		if err != nil {
+			return false
+		}
+		segs, err := Series(s, eps)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(segs); i++ {
+			if segs[i].Ts != segs[i-1].Te {
+				return false
+			}
+		}
+		for _, p := range pts {
+			f, err := Approximation(segs, p.T)
+			if err != nil || math.Abs(f-p.V) > eps/2+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

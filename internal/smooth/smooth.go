@@ -1,0 +1,197 @@
+// Package smooth implements the preprocessing step of the paper's
+// evaluation: "The data are preprocessed by a smoothing method with robust
+// weights so that anomalies are removed."
+//
+// Robust implements a LOESS-style local linear smoother with a tricube
+// kernel over a fixed time bandwidth, iterated with bisquare robustness
+// weights so isolated anomaly spikes receive near-zero weight and are
+// effectively removed, while genuine sharp drops spanning several samples
+// (the CAD events being searched for) are preserved.
+//
+// MovingMedian is a simpler alternative robust filter.
+package smooth
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"segdiff/internal/timeseries"
+)
+
+// Config controls the Robust smoother.
+type Config struct {
+	// Bandwidth is the half-width, in time units, of the local window
+	// around each point. Default: 30 minutes.
+	Bandwidth int64
+	// Iterations is the number of robustness reweighting passes after the
+	// initial fit. Default: 2.
+	Iterations int
+}
+
+func (c Config) normalize() (Config, error) {
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 1800
+	}
+	if c.Bandwidth < 0 {
+		return c, fmt.Errorf("smooth: negative bandwidth %d", c.Bandwidth)
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 2
+	}
+	if c.Iterations < 0 {
+		return c, fmt.Errorf("smooth: negative iterations %d", c.Iterations)
+	}
+	return c, nil
+}
+
+// Robust returns a smoothed copy of s using robust local linear regression.
+func Robust(s *timeseries.Series, cfg Config) (*timeseries.Series, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	n := s.Len()
+	if n <= 2 {
+		return s.Clone(), nil
+	}
+	pts := s.Points()
+
+	robust := make([]float64, n)
+	for i := range robust {
+		robust[i] = 1
+	}
+	fitted := make([]float64, n)
+
+	for pass := 0; pass <= cfg.Iterations; pass++ {
+		lo := 0
+		for i, p := range pts {
+			// Advance window [lo, hi) covering |t - p.T| <= Bandwidth.
+			for lo < n && pts[lo].T < p.T-cfg.Bandwidth {
+				lo++
+			}
+			hi := i
+			for hi < n && pts[hi].T <= p.T+cfg.Bandwidth {
+				hi++
+			}
+			fitted[i] = localLinear(pts[lo:hi], robust[lo:hi], p.T, cfg.Bandwidth)
+		}
+		if pass == cfg.Iterations {
+			break
+		}
+		updateRobustWeights(pts, fitted, robust)
+	}
+
+	out := make([]timeseries.Point, n)
+	for i, p := range pts {
+		out[i] = timeseries.Point{T: p.T, V: fitted[i]}
+	}
+	return timeseries.New(out)
+}
+
+// localLinear fits v = a + b·(t-t0) by weighted least squares over win with
+// tricube distance weights times the supplied robustness weights, and
+// evaluates the fit at t0. Degenerate fits fall back to the weighted mean,
+// then to the raw neighbours' mean.
+func localLinear(win []timeseries.Point, rw []float64, t0, bandwidth int64) float64 {
+	var sw, swx, swy, swxx, swxy float64
+	for i, p := range win {
+		d := math.Abs(float64(p.T-t0)) / float64(bandwidth+1)
+		w := tricube(d) * rw[i]
+		if w <= 0 {
+			continue
+		}
+		x := float64(p.T - t0)
+		sw += w
+		swx += w * x
+		swy += w * p.V
+		swxx += w * x * x
+		swxy += w * x * p.V
+	}
+	if sw <= 0 {
+		// All weights vanished (e.g. everything flagged anomalous):
+		// fall back to the unweighted window mean.
+		sum := 0.0
+		for _, p := range win {
+			sum += p.V
+		}
+		return sum / float64(len(win))
+	}
+	det := sw*swxx - swx*swx
+	if math.Abs(det) < 1e-12 {
+		return swy / sw
+	}
+	a := (swxx*swy - swx*swxy) / det
+	return a // fit evaluated at x = 0, i.e. t = t0
+}
+
+// updateRobustWeights computes bisquare weights from the residuals:
+// w_i = (1 - (r_i / 6·MAD)^2)^2, clipped at 0.
+func updateRobustWeights(pts []timeseries.Point, fitted, robust []float64) {
+	n := len(pts)
+	res := make([]float64, n)
+	for i := range pts {
+		res[i] = math.Abs(pts[i].V - fitted[i])
+	}
+	sorted := append([]float64(nil), res...)
+	sort.Float64s(sorted)
+	mad := sorted[n/2]
+	if mad < 1e-9 {
+		// Residuals are essentially zero: keep all weights at 1.
+		for i := range robust {
+			robust[i] = 1
+		}
+		return
+	}
+	c := 6 * mad
+	for i := range robust {
+		u := res[i] / c
+		if u >= 1 {
+			robust[i] = 0
+			continue
+		}
+		w := 1 - u*u
+		robust[i] = w * w
+	}
+}
+
+func tricube(d float64) float64 {
+	if d >= 1 {
+		return 0
+	}
+	w := 1 - d*d*d
+	return w * w * w
+}
+
+// MovingMedian returns a copy of s where each value is replaced by the
+// median of the window of half-width k samples around it (2k+1 samples,
+// truncated at the edges). k must be non-negative.
+func MovingMedian(s *timeseries.Series, k int) (*timeseries.Series, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("smooth: negative window half-width %d", k)
+	}
+	pts := s.Points()
+	out := make([]timeseries.Point, len(pts))
+	buf := make([]float64, 0, 2*k+1)
+	for i, p := range pts {
+		lo, hi := i-k, i+k+1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		buf = buf[:0]
+		for _, q := range pts[lo:hi] {
+			buf = append(buf, q.V)
+		}
+		sort.Float64s(buf)
+		m := len(buf)
+		med := buf[m/2]
+		if m%2 == 0 {
+			med = (buf[m/2-1] + buf[m/2]) / 2
+		}
+		out[i] = timeseries.Point{T: p.T, V: med}
+	}
+	return timeseries.New(out)
+}

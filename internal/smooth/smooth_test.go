@@ -1,0 +1,209 @@
+package smooth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"segdiff/internal/timeseries"
+)
+
+// spikySine builds a sine wave sampled every 300 s with isolated spikes.
+func spikySine(n int, spikeEvery int, spikeAmp float64) (*timeseries.Series, map[int64]bool) {
+	s := &timeseries.Series{}
+	spikes := map[int64]bool{}
+	for i := 0; i < n; i++ {
+		t := int64(i) * 300
+		v := 10 * math.Sin(float64(i)/40)
+		if spikeEvery > 0 && i%spikeEvery == spikeEvery/2 {
+			v += spikeAmp
+			spikes[t] = true
+		}
+		if err := s.Append(timeseries.Point{T: t, V: v}); err != nil {
+			panic(err)
+		}
+	}
+	return s, spikes
+}
+
+func TestRobustRemovesSpikes(t *testing.T) {
+	s, spikes := spikySine(400, 50, 15)
+	sm, err := Robust(s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Len() != s.Len() {
+		t.Fatalf("length changed: %d -> %d", s.Len(), sm.Len())
+	}
+	for i, p := range sm.Points() {
+		if !spikes[p.T] {
+			continue
+		}
+		clean := 10 * math.Sin(float64(i)/40)
+		if math.Abs(p.V-clean) > 1.0 {
+			t.Errorf("spike at t=%d not removed: smoothed %.2f, clean %.2f", p.T, p.V, clean)
+		}
+	}
+}
+
+func TestRobustPreservesSmoothSignal(t *testing.T) {
+	s, _ := spikySine(400, 0, 0) // no spikes
+	sm, err := Robust(s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxErr float64
+	for i, p := range sm.Points() {
+		if d := math.Abs(p.V - s.At(i).V); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > 0.2 {
+		t.Fatalf("smooth signal distorted by %.3f", maxErr)
+	}
+}
+
+// A genuine multi-sample drop (a CAD event) must survive smoothing:
+// robustness weights must not erase a feature supported by many samples.
+func TestRobustPreservesRealDrops(t *testing.T) {
+	s := &timeseries.Series{}
+	for i := 0; i < 300; i++ {
+		t0 := int64(i) * 300
+		v := 15.0
+		// 5-degree drop over samples 100..112 (1 hour), recovery by 160.
+		switch {
+		case i >= 100 && i < 112:
+			v -= 5 * float64(i-100) / 12
+		case i >= 112 && i < 160:
+			v -= 5 * (1 - float64(i-112)/48)
+		}
+		if err := s.Append(timeseries.Point{T: t0, V: v}); err != nil {
+			panic(err)
+		}
+	}
+	sm, err := Robust(s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := sm.MinMax()
+	if lo > 11.0 {
+		t.Fatalf("drop flattened: smoothed min %.2f, want near 10", lo)
+	}
+}
+
+func TestRobustShortSeries(t *testing.T) {
+	for n := 0; n <= 2; n++ {
+		pts := make([]timeseries.Point, n)
+		for i := range pts {
+			pts[i] = timeseries.Point{T: int64(i), V: float64(i)}
+		}
+		s := timeseries.MustNew(pts)
+		sm, err := Robust(s, Config{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if sm.Len() != n {
+			t.Fatalf("n=%d: len %d", n, sm.Len())
+		}
+	}
+}
+
+func TestRobustConfigValidation(t *testing.T) {
+	s, _ := spikySine(10, 0, 0)
+	if _, err := Robust(s, Config{Bandwidth: -1}); err == nil {
+		t.Fatal("negative bandwidth accepted")
+	}
+	if _, err := Robust(s, Config{Iterations: -1}); err == nil {
+		t.Fatal("negative iterations accepted")
+	}
+}
+
+func TestRobustConstantSeries(t *testing.T) {
+	pts := make([]timeseries.Point, 50)
+	for i := range pts {
+		pts[i] = timeseries.Point{T: int64(i) * 300, V: 7}
+	}
+	sm, err := Robust(timeseries.MustNew(pts), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sm.Points() {
+		if math.Abs(p.V-7) > 1e-9 {
+			t.Fatalf("constant series changed: %v at t=%d", p.V, p.T)
+		}
+	}
+}
+
+func TestMovingMedianRemovesSpikes(t *testing.T) {
+	s, spikes := spikySine(200, 40, 20)
+	sm, err := MovingMedian(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range sm.Points() {
+		if !spikes[p.T] {
+			continue
+		}
+		clean := 10 * math.Sin(float64(i)/40)
+		if math.Abs(p.V-clean) > 1.0 {
+			t.Errorf("median: spike at t=%d survives: %.2f vs %.2f", p.T, p.V, clean)
+		}
+	}
+}
+
+func TestMovingMedianEdges(t *testing.T) {
+	s := timeseries.MustNew([]timeseries.Point{{T: 0, V: 1}, {T: 1, V: 100}, {T: 2, V: 3}})
+	sm, err := MovingMedian(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Middle point: median(1,100,3) = 3.
+	if sm.At(1).V != 3 {
+		t.Fatalf("median middle = %v", sm.At(1).V)
+	}
+	// Edge windows are truncated: median(1,100) = 50.5.
+	if sm.At(0).V != 50.5 {
+		t.Fatalf("median edge = %v", sm.At(0).V)
+	}
+}
+
+func TestMovingMedianZeroWindowIsIdentity(t *testing.T) {
+	s, _ := spikySine(50, 10, 5)
+	sm, err := MovingMedian(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range sm.Points() {
+		if p != s.At(i) {
+			t.Fatalf("k=0 changed point %d", i)
+		}
+	}
+	if _, err := MovingMedian(s, -1); err == nil {
+		t.Fatal("negative k accepted")
+	}
+}
+
+func TestRobustNoisyRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := &timeseries.Series{}
+	for i := 0; i < 500; i++ {
+		v := 10*math.Sin(float64(i)/60) + rng.NormFloat64()*0.3
+		if err := s.Append(timeseries.Point{T: int64(i) * 300, V: v}); err != nil {
+			panic(err)
+		}
+	}
+	sm, err := Robust(s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mse float64
+	for i, p := range sm.Points() {
+		clean := 10 * math.Sin(float64(i)/60)
+		mse += (p.V - clean) * (p.V - clean)
+		_ = i
+	}
+	mse /= float64(sm.Len())
+	if mse > 0.3*0.3 {
+		t.Fatalf("smoother did not reduce noise: mse %.4f", mse)
+	}
+}

@@ -1,0 +1,102 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"segdiff/internal/storage/keyenc"
+	"segdiff/internal/storage/pager"
+)
+
+func benchTree(b *testing.B, n int) *Tree {
+	b.Helper()
+	pg, err := pager.New(pager.NewMemFile(), 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := Open(pg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		key := keyenc.Encode(
+			keyenc.IntValue(rng.Int63n(1_000_000)),
+			keyenc.FloatValue(rng.NormFloat64()),
+			keyenc.IntValue(int64(i)), // uniquifier
+		)
+		if err := tr.Insert(key, []byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func BenchmarkInsertRandom(b *testing.B) {
+	pg, err := pager.New(pager.NewMemFile(), 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := Open(pg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := keyenc.Encode(
+			keyenc.IntValue(rng.Int63()),
+			keyenc.IntValue(int64(i)),
+		)
+		if err := tr.Insert(key, []byte{0xAB}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := benchTree(b, 100_000)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := keyenc.Encode(
+			keyenc.IntValue(rng.Int63n(1_000_000)),
+			keyenc.FloatValue(rng.NormFloat64()),
+			keyenc.IntValue(rng.Int63n(100_000)),
+		)
+		_, _ = tr.Get(key)
+	}
+}
+
+func BenchmarkRangeScan1000(b *testing.B) {
+	tr := benchTree(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		err := tr.ScanRange(keyenc.Encode(keyenc.IntValue(500_000)), nil,
+			func(_, _ []byte) (bool, error) {
+				count++
+				return count < 1000, nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSeek(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			tr := benchTree(b, n)
+			rng := rand.New(rand.NewSource(4))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				it := tr.Seek(keyenc.Encode(keyenc.IntValue(rng.Int63n(1_000_000))))
+				if it.Err() != nil {
+					b.Fatal(it.Err())
+				}
+			}
+		})
+	}
+}

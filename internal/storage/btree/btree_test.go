@@ -1,0 +1,363 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"segdiff/internal/storage/keyenc"
+	"segdiff/internal/storage/pager"
+)
+
+func newTree(t *testing.T) *Tree {
+	t.Helper()
+	pg, err := pager.New(pager.NewMemFile(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Open(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func k(i int) []byte { return keyenc.AppendInt64(nil, int64(i)) }
+
+func TestInsertGet(t *testing.T) {
+	tr := newTree(t)
+	if err := tr.Insert(k(5), []byte("five")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Get(k(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "five" {
+		t.Fatalf("got %q", got)
+	}
+	if _, err := tr.Get(k(6)); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestDuplicateKeyRejected(t *testing.T) {
+	tr := newTree(t)
+	if err := tr.Insert(k(1), []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(k(1), []byte("b")); !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len after rejected insert = %d", tr.Len())
+	}
+}
+
+func TestKeySizeLimits(t *testing.T) {
+	tr := newTree(t)
+	if err := tr.Insert(nil, nil); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := tr.Insert(make([]byte, MaxKey+1), nil); err == nil {
+		t.Fatal("oversize key accepted")
+	}
+	if err := tr.Insert(k(1), make([]byte, MaxVal+1)); err == nil {
+		t.Fatal("oversize value accepted")
+	}
+	if err := tr.Insert(make([]byte, MaxKey), make([]byte, MaxVal)); err != nil {
+		t.Fatalf("max sizes rejected: %v", err)
+	}
+}
+
+func TestManyInsertsWithSplits(t *testing.T) {
+	tr := newTree(t)
+	const n = 20000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		if err := tr.Insert(k(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	h, err := tr.Height()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 2 {
+		t.Fatalf("height %d after %d inserts; expected splits", h, n)
+	}
+	for i := 0; i < n; i += 997 {
+		got, err := tr.Get(k(i))
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if string(got) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("get %d = %q", i, got)
+		}
+	}
+	// Full scan must return all keys in order.
+	prev := -1
+	count := 0
+	err = tr.ScanRange(k(0), nil, func(key, val []byte) (bool, error) {
+		v, _, err := keyenc.DecodeInt64(key)
+		if err != nil {
+			return false, err
+		}
+		if int(v) <= prev {
+			return false, fmt.Errorf("out of order: %d after %d", v, prev)
+		}
+		prev = int(v)
+		count++
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("scan saw %d entries", count)
+	}
+}
+
+func TestRangeScanBounds(t *testing.T) {
+	tr := newTree(t)
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(k(i*2), nil); err != nil { // even keys 0..198
+			t.Fatal(err)
+		}
+	}
+	var got []int64
+	err := tr.ScanRange(k(10), k(20), func(key, _ []byte) (bool, error) {
+		v, _, _ := keyenc.DecodeInt64(key)
+		got = append(got, v)
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{10, 12, 14, 16, 18, 20}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("range = %v, want %v", got, want)
+	}
+	// Bounds not present in the tree.
+	got = nil
+	if err := tr.ScanRange(k(11), k(15), func(key, _ []byte) (bool, error) {
+		v, _, _ := keyenc.DecodeInt64(key)
+		got = append(got, v)
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint([]int64{12, 14}) {
+		t.Fatalf("open range = %v", got)
+	}
+}
+
+func TestScanEarlyStopAndError(t *testing.T) {
+	tr := newTree(t)
+	for i := 0; i < 50; i++ {
+		if err := tr.Insert(k(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	if err := tr.ScanRange(k(0), nil, func(_, _ []byte) (bool, error) {
+		count++
+		return count < 7, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 7 {
+		t.Fatalf("early stop at %d", count)
+	}
+	boom := errors.New("boom")
+	if err := tr.ScanRange(k(0), nil, func(_, _ []byte) (bool, error) {
+		return true, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("scan error = %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newTree(t)
+	for i := 0; i < 1000; i++ {
+		if err := tr.Insert(k(i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i += 2 {
+		if err := tr.Delete(k(i)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if err := tr.Delete(k(0)); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	for i := 0; i < 1000; i++ {
+		_, err := tr.Get(k(i))
+		if i%2 == 0 && !errors.Is(err, ErrKeyNotFound) {
+			t.Fatalf("deleted key %d still present: %v", i, err)
+		}
+		if i%2 == 1 && err != nil {
+			t.Fatalf("kept key %d lost: %v", i, err)
+		}
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	f := pager.NewMemFile()
+	pg, err := pager.New(f, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Open(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if err := tr.Insert(k(i), []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pg.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	pg2, err := pager.New(f, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Open(pg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != 5000 {
+		t.Fatalf("reopened len = %d", tr2.Len())
+	}
+	for i := 0; i < 5000; i += 493 {
+		if _, err := tr2.Get(k(i)); err != nil {
+			t.Fatalf("reopened get %d: %v", i, err)
+		}
+	}
+}
+
+func TestOpenRejectsCorruptMeta(t *testing.T) {
+	f := pager.NewMemFile()
+	garbage := make([]byte, pager.PageSize)
+	for i := range garbage {
+		garbage[i] = 0xAB
+	}
+	if _, err := f.WriteAt(garbage, 0); err != nil {
+		t.Fatal(err)
+	}
+	pg, err := pager.New(f, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(pg); err == nil {
+		t.Fatal("corrupt meta accepted")
+	}
+}
+
+// Randomized differential test against a sorted-slice oracle, with
+// variable-length composite keys.
+func TestRandomizedAgainstOracle(t *testing.T) {
+	tr := newTree(t)
+	rng := rand.New(rand.NewSource(42))
+	type entry struct {
+		k []byte
+		v []byte
+	}
+	oracle := map[string][]byte{}
+	for op := 0; op < 8000; op++ {
+		switch rng.Intn(5) {
+		case 0, 1, 2: // insert
+			key := keyenc.Encode(
+				keyenc.FloatValue(rng.NormFloat64()*100),
+				keyenc.IntValue(rng.Int63n(1000)),
+			)
+			if _, dup := oracle[string(key)]; dup {
+				if err := tr.Insert(key, nil); !errors.Is(err, ErrDuplicateKey) {
+					t.Fatalf("expected duplicate error, got %v", err)
+				}
+				continue
+			}
+			val := make([]byte, rng.Intn(20))
+			rng.Read(val)
+			if err := tr.Insert(key, val); err != nil {
+				t.Fatal(err)
+			}
+			oracle[string(key)] = val
+		case 3: // delete random known key
+			for ks := range oracle {
+				if err := tr.Delete([]byte(ks)); err != nil {
+					t.Fatal(err)
+				}
+				delete(oracle, ks)
+				break
+			}
+		case 4: // point lookup
+			for ks, want := range oracle {
+				got, err := tr.Get([]byte(ks))
+				if err != nil || !bytes.Equal(got, want) {
+					t.Fatalf("get mismatch: %v", err)
+				}
+				break
+			}
+		}
+	}
+	if tr.Len() != uint64(len(oracle)) {
+		t.Fatalf("len=%d oracle=%d", tr.Len(), len(oracle))
+	}
+	// Full ordered scan must equal the sorted oracle.
+	var keys []entry
+	for ks, v := range oracle {
+		keys = append(keys, entry{k: []byte(ks), v: v})
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i].k, keys[j].k) < 0 })
+	i := 0
+	err := tr.ScanRange([]byte{0}, nil, func(key, val []byte) (bool, error) {
+		if i >= len(keys) {
+			return false, fmt.Errorf("scan returned extra entries")
+		}
+		if !bytes.Equal(key, keys[i].k) || !bytes.Equal(val, keys[i].v) {
+			return false, fmt.Errorf("scan mismatch at %d", i)
+		}
+		i++
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(keys) {
+		t.Fatalf("scan returned %d of %d entries", i, len(keys))
+	}
+}
+
+func TestHeightGrowth(t *testing.T) {
+	tr := newTree(t)
+	h0, _ := tr.Height()
+	if h0 != 1 {
+		t.Fatalf("empty height = %d", h0)
+	}
+	for i := 0; i < 30000; i++ {
+		if err := tr.Insert(k(i), bytes.Repeat([]byte{7}, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, _ := tr.Height()
+	if h < 3 {
+		t.Fatalf("height after 30k sequential inserts = %d", h)
+	}
+}

@@ -1,0 +1,267 @@
+package heap
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"segdiff/internal/storage/pager"
+)
+
+func newHeap(t *testing.T) *Heap {
+	t.Helper()
+	pg, err := pager.New(pager.NewMemFile(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Open(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestInsertGet(t *testing.T) {
+	h := newHeap(t)
+	rid, err := h.Insert([]byte("record one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("record one")) {
+		t.Fatalf("got %q", got)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("len = %d", h.Len())
+	}
+}
+
+func TestManyRecordsSpanPages(t *testing.T) {
+	h := newHeap(t)
+	const n = 2000
+	rids := make([]RID, n)
+	for i := 0; i < n; i++ {
+		rec := []byte(fmt.Sprintf("record-%05d-with-some-padding-bytes", i))
+		rid, err := h.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	if rids[0].Page == rids[n-1].Page {
+		t.Fatal("2000 records fit one page; expected page spill")
+	}
+	for i, rid := range rids {
+		got, err := h.Get(rid)
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		want := fmt.Sprintf("record-%05d-with-some-padding-bytes", i)
+		if string(got) != want {
+			t.Fatalf("record %d = %q", i, got)
+		}
+	}
+	if h.Len() != n {
+		t.Fatalf("len = %d", h.Len())
+	}
+}
+
+func TestScanOrderAndEarlyStop(t *testing.T) {
+	h := newHeap(t)
+	for i := 0; i < 100; i++ {
+		if _, err := h.Insert([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen []byte
+	err := h.Scan(func(_ RID, rec []byte) (bool, error) {
+		seen = append(seen, rec[0])
+		return len(seen) < 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 10 {
+		t.Fatalf("early stop failed: %d records", len(seen))
+	}
+	for i, b := range seen {
+		if b != byte(i) {
+			t.Fatalf("scan order wrong at %d: %d", i, b)
+		}
+	}
+}
+
+func TestScanErrorPropagates(t *testing.T) {
+	h := newHeap(t)
+	if _, err := h.Insert([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := fmt.Errorf("callback error")
+	err := h.Scan(func(RID, []byte) (bool, error) { return true, wantErr })
+	if err != wantErr {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	h := newHeap(t)
+	a, _ := h.Insert([]byte("a"))
+	b, _ := h.Insert([]byte("b"))
+	if err := h.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("len after delete = %d", h.Len())
+	}
+	if _, err := h.Get(a); err == nil {
+		t.Fatal("get of deleted record accepted")
+	}
+	if err := h.Delete(a); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if err := h.Delete(RID{Page: 0, Slot: 99}); err == nil {
+		t.Fatal("delete of absent slot accepted")
+	}
+	var count int
+	if err := h.Scan(func(_ RID, rec []byte) (bool, error) {
+		count++
+		if !bytes.Equal(rec, []byte("b")) {
+			t.Fatalf("unexpected record %q", rec)
+		}
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("scan saw %d records", count)
+	}
+	_ = b
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	h := newHeap(t)
+	if _, err := h.Insert(make([]byte, MaxRecord+1)); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+	// Max-size record must work.
+	if _, err := h.Insert(make([]byte, MaxRecord)); err != nil {
+		t.Fatalf("max-size record rejected: %v", err)
+	}
+}
+
+func TestEmptyRecord(t *testing.T) {
+	h := newHeap(t)
+	rid, err := h.Insert(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty record came back as %q", got)
+	}
+}
+
+func TestReopenRecoversCount(t *testing.T) {
+	f := pager.NewMemFile()
+	pg, err := pager.New(f, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Open(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var del RID
+	for i := 0; i < 500; i++ {
+		rid, err := h.Insert([]byte(fmt.Sprintf("row %d padded for realism", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 250 {
+			del = rid
+		}
+	}
+	if err := h.Delete(del); err != nil {
+		t.Fatal(err)
+	}
+	if err := pg.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	pg2, err := pager.New(f, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Open(pg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Len() != 499 {
+		t.Fatalf("recovered len = %d, want 499", h2.Len())
+	}
+	// Inserts continue on the last page.
+	if _, err := h2.Insert([]byte("after reopen")); err != nil {
+		t.Fatal(err)
+	}
+	if h2.Len() != 500 {
+		t.Fatalf("len after post-reopen insert = %d", h2.Len())
+	}
+}
+
+func TestRandomizedAgainstMapOracle(t *testing.T) {
+	h := newHeap(t)
+	rng := rand.New(rand.NewSource(5))
+	oracle := map[RID][]byte{}
+	var live []RID
+	for i := 0; i < 3000; i++ {
+		if len(live) > 0 && rng.Intn(4) == 0 {
+			// Delete a random live record.
+			j := rng.Intn(len(live))
+			rid := live[j]
+			if err := h.Delete(rid); err != nil {
+				t.Fatal(err)
+			}
+			delete(oracle, rid)
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		rec := make([]byte, 1+rng.Intn(60))
+		rng.Read(rec)
+		rid, err := h.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := append([]byte(nil), rec...)
+		oracle[rid] = cp
+		live = append(live, rid)
+	}
+	if h.Len() != len(oracle) {
+		t.Fatalf("len=%d oracle=%d", h.Len(), len(oracle))
+	}
+	seen := 0
+	err := h.Scan(func(rid RID, rec []byte) (bool, error) {
+		want, ok := oracle[rid]
+		if !ok {
+			t.Fatalf("scan returned unknown rid %v", rid)
+		}
+		if !bytes.Equal(rec, want) {
+			t.Fatalf("rid %v content mismatch", rid)
+		}
+		seen++
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(oracle) {
+		t.Fatalf("scan saw %d, oracle has %d", seen, len(oracle))
+	}
+}

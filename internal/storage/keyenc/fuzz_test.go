@@ -1,0 +1,28 @@
+package keyenc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the composite decoder: it must never
+// panic, and whatever decodes successfully must re-encode to an equal or
+// prefix-equal byte string (the decoder may stop cleanly at element
+// boundaries).
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(IntValue(42), FloatValue(-1.5), StringValue("x\x00y")))
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add([]byte{0x03, 0x00})
+	f.Add([]byte{0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := Encode(vals...)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encode mismatch: %x -> %x", data, re)
+		}
+	})
+}

@@ -1,0 +1,198 @@
+// Package keyenc provides an order-preserving binary encoding for composite
+// index keys: encoded byte strings compare (bytes.Compare) exactly as the
+// natural tuple order of the original values. It is the key format of the
+// B+tree index (internal/storage/btree).
+//
+// Supported element types: int64, float64, string. Each element is encoded
+// with a one-byte type tag so heterogeneous tuples order deterministically
+// and decoding is self-describing.
+package keyenc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Type tags. Ordered so that all ints sort before all floats before all
+// strings when tuples mix types at the same position (the engine never does
+// this, but the ordering must still be total).
+const (
+	tagInt    = 0x01
+	tagFloat  = 0x02
+	tagString = 0x03
+)
+
+// AppendInt64 appends the order-preserving encoding of v to dst.
+// The sign bit is flipped so negative values order before positive ones in
+// unsigned byte comparison.
+func AppendInt64(dst []byte, v int64) []byte {
+	dst = append(dst, tagInt)
+	u := uint64(v) ^ (1 << 63)
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], u)
+	return append(dst, b[:]...)
+}
+
+// AppendFloat64 appends the order-preserving encoding of v to dst.
+// For v ≥ 0 the sign bit is flipped; for v < 0 all bits are flipped, which
+// makes the byte order match numeric order including -0 == +0 boundary
+// behaviour (-0 sorts immediately before +0). NaN is rejected by Validate
+// at a higher layer; if encoded anyway it sorts after +Inf.
+func AppendFloat64(dst []byte, v float64) []byte {
+	dst = append(dst, tagFloat)
+	u := math.Float64bits(v)
+	if u&(1<<63) != 0 {
+		u = ^u
+	} else {
+		u ^= 1 << 63
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], u)
+	return append(dst, b[:]...)
+}
+
+// AppendString appends the order-preserving encoding of s to dst. Bytes
+// 0x00 are escaped as 0x00 0xFF and the element is terminated by 0x00 0x00,
+// preserving prefix ordering for arbitrary byte content.
+func AppendString(dst []byte, s string) []byte {
+	dst = append(dst, tagString)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		dst = append(dst, c)
+		if c == 0x00 {
+			dst = append(dst, 0xFF)
+		}
+	}
+	return append(dst, 0x00, 0x00)
+}
+
+// DecodeInt64 decodes an int64 element from the front of b, returning the
+// value and the remaining bytes.
+func DecodeInt64(b []byte) (int64, []byte, error) {
+	if len(b) < 9 || b[0] != tagInt {
+		return 0, nil, fmt.Errorf("keyenc: not an int64 element")
+	}
+	u := binary.BigEndian.Uint64(b[1:9]) ^ (1 << 63)
+	return int64(u), b[9:], nil
+}
+
+// DecodeFloat64 decodes a float64 element from the front of b.
+func DecodeFloat64(b []byte) (float64, []byte, error) {
+	if len(b) < 9 || b[0] != tagFloat {
+		return 0, nil, fmt.Errorf("keyenc: not a float64 element")
+	}
+	u := binary.BigEndian.Uint64(b[1:9])
+	if u&(1<<63) != 0 {
+		u ^= 1 << 63
+	} else {
+		u = ^u
+	}
+	return math.Float64frombits(u), b[9:], nil
+}
+
+// DecodeString decodes a string element from the front of b.
+func DecodeString(b []byte) (string, []byte, error) {
+	if len(b) < 1 || b[0] != tagString {
+		return "", nil, fmt.Errorf("keyenc: not a string element")
+	}
+	b = b[1:]
+	var out []byte
+	for i := 0; i < len(b); i++ {
+		if b[i] != 0x00 {
+			out = append(out, b[i])
+			continue
+		}
+		if i+1 >= len(b) {
+			return "", nil, fmt.Errorf("keyenc: truncated string element")
+		}
+		switch b[i+1] {
+		case 0xFF:
+			out = append(out, 0x00)
+			i++
+		case 0x00:
+			return string(out), b[i+2:], nil
+		default:
+			return "", nil, fmt.Errorf("keyenc: bad escape 0x00 0x%02X", b[i+1])
+		}
+	}
+	return "", nil, fmt.Errorf("keyenc: unterminated string element")
+}
+
+// Value is one element of a composite key.
+type Value struct {
+	// Kind selects which field is meaningful.
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+}
+
+// Kind is the runtime type of a Value.
+type Kind int8
+
+// Value kinds.
+const (
+	Int Kind = iota
+	Float
+	String
+)
+
+// IntValue, FloatValue and StringValue are convenience constructors.
+func IntValue(v int64) Value     { return Value{Kind: Int, I: v} }
+func FloatValue(v float64) Value { return Value{Kind: Float, F: v} }
+func StringValue(v string) Value { return Value{Kind: String, S: v} }
+
+// Encode encodes a composite key.
+func Encode(vals ...Value) []byte {
+	var out []byte
+	for _, v := range vals {
+		switch v.Kind {
+		case Int:
+			out = AppendInt64(out, v.I)
+		case Float:
+			out = AppendFloat64(out, v.F)
+		case String:
+			out = AppendString(out, v.S)
+		}
+	}
+	return out
+}
+
+// Decode decodes all elements of a composite key.
+func Decode(b []byte) ([]Value, error) {
+	var out []Value
+	for len(b) > 0 {
+		switch b[0] {
+		case tagInt:
+			v, rest, err := DecodeInt64(b)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, IntValue(v))
+			b = rest
+		case tagFloat:
+			v, rest, err := DecodeFloat64(b)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, FloatValue(v))
+			b = rest
+		case tagString:
+			v, rest, err := DecodeString(b)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, StringValue(v))
+			b = rest
+		default:
+			return nil, fmt.Errorf("keyenc: unknown tag 0x%02X", b[0])
+		}
+	}
+	return out, nil
+}
+
+// Compare compares two encoded keys; it is bytes.Compare, re-exported to
+// keep call sites expressive.
+func Compare(a, b []byte) int { return bytes.Compare(a, b) }

@@ -1,0 +1,211 @@
+package keyenc
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestInt64OrderProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		ea := AppendInt64(nil, a)
+		eb := AppendInt64(nil, b)
+		cmp := bytes.Compare(ea, eb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInt64RoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, math.MaxInt64, math.MinInt64, 42, -300000} {
+		got, rest, err := DecodeInt64(AppendInt64(nil, v))
+		if err != nil || got != v || len(rest) != 0 {
+			t.Errorf("round trip %d: got %d, rest %d, err %v", v, got, len(rest), err)
+		}
+	}
+}
+
+func TestFloat64OrderProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ea := AppendFloat64(nil, a)
+		eb := AppendFloat64(nil, b)
+		cmp := bytes.Compare(ea, eb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default: // equal (note -0 == +0 numerically but encodes distinctly)
+			if a == 0 && b == 0 && math.Signbit(a) != math.Signbit(b) {
+				if math.Signbit(a) {
+					return cmp < 0
+				}
+				return cmp > 0
+			}
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64EdgeOrdering(t *testing.T) {
+	order := []float64{
+		math.Inf(-1), -math.MaxFloat64, -1, -math.SmallestNonzeroFloat64,
+		math.Copysign(0, -1), 0, math.SmallestNonzeroFloat64, 1,
+		math.MaxFloat64, math.Inf(1),
+	}
+	for i := 1; i < len(order); i++ {
+		a := AppendFloat64(nil, order[i-1])
+		b := AppendFloat64(nil, order[i])
+		if bytes.Compare(a, b) >= 0 {
+			t.Errorf("encoding order broken between %v and %v", order[i-1], order[i])
+		}
+	}
+}
+
+func TestFloat64RoundTrip(t *testing.T) {
+	for _, v := range []float64{0, -0.5, 1e300, -1e-300, math.Inf(1), math.Inf(-1), 3.14159} {
+		got, rest, err := DecodeFloat64(AppendFloat64(nil, v))
+		if err != nil || got != v || len(rest) != 0 {
+			t.Errorf("round trip %v: got %v, err %v", v, got, err)
+		}
+	}
+}
+
+func TestStringOrderProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		ea := AppendString(nil, a)
+		eb := AppendString(nil, b)
+		cmp := bytes.Compare(ea, eb)
+		want := bytes.Compare([]byte(a), []byte(b))
+		return (cmp < 0) == (want < 0) && (cmp == 0) == (want == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringWithNulBytes(t *testing.T) {
+	cases := []string{"", "\x00", "a\x00b", "\x00\x00", "abc", "a\xff"}
+	for _, s := range cases {
+		got, rest, err := DecodeString(AppendString(nil, s))
+		if err != nil || got != s || len(rest) != 0 {
+			t.Errorf("round trip %q: got %q, err %v", s, got, err)
+		}
+	}
+	// "a" < "a\x00" < "a\x00\x00" < "ab" must hold in encoded order.
+	seq := []string{"a", "a\x00", "a\x00\x00", "ab"}
+	for i := 1; i < len(seq); i++ {
+		if bytes.Compare(AppendString(nil, seq[i-1]), AppendString(nil, seq[i])) >= 0 {
+			t.Errorf("nul ordering broken between %q and %q", seq[i-1], seq[i])
+		}
+	}
+}
+
+func TestCompositeOrderProperty(t *testing.T) {
+	f := func(a1, b1 int64, a2, b2 float64) bool {
+		if math.IsNaN(a2) || math.IsNaN(b2) {
+			return true
+		}
+		ea := Encode(IntValue(a1), FloatValue(a2))
+		eb := Encode(IntValue(b1), FloatValue(b2))
+		cmp := bytes.Compare(ea, eb)
+		var want int
+		switch {
+		case a1 < b1:
+			want = -1
+		case a1 > b1:
+			want = 1
+		case a2 < b2:
+			want = -1
+		case a2 > b2:
+			want = 1
+		}
+		if want == 0 && a2 == 0 && b2 == 0 && math.Signbit(a2) != math.Signbit(b2) {
+			return true // -0/+0 tie handled in single-element test
+		}
+		return sign(cmp) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+// A composite key's prefix encoding must be a byte prefix of the full key:
+// this is what makes index-prefix range scans work.
+func TestPrefixProperty(t *testing.T) {
+	full := Encode(IntValue(7), FloatValue(-2.5), StringValue("x"))
+	prefix := Encode(IntValue(7), FloatValue(-2.5))
+	if !bytes.HasPrefix(full, prefix) {
+		t.Fatal("composite prefix is not a byte prefix")
+	}
+}
+
+func TestDecodeComposite(t *testing.T) {
+	in := []Value{IntValue(-9), FloatValue(1.25), StringValue("hello\x00world")}
+	got, err := Decode(Encode(in...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("decode = %+v, want %+v", got, in)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{0x99}); err == nil {
+		t.Error("unknown tag accepted")
+	}
+	if _, _, err := DecodeInt64([]byte{tagInt, 1, 2}); err == nil {
+		t.Error("short int accepted")
+	}
+	if _, _, err := DecodeFloat64([]byte{tagFloat}); err == nil {
+		t.Error("short float accepted")
+	}
+	if _, _, err := DecodeString([]byte{tagString, 'a'}); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, _, err := DecodeString([]byte{tagString, 0x00, 0x7F}); err == nil {
+		t.Error("bad escape accepted")
+	}
+	if _, _, err := DecodeString([]byte{tagString, 0x00}); err == nil {
+		t.Error("truncated escape accepted")
+	}
+	if _, _, err := DecodeInt64(AppendFloat64(nil, 1)); err == nil {
+		t.Error("tag mismatch accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := Encode(IntValue(1))
+	b := Encode(IntValue(2))
+	if Compare(a, b) >= 0 || Compare(b, a) <= 0 || Compare(a, a) != 0 {
+		t.Fatal("Compare wrong")
+	}
+}

@@ -1,0 +1,106 @@
+package pager
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// File is the backing store abstraction for a Pager: a flat, random-access
+// byte array. *OSFile backs a Pager with a real file; *MemFile backs it
+// with memory (used by the in-memory database mode and by tests).
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Size returns the current length in bytes.
+	Size() (int64, error)
+	// Sync durably flushes written data where applicable.
+	Sync() error
+	Close() error
+}
+
+// OSFile adapts *os.File to the File interface.
+type OSFile struct {
+	f *os.File
+}
+
+// OpenOSFile opens (creating if needed) the file at path for paged I/O.
+func OpenOSFile(path string) (*OSFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+	}
+	return &OSFile{f: f}, nil
+}
+
+// ReadAt implements io.ReaderAt.
+func (o *OSFile) ReadAt(p []byte, off int64) (int, error) { return o.f.ReadAt(p, off) }
+
+// WriteAt implements io.WriterAt.
+func (o *OSFile) WriteAt(p []byte, off int64) (int, error) { return o.f.WriteAt(p, off) }
+
+// Size returns the file length.
+func (o *OSFile) Size() (int64, error) {
+	st, err := o.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Sync fsyncs the file.
+func (o *OSFile) Sync() error { return o.f.Sync() }
+
+// Close closes the file.
+func (o *OSFile) Close() error { return o.f.Close() }
+
+// MemFile is an in-memory File. It is safe for concurrent use.
+type MemFile struct {
+	mu  sync.RWMutex
+	buf []byte
+}
+
+// NewMemFile returns an empty in-memory file.
+func NewMemFile() *MemFile { return &MemFile{} }
+
+// ReadAt implements io.ReaderAt.
+func (m *MemFile) ReadAt(p []byte, off int64) (int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if off >= int64(len(m.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.buf[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt, growing the buffer as needed.
+func (m *MemFile) WriteAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(m.buf)) {
+		grown := make([]byte, end)
+		copy(grown, m.buf)
+		m.buf = grown
+	}
+	copy(m.buf[off:end], p)
+	return len(p), nil
+}
+
+// Size returns the buffer length.
+func (m *MemFile) Size() (int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return int64(len(m.buf)), nil
+}
+
+// Sync is a no-op for memory.
+func (m *MemFile) Sync() error { return nil }
+
+// Close is a no-op for memory.
+func (m *MemFile) Close() error { return nil }

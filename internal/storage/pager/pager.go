@@ -1,0 +1,289 @@
+// Package pager implements the buffer pool of the embedded storage engine:
+// fixed-size pages cached in memory with LRU eviction, pin counts, dirty
+// tracking, and an explicit DropCache hook used by the cold-cache
+// experiments (the paper flushes the operating system cache before every
+// query in Sections 6.1–6.3 and studies the warm-cache case in 6.4).
+//
+// A Pager is not safe for concurrent use; the query engine layers its own
+// locking above it.
+package pager
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// PageSize is the size of every page in bytes.
+const PageSize = 4096
+
+// PageID identifies a page within one file; pages are numbered from 0.
+type PageID uint32
+
+// Stats are cumulative buffer pool counters.
+type Stats struct {
+	Hits      uint64 // Get served from cache
+	Misses    uint64 // Get required a file read
+	Reads     uint64 // pages read from the file
+	Writes    uint64 // pages written to the file
+	Evictions uint64 // frames evicted to make room
+}
+
+type frame struct {
+	id     PageID
+	data   []byte
+	dirty  bool
+	logged bool // dirty content captured by the WAL (safe to steal)
+	pins   int
+	elem   *list.Element // position in lru; nil while pinned
+}
+
+// Pager caches pages of a File with an LRU replacement policy.
+type Pager struct {
+	f        File
+	capacity int
+	frames   map[PageID]*frame
+	lru      *list.List // front = most recently used unpinned frame
+	nPages   PageID
+	stats    Stats
+	closed   bool
+	noSteal  bool
+}
+
+// DefaultCapacity is the default buffer pool size in frames (1024 pages =
+// 4 MiB), chosen small enough that the paper's cold/warm distinction is
+// visible on realistic workloads.
+const DefaultCapacity = 1024
+
+// New returns a Pager over f holding at most capacity pages in memory
+// (DefaultCapacity if capacity <= 0). The file length must be a multiple
+// of PageSize.
+func New(f File, capacity int) (*Pager, error) {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	size, err := f.Size()
+	if err != nil {
+		return nil, fmt.Errorf("pager: size: %w", err)
+	}
+	if size%PageSize != 0 {
+		return nil, fmt.Errorf("pager: file size %d not a multiple of page size", size)
+	}
+	return &Pager{
+		f:        f,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame),
+		lru:      list.New(),
+		nPages:   PageID(size / PageSize),
+	}, nil
+}
+
+// NumPages returns the number of allocated pages.
+func (p *Pager) NumPages() PageID { return p.nPages }
+
+// Capacity returns the buffer pool capacity in frames.
+func (p *Pager) Capacity() int { return p.capacity }
+
+// Stats returns a copy of the cumulative counters.
+func (p *Pager) Stats() Stats { return p.stats }
+
+// Page is a pinned page handle. Data is valid until Release; writers must
+// call MarkDirty before Release.
+type Page struct {
+	p  *Pager
+	fr *frame
+}
+
+// ID returns the page's id.
+func (pg *Page) ID() PageID { return pg.fr.id }
+
+// Data returns the page's PageSize-byte buffer.
+func (pg *Page) Data() []byte { return pg.fr.data }
+
+// MarkDirty records that the page's buffer was modified.
+func (pg *Page) MarkDirty() {
+	pg.fr.dirty = true
+	pg.fr.logged = false
+}
+
+// Release unpins the page. The handle must not be used afterwards.
+func (pg *Page) Release() {
+	fr := pg.fr
+	if fr.pins <= 0 {
+		panic("pager: release of unpinned page")
+	}
+	fr.pins--
+	if fr.pins == 0 {
+		fr.elem = pg.p.lru.PushFront(fr)
+	}
+	pg.fr = nil
+}
+
+// Allocate appends a zeroed page to the file and returns it pinned.
+func (p *Pager) Allocate() (*Page, error) {
+	if p.closed {
+		return nil, fmt.Errorf("pager: use after close")
+	}
+	if err := p.makeRoom(); err != nil {
+		return nil, err
+	}
+	id := p.nPages
+	p.nPages++
+	fr := &frame{id: id, data: make([]byte, PageSize), dirty: true, pins: 1}
+	p.frames[id] = fr
+	return &Page{p: p, fr: fr}, nil
+}
+
+// Get returns the page with the given id, pinned.
+func (p *Pager) Get(id PageID) (*Page, error) {
+	if p.closed {
+		return nil, fmt.Errorf("pager: use after close")
+	}
+	if id >= p.nPages {
+		return nil, fmt.Errorf("pager: page %d out of range (have %d)", id, p.nPages)
+	}
+	if fr, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		if fr.pins == 0 {
+			p.lru.Remove(fr.elem)
+			fr.elem = nil
+		}
+		fr.pins++
+		return &Page{p: p, fr: fr}, nil
+	}
+	p.stats.Misses++
+	if err := p.makeRoom(); err != nil {
+		return nil, err
+	}
+	data := make([]byte, PageSize)
+	if _, err := p.f.ReadAt(data, int64(id)*PageSize); err != nil {
+		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+	}
+	p.stats.Reads++
+	fr := &frame{id: id, data: data, pins: 1}
+	p.frames[id] = fr
+	return &Page{p: p, fr: fr}, nil
+}
+
+// makeRoom evicts LRU unpinned frames until a new frame fits. If every
+// frame is pinned (or, under no-steal, dirty and unlogged) the pool is
+// allowed to grow past capacity.
+func (p *Pager) makeRoom() error {
+	for len(p.frames) >= p.capacity {
+		var victim *list.Element
+		for e := p.lru.Back(); e != nil; e = e.Prev() {
+			fr := e.Value.(*frame)
+			if p.noSteal && fr.dirty && !fr.logged {
+				continue // uncommitted content must not reach the file
+			}
+			victim = e
+			break
+		}
+		if victim == nil {
+			return nil // nothing evictable: overcommit
+		}
+		fr := victim.Value.(*frame)
+		if fr.dirty {
+			if err := p.writeFrame(fr); err != nil {
+				return err
+			}
+		}
+		p.lru.Remove(victim)
+		delete(p.frames, fr.id)
+		p.stats.Evictions++
+	}
+	return nil
+}
+
+// SetNoSteal controls the eviction policy required by write-ahead
+// logging: while enabled, dirty frames whose content has not been captured
+// by LogDirty are never written to the file by eviction (the pool
+// overcommits instead). Flush, Sync, DropCache and Close still write all
+// dirty frames — they are checkpoint operations.
+func (p *Pager) SetNoSteal(on bool) { p.noSteal = on }
+
+// LogDirty invokes fn for every dirty frame whose content has not yet been
+// logged, in unspecified order, and marks those frames logged (making them
+// evictable again under no-steal). The data slice passed to fn is only
+// valid during the call.
+func (p *Pager) LogDirty(fn func(id PageID, data []byte) error) error {
+	for _, fr := range p.frames {
+		if fr.dirty && !fr.logged {
+			if err := fn(fr.id, fr.data); err != nil {
+				return err
+			}
+			fr.logged = true
+		}
+	}
+	return nil
+}
+
+func (p *Pager) writeFrame(fr *frame) error {
+	if _, err := p.f.WriteAt(fr.data, int64(fr.id)*PageSize); err != nil {
+		return fmt.Errorf("pager: write page %d: %w", fr.id, err)
+	}
+	fr.dirty = false
+	p.stats.Writes++
+	return nil
+}
+
+// Flush writes every dirty cached page back to the file (without fsync).
+func (p *Pager) Flush() error {
+	for _, fr := range p.frames {
+		if fr.dirty {
+			if err := p.writeFrame(fr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Sync flushes dirty pages and fsyncs the file.
+func (p *Pager) Sync() error {
+	if err := p.Flush(); err != nil {
+		return err
+	}
+	return p.f.Sync()
+}
+
+// DropCache flushes dirty pages and evicts every unpinned frame, simulating
+// a cold cache (the experiments' "operating system cache is flushed before
+// every query"). Pinned frames are retained.
+func (p *Pager) DropCache() error {
+	if err := p.Flush(); err != nil {
+		return err
+	}
+	for e := p.lru.Front(); e != nil; {
+		next := e.Next()
+		fr := e.Value.(*frame)
+		p.lru.Remove(e)
+		delete(p.frames, fr.id)
+		p.stats.Evictions++
+		e = next
+	}
+	return nil
+}
+
+// ResetStats zeroes the counters (used between experiment runs).
+func (p *Pager) ResetStats() { p.stats = Stats{} }
+
+// SizeBytes returns the file size implied by the allocated page count.
+func (p *Pager) SizeBytes() int64 { return int64(p.nPages) * PageSize }
+
+// Close flushes and closes the underlying file. Pinned pages outstanding at
+// Close are an error.
+func (p *Pager) Close() error {
+	if p.closed {
+		return nil
+	}
+	for _, fr := range p.frames {
+		if fr.pins > 0 {
+			return fmt.Errorf("pager: close with page %d still pinned", fr.id)
+		}
+	}
+	if err := p.Sync(); err != nil {
+		return err
+	}
+	p.closed = true
+	return p.f.Close()
+}

@@ -1,0 +1,178 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expressions.
+
+type expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+type literal struct{ v Value }
+
+type columnRef struct{ name string }
+
+type param struct{ idx int } // 0-based placeholder position
+
+type unary struct {
+	op string // "-" or "NOT"
+	x  expr
+}
+
+type binExpr struct {
+	op   string // + - * / = != < <= > >= AND OR
+	l, r expr
+}
+
+// aggregate is COUNT(*) (x nil) or COUNT/SUM/MIN/MAX/AVG(expr).
+type aggregate struct {
+	fn string
+	x  expr // nil for COUNT(*)
+}
+
+func (literal) exprNode()   {}
+func (columnRef) exprNode() {}
+func (param) exprNode()     {}
+func (unary) exprNode()     {}
+func (binExpr) exprNode()   {}
+func (aggregate) exprNode() {}
+
+func (e literal) String() string {
+	if e.v.T == TextType {
+		return "'" + strings.ReplaceAll(e.v.S, "'", "''") + "'"
+	}
+	return e.v.String()
+}
+func (e columnRef) String() string { return e.name }
+func (e param) String() string     { return fmt.Sprintf("?%d", e.idx+1) }
+func (e unary) String() string {
+	if e.op == "NOT" {
+		return "NOT " + e.x.String()
+	}
+	return "-" + e.x.String()
+}
+func (e binExpr) String() string {
+	return "(" + e.l.String() + " " + e.op + " " + e.r.String() + ")"
+}
+func (e aggregate) String() string {
+	if e.x == nil {
+		return e.fn + "(*)"
+	}
+	return e.fn + "(" + e.x.String() + ")"
+}
+
+// Statements.
+
+type stmt interface{ stmtNode() }
+
+type createTableStmt struct {
+	name string
+	cols []ColumnDef
+}
+
+// ColumnDef describes one column of a CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type ColType
+}
+
+type createIndexStmt struct {
+	name  string
+	table string
+	cols  []string
+}
+
+type insertStmt struct {
+	table string
+	vals  []expr
+}
+
+type selectStmt struct {
+	exprs   []expr // nil means *
+	star    bool
+	table   string
+	where   expr // may be nil
+	orderBy []orderKey
+	limit   int64 // -1 = none
+}
+
+type orderKey struct {
+	col  string
+	desc bool
+}
+
+type deleteStmt struct {
+	table string
+	where expr // may be nil
+}
+
+type explainStmt struct {
+	inner stmt // selectStmt, unionStmt or deleteStmt
+}
+
+// unionStmt is SELECT ... UNION SELECT ... (set semantics: duplicates
+// removed). All branches must produce the same number of columns.
+type unionStmt struct {
+	branches []selectStmt
+}
+
+func (createTableStmt) stmtNode() {}
+func (unionStmt) stmtNode()       {}
+func (createIndexStmt) stmtNode() {}
+func (insertStmt) stmtNode()      {}
+func (selectStmt) stmtNode()      {}
+func (deleteStmt) stmtNode()      {}
+func (explainStmt) stmtNode()     {}
+
+// walkExpr visits e and all children.
+func walkExpr(e expr, fn func(expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case unary:
+		walkExpr(x.x, fn)
+	case binExpr:
+		walkExpr(x.l, fn)
+		walkExpr(x.r, fn)
+	case aggregate:
+		walkExpr(x.x, fn)
+	}
+}
+
+// countParams returns the number of ? placeholders in the statement.
+func countParams(s stmt) int {
+	n := 0
+	count := func(e expr) {
+		walkExpr(e, func(e expr) {
+			if _, ok := e.(param); ok {
+				n++
+			}
+		})
+	}
+	switch st := s.(type) {
+	case insertStmt:
+		for _, e := range st.vals {
+			count(e)
+		}
+	case selectStmt:
+		for _, e := range st.exprs {
+			count(e)
+		}
+		count(st.where)
+	case deleteStmt:
+		count(st.where)
+	case unionStmt:
+		for _, b := range st.branches {
+			n += countParams(b)
+		}
+	case explainStmt:
+		return countParams(st.inner)
+	}
+	return n
+}

@@ -1,0 +1,105 @@
+package sqlmini
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchDB(b *testing.B, rows int) *DB {
+	b.Helper()
+	db := OpenMemory(Options{PoolPages: 2048})
+	if _, err := db.Exec("CREATE TABLE f (dt INT, dv REAL, t INT)"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE INDEX f_dtdv ON f (dt, dv)"); err != nil {
+		b.Fatal(err)
+	}
+	ins, err := db.Prepare("INSERT INTO f VALUES (?, ?, ?)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	db.BeginBatch()
+	for i := 0; i < rows; i++ {
+		if _, err := ins.Exec(Int(rng.Int63n(28800)), Real(rng.NormFloat64()*4), Int(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.CommitBatch(); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func BenchmarkInsertPrepared(b *testing.B) {
+	db := OpenMemory(Options{PoolPages: 2048})
+	if _, err := db.Exec("CREATE TABLE f (dt INT, dv REAL, t INT)"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE INDEX f_dtdv ON f (dt, dv)"); err != nil {
+		b.Fatal(err)
+	}
+	ins, err := db.Prepare("INSERT INTO f VALUES (?, ?, ?)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	db.BeginBatch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ins.Exec(Int(rng.Int63n(28800)), Real(rng.NormFloat64()), Int(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSeqScanQuery(b *testing.B) {
+	db := benchDB(b, 50_000)
+	stmt, err := db.Prepare("SELECT t FROM f WHERE dt <= ? AND dv <= ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stmt.QueryMode(PlanForceScan, Int(3600), Real(-3)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexScanQuery(b *testing.B) {
+	db := benchDB(b, 50_000)
+	stmt, err := db.Prepare("SELECT t FROM f WHERE dt <= ? AND dv <= ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stmt.QueryMode(PlanForceIndex, Int(3600), Real(-3)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	const q = "SELECT td, tc, tb, ta FROM dropf2 WHERE dt1 <= ? AND dv1 > ? AND dt2 > ? AND dv2 <= ? AND dv1 + (dv2 - dv1) / (dt2 - dt1) * (? - dt1) <= ?"
+	for i := 0; i < b.N; i++ {
+		if _, err := parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregateCount(b *testing.B) {
+	db := benchDB(b, 50_000)
+	stmt, err := db.Prepare("SELECT COUNT(*), MIN(dv), MAX(dv) FROM f")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stmt.Query(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

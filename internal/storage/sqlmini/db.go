@@ -1,0 +1,650 @@
+package sqlmini
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"segdiff/internal/storage/btree"
+	"segdiff/internal/storage/heap"
+	"segdiff/internal/storage/pager"
+	"segdiff/internal/storage/wal"
+)
+
+// Options tunes a database instance.
+type Options struct {
+	// PoolPages is the buffer pool capacity per file, in pages
+	// (default pager.DefaultCapacity).
+	PoolPages int
+	// CheckpointBytes triggers an automatic checkpoint when the WAL grows
+	// past this size (default 64 MiB). Only meaningful on disk.
+	CheckpointBytes int64
+}
+
+func (o Options) normalize() Options {
+	if o.PoolPages <= 0 {
+		o.PoolPages = pager.DefaultCapacity
+	}
+	if o.CheckpointBytes <= 0 {
+		o.CheckpointBytes = 64 << 20
+	}
+	return o
+}
+
+type tableHandle struct {
+	pg   *pager.Pager
+	h    *heap.Heap
+	path string
+}
+
+type indexHandle struct {
+	pg   *pager.Pager
+	tree *btree.Tree
+	path string
+}
+
+// DB is a sqlmini database: a directory of heap-table and B+tree-index
+// files plus a WAL, or a fully in-memory instance (dir == ""). All methods
+// are safe for concurrent use (a single big lock; the engine is not a
+// concurrency showcase).
+type DB struct {
+	mu      sync.Mutex
+	dir     string // "" = in-memory
+	opts    Options
+	catalog *catalog
+	tables  map[string]*tableHandle
+	indexes map[string]*indexHandle
+	files   map[uint16]pager.File // by catalog FileID, for WAL replay
+	log     *wal.Log              // nil in memory mode
+	inBatch bool
+	closed  bool
+}
+
+// OpenMemory returns an in-memory database (no durability, no WAL).
+func OpenMemory(opts Options) *DB {
+	return &DB{
+		dir:     "",
+		opts:    opts.normalize(),
+		catalog: newCatalog(),
+		tables:  map[string]*tableHandle{},
+		indexes: map[string]*indexHandle{},
+		files:   map[uint16]pager.File{},
+	}
+}
+
+// Open opens (creating if needed) the database stored in dir, replaying
+// the write-ahead log if the previous process crashed.
+func Open(dir string, opts Options) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sqlmini: create dir: %w", err)
+	}
+	cat, err := loadCatalog(dir)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		dir:     dir,
+		opts:    opts.normalize(),
+		catalog: cat,
+		tables:  map[string]*tableHandle{},
+		indexes: map[string]*indexHandle{},
+		files:   map[uint16]pager.File{},
+	}
+
+	// Recovery: replay committed page images straight into the data files
+	// before any pager caches them.
+	walPath := filepath.Join(dir, "wal.log")
+	replayFiles := map[uint16]*pager.OSFile{}
+	openReplay := func(id uint16, path string) error {
+		f, err := pager.OpenOSFile(path)
+		if err != nil {
+			return err
+		}
+		replayFiles[id] = f
+		return nil
+	}
+	for _, t := range cat.Tables {
+		if err := openReplay(t.FileID, db.tablePath(t.Name)); err != nil {
+			return nil, err
+		}
+	}
+	for _, ix := range cat.Indexes {
+		if err := openReplay(ix.FileID, db.indexPath(ix.Name)); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := wal.Replay(walPath, func(img wal.PageImage) error {
+		f, ok := replayFiles[img.File]
+		if !ok {
+			return fmt.Errorf("unknown file %d in WAL", img.File)
+		}
+		_, werr := f.WriteAt(img.Data, int64(img.Page)*pager.PageSize)
+		return werr
+	}); err != nil {
+		return nil, fmt.Errorf("sqlmini: recovery: %w", err)
+	}
+	for _, f := range replayFiles {
+		if err := f.Sync(); err != nil {
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Open the log for appending, then mount all files.
+	db.log, err = wal.Open(walPath)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range cat.Tables {
+		if err := db.mountTable(t); err != nil {
+			return nil, err
+		}
+	}
+	for _, ix := range cat.Indexes {
+		if err := db.mountIndex(ix); err != nil {
+			return nil, err
+		}
+	}
+	// Recovery is complete: persist the replayed state and clear the log.
+	if err := db.checkpointLocked(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func (db *DB) tablePath(name string) string { return filepath.Join(db.dir, "t_"+name+".tbl") }
+func (db *DB) indexPath(name string) string { return filepath.Join(db.dir, "i_"+name+".idx") }
+
+func (db *DB) newFile(path string) (pager.File, error) {
+	if db.dir == "" {
+		return pager.NewMemFile(), nil
+	}
+	return pager.OpenOSFile(path)
+}
+
+func (db *DB) newPager(f pager.File) (*pager.Pager, error) {
+	pg, err := pager.New(f, db.opts.PoolPages)
+	if err != nil {
+		return nil, err
+	}
+	if db.log != nil {
+		pg.SetNoSteal(true)
+	}
+	return pg, nil
+}
+
+func (db *DB) mountTable(t *tableSchema) error {
+	path := ""
+	if db.dir != "" {
+		path = db.tablePath(t.Name)
+	}
+	f, err := db.newFile(path)
+	if err != nil {
+		return err
+	}
+	pg, err := db.newPager(f)
+	if err != nil {
+		return err
+	}
+	h, err := heap.Open(pg)
+	if err != nil {
+		return err
+	}
+	db.tables[t.Name] = &tableHandle{pg: pg, h: h, path: path}
+	db.files[t.FileID] = f
+	return nil
+}
+
+func (db *DB) mountIndex(ix *indexSchema) error {
+	path := ""
+	if db.dir != "" {
+		path = db.indexPath(ix.Name)
+	}
+	f, err := db.newFile(path)
+	if err != nil {
+		return err
+	}
+	pg, err := db.newPager(f)
+	if err != nil {
+		return err
+	}
+	tr, err := btree.Open(pg)
+	if err != nil {
+		return err
+	}
+	db.indexes[ix.Name] = &indexHandle{pg: pg, tree: tr, path: path}
+	db.files[ix.FileID] = f
+	return nil
+}
+
+// Exec parses and executes a statement that returns no rows (DDL, INSERT,
+// DELETE), returning the number of affected rows.
+func (db *DB) Exec(sql string, args ...Value) (int, error) {
+	st, err := parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.execLocked(st, args)
+}
+
+func (db *DB) execLocked(st stmt, args []Value) (int, error) {
+	if db.closed {
+		return 0, fmt.Errorf("sqlmini: database is closed")
+	}
+	if n := countParams(st); n != len(args) {
+		return 0, fmt.Errorf("sqlmini: statement has %d placeholders, got %d args", n, len(args))
+	}
+	switch s := st.(type) {
+	case createTableStmt:
+		if err := db.createTable(s); err != nil {
+			return 0, err
+		}
+		return 0, db.maybeCommit()
+	case createIndexStmt:
+		if err := db.createIndex(s); err != nil {
+			return 0, err
+		}
+		return 0, db.maybeCommit()
+	case insertStmt:
+		n, err := db.execInsert(s, args)
+		if err != nil {
+			return 0, err
+		}
+		return n, db.maybeCommit()
+	case deleteStmt:
+		n, err := db.execDelete(s, args, PlanAuto)
+		if err != nil {
+			return 0, err
+		}
+		return n, db.maybeCommit()
+	case selectStmt, explainStmt:
+		return 0, fmt.Errorf("sqlmini: use Query for statements that return rows")
+	default:
+		return 0, fmt.Errorf("sqlmini: unsupported statement %T", st)
+	}
+}
+
+func (db *DB) createTable(s createTableStmt) error {
+	if _, exists := db.catalog.Tables[s.name]; exists {
+		return fmt.Errorf("sqlmini: table %s already exists", s.name)
+	}
+	seen := map[string]bool{}
+	for _, c := range s.cols {
+		if seen[c.Name] {
+			return fmt.Errorf("sqlmini: duplicate column %s", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	t := &tableSchema{Name: s.name, Cols: s.cols, FileID: db.catalog.NextFileID}
+	db.catalog.NextFileID++
+	db.catalog.Tables[s.name] = t
+	if err := db.saveCatalog(); err != nil {
+		return err
+	}
+	return db.mountTable(t)
+}
+
+func (db *DB) createIndex(s createIndexStmt) error {
+	if _, exists := db.catalog.Indexes[s.name]; exists {
+		return fmt.Errorf("sqlmini: index %s already exists", s.name)
+	}
+	schema, ok := db.catalog.Tables[s.table]
+	if !ok {
+		return fmt.Errorf("sqlmini: no such table %s", s.table)
+	}
+	for _, c := range s.cols {
+		if schema.colIndex(c) < 0 {
+			return fmt.Errorf("sqlmini: no column %s in table %s", c, s.table)
+		}
+	}
+	ix := &indexSchema{Name: s.name, Table: s.table, Cols: s.cols, FileID: db.catalog.NextFileID}
+	db.catalog.NextFileID++
+	db.catalog.Indexes[s.name] = ix
+	if err := db.saveCatalog(); err != nil {
+		return err
+	}
+	if err := db.mountIndex(ix); err != nil {
+		return err
+	}
+	// Backfill from existing rows.
+	th := db.tables[s.table]
+	ih := db.indexes[s.name]
+	return th.h.Scan(func(rid heap.RID, rec []byte) (bool, error) {
+		vals, err := decodeRow(schema, rec)
+		if err != nil {
+			return false, err
+		}
+		key, err := indexKey(schema, ix, vals, rid)
+		if err != nil {
+			return false, err
+		}
+		var ridBytes [8]byte
+		packRID(ridBytes[:], rid)
+		return true, ih.tree.Insert(key, ridBytes[:])
+	})
+}
+
+func (db *DB) saveCatalog() error {
+	if db.dir == "" {
+		return nil
+	}
+	return saveCatalog(db.dir, db.catalog)
+}
+
+// Query parses and executes a SELECT or EXPLAIN with automatic plan
+// selection.
+func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
+	return db.QueryMode(PlanAuto, sql, args...)
+}
+
+// QueryMode executes a SELECT or EXPLAIN under an explicit plan mode,
+// which is how the benchmark harness forces "sequential scan" versus
+// "execution using indexes" as in the paper's experiments.
+func (db *DB) QueryMode(mode PlanMode, sql string, args ...Value) (*Rows, error) {
+	st, err := parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.queryLocked(st, args, mode)
+}
+
+func (db *DB) queryLocked(st stmt, args []Value, mode PlanMode) (*Rows, error) {
+	if db.closed {
+		return nil, fmt.Errorf("sqlmini: database is closed")
+	}
+	if n := countParams(st); n != len(args) {
+		return nil, fmt.Errorf("sqlmini: statement has %d placeholders, got %d args", n, len(args))
+	}
+	switch s := st.(type) {
+	case selectStmt:
+		return db.execSelect(s, args, mode)
+	case unionStmt:
+		return db.execUnion(s, args, mode)
+	case explainStmt:
+		return db.explain(s, args, mode)
+	default:
+		return nil, fmt.Errorf("sqlmini: Query supports SELECT and EXPLAIN only")
+	}
+}
+
+func (db *DB) explain(s explainStmt, args []Value, mode PlanMode) (*Rows, error) {
+	var schema *tableSchema
+	var where expr
+	switch inner := s.inner.(type) {
+	case selectStmt:
+		schema = db.catalog.Tables[inner.table]
+		where = inner.where
+	case unionStmt:
+		// Explain every branch on its own line.
+		out := &Rows{Columns: []string{"plan"}}
+		for _, b := range inner.branches {
+			r, err := db.explain(explainStmt{inner: b}, args, mode)
+			if err != nil {
+				return nil, err
+			}
+			out.Data = append(out.Data, r.Data...)
+		}
+		return out, nil
+	case deleteStmt:
+		schema = db.catalog.Tables[inner.table]
+		where = inner.where
+	}
+	if schema == nil {
+		return nil, fmt.Errorf("sqlmini: EXPLAIN references an unknown table")
+	}
+	if where != nil {
+		if err := validateExpr(where, schema, false); err != nil {
+			return nil, err
+		}
+	}
+	p, err := buildPlan(db.catalog, schema, where, args, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{Columns: []string{"plan"}, Data: [][]Value{{Text(p.explain())}}}, nil
+}
+
+// Stmt is a prepared statement: parsed once, executable many times.
+type Stmt struct {
+	db *DB
+	st stmt
+}
+
+// Prepare parses sql into a reusable statement.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	st, err := parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, st: st}, nil
+}
+
+// Exec executes a prepared DDL/INSERT/DELETE.
+func (s *Stmt) Exec(args ...Value) (int, error) {
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	return s.db.execLocked(s.st, args)
+}
+
+// Query executes a prepared SELECT/EXPLAIN.
+func (s *Stmt) Query(args ...Value) (*Rows, error) {
+	return s.QueryMode(PlanAuto, args...)
+}
+
+// QueryMode executes a prepared SELECT/EXPLAIN under an explicit plan mode.
+func (s *Stmt) QueryMode(mode PlanMode, args ...Value) (*Rows, error) {
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	return s.db.queryLocked(s.st, args, mode)
+}
+
+// BeginBatch suspends per-statement commits: subsequent writes become
+// durable together at CommitBatch. Used for bulk ingest.
+func (db *DB) BeginBatch() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.inBatch = true
+}
+
+// CommitBatch commits everything written since BeginBatch.
+func (db *DB) CommitBatch() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.inBatch = false
+	return db.commitLocked()
+}
+
+// maybeCommit commits unless a batch is open.
+func (db *DB) maybeCommit() error {
+	if db.inBatch {
+		return nil
+	}
+	return db.commitLocked()
+}
+
+// commitLocked captures dirty page images in the WAL and commits them.
+func (db *DB) commitLocked() error {
+	if db.log == nil {
+		return nil
+	}
+	logPages := func(id uint16, pg *pager.Pager) error {
+		return pg.LogDirty(func(p pager.PageID, data []byte) error {
+			return db.log.AppendPage(id, uint32(p), data)
+		})
+	}
+	for name, th := range db.tables {
+		if err := logPages(db.catalog.Tables[name].FileID, th.pg); err != nil {
+			return err
+		}
+	}
+	for name, ih := range db.indexes {
+		if err := logPages(db.catalog.Indexes[name].FileID, ih.pg); err != nil {
+			return err
+		}
+	}
+	if err := db.log.Commit(); err != nil {
+		return err
+	}
+	sz, err := db.log.Size()
+	if err != nil {
+		return err
+	}
+	if sz > db.opts.CheckpointBytes {
+		return db.checkpointLocked()
+	}
+	return nil
+}
+
+// Checkpoint flushes all data files and truncates the WAL.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.checkpointLocked()
+}
+
+func (db *DB) checkpointLocked() error {
+	for _, th := range db.tables {
+		if err := th.pg.Sync(); err != nil {
+			return err
+		}
+	}
+	for _, ih := range db.indexes {
+		if err := ih.pg.Sync(); err != nil {
+			return err
+		}
+	}
+	if db.log != nil {
+		return db.log.Truncate()
+	}
+	return nil
+}
+
+// DropCache flushes and evicts every cached page in every file, simulating
+// the experiments' "operating system cache is flushed before every query".
+func (db *DB) DropCache() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, th := range db.tables {
+		if err := th.pg.DropCache(); err != nil {
+			return err
+		}
+	}
+	for _, ih := range db.indexes {
+		if err := ih.pg.DropCache(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CacheStats aggregates buffer pool counters across all files.
+func (db *DB) CacheStats() pager.Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var s pager.Stats
+	add := func(x pager.Stats) {
+		s.Hits += x.Hits
+		s.Misses += x.Misses
+		s.Reads += x.Reads
+		s.Writes += x.Writes
+		s.Evictions += x.Evictions
+	}
+	for _, th := range db.tables {
+		add(th.pg.Stats())
+	}
+	for _, ih := range db.indexes {
+		add(ih.pg.Stats())
+	}
+	return s
+}
+
+// TableSizeBytes returns the heap file size of a table — the paper's
+// "feature size" metric when the table holds extracted features.
+func (db *DB) TableSizeBytes(table string) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	th, ok := db.tables[table]
+	if !ok {
+		return 0, fmt.Errorf("sqlmini: no such table %s", table)
+	}
+	return th.pg.SizeBytes(), nil
+}
+
+// IndexSizeBytes returns the total size of all indexes on a table. The
+// paper's "disk size" is TableSizeBytes + IndexSizeBytes.
+func (db *DB) IndexSizeBytes(table string) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[table]; !ok {
+		return 0, fmt.Errorf("sqlmini: no such table %s", table)
+	}
+	var total int64
+	for _, ix := range db.catalog.indexesOn(table) {
+		total += db.indexes[ix.Name].pg.SizeBytes()
+	}
+	return total, nil
+}
+
+// RowCount returns the number of live rows in a table.
+func (db *DB) RowCount(table string) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	th, ok := db.tables[table]
+	if !ok {
+		return 0, fmt.Errorf("sqlmini: no such table %s", table)
+	}
+	return th.h.Len(), nil
+}
+
+// Tables lists the table names in sorted order.
+func (db *DB) Tables() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []string
+	for name := range db.catalog.Tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close commits pending work, checkpoints, and releases all files.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.inBatch = false
+	if err := db.commitLocked(); err != nil {
+		return err
+	}
+	if err := db.checkpointLocked(); err != nil {
+		return err
+	}
+	for _, th := range db.tables {
+		if err := th.pg.Close(); err != nil {
+			return err
+		}
+	}
+	for _, ih := range db.indexes {
+		if err := ih.pg.Close(); err != nil {
+			return err
+		}
+	}
+	if db.log != nil {
+		if err := db.log.Close(); err != nil {
+			return err
+		}
+	}
+	db.closed = true
+	return nil
+}

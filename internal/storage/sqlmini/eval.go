@@ -1,0 +1,227 @@
+package sqlmini
+
+import (
+	"fmt"
+	"math"
+)
+
+// binding supplies the runtime environment of an expression: the current
+// row (nil when evaluating row-independent expressions) and the statement
+// arguments.
+type binding struct {
+	schema *tableSchema
+	row    []Value
+	args   []Value
+}
+
+// evalExpr evaluates e under b. Aggregates are rejected here; the executor
+// handles them separately.
+func evalExpr(e expr, b *binding) (Value, error) {
+	switch x := e.(type) {
+	case literal:
+		return x.v, nil
+	case param:
+		if x.idx >= len(b.args) {
+			return Value{}, fmt.Errorf("sqlmini: missing argument for placeholder %d (have %d)", x.idx+1, len(b.args))
+		}
+		return b.args[x.idx], nil
+	case columnRef:
+		if b.schema == nil || b.row == nil {
+			return Value{}, fmt.Errorf("sqlmini: column %s referenced outside a row context", x.name)
+		}
+		i := b.schema.colIndex(x.name)
+		if i < 0 {
+			return Value{}, fmt.Errorf("sqlmini: unknown column %s in table %s", x.name, b.schema.Name)
+		}
+		return b.row[i], nil
+	case unary:
+		v, err := evalExpr(x.x, b)
+		if err != nil {
+			return Value{}, err
+		}
+		switch x.op {
+		case "-":
+			switch v.T {
+			case IntType:
+				return Int(-v.I), nil
+			case RealType:
+				return Real(-v.R), nil
+			default:
+				return Value{}, fmt.Errorf("sqlmini: unary minus on TEXT")
+			}
+		case "NOT":
+			return Bool(!v.IsTrue()), nil
+		default:
+			return Value{}, fmt.Errorf("sqlmini: unknown unary operator %q", x.op)
+		}
+	case binExpr:
+		return evalBinary(x, b)
+	case aggregate:
+		return Value{}, fmt.Errorf("sqlmini: aggregate %s not allowed here", x.fn)
+	default:
+		return Value{}, fmt.Errorf("sqlmini: unknown expression %T", e)
+	}
+}
+
+func evalBinary(x binExpr, b *binding) (Value, error) {
+	switch x.op {
+	case "AND":
+		l, err := evalExpr(x.l, b)
+		if err != nil {
+			return Value{}, err
+		}
+		if !l.IsTrue() {
+			return Bool(false), nil
+		}
+		r, err := evalExpr(x.r, b)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(r.IsTrue()), nil
+	case "OR":
+		l, err := evalExpr(x.l, b)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.IsTrue() {
+			return Bool(true), nil
+		}
+		r, err := evalExpr(x.r, b)
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(r.IsTrue()), nil
+	}
+
+	l, err := evalExpr(x.l, b)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := evalExpr(x.r, b)
+	if err != nil {
+		return Value{}, err
+	}
+	switch x.op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		c, err := Compare(l, r)
+		if err != nil {
+			return Value{}, err
+		}
+		switch x.op {
+		case "=":
+			return Bool(c == 0), nil
+		case "!=":
+			return Bool(c != 0), nil
+		case "<":
+			return Bool(c < 0), nil
+		case "<=":
+			return Bool(c <= 0), nil
+		case ">":
+			return Bool(c > 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	case "+", "-", "*", "/":
+		return arith(x.op, l, r)
+	default:
+		return Value{}, fmt.Errorf("sqlmini: unknown operator %q", x.op)
+	}
+}
+
+// arith performs numeric arithmetic: INT op INT stays INT (with checked
+// division), otherwise both operands widen to REAL.
+func arith(op string, l, r Value) (Value, error) {
+	if l.T == TextType || r.T == TextType {
+		return Value{}, fmt.Errorf("sqlmini: arithmetic on TEXT")
+	}
+	if l.T == IntType && r.T == IntType {
+		switch op {
+		case "+":
+			return Int(l.I + r.I), nil
+		case "-":
+			return Int(l.I - r.I), nil
+		case "*":
+			return Int(l.I * r.I), nil
+		default:
+			if r.I == 0 {
+				return Value{}, fmt.Errorf("sqlmini: integer division by zero")
+			}
+			return Int(l.I / r.I), nil
+		}
+	}
+	lf, _ := l.AsReal()
+	rf, _ := r.AsReal()
+	var out float64
+	switch op {
+	case "+":
+		out = lf + rf
+	case "-":
+		out = lf - rf
+	case "*":
+		out = lf * rf
+	default:
+		out = lf / rf // IEEE semantics: ±Inf/NaN on zero divisor
+	}
+	if math.IsNaN(out) {
+		return Value{}, fmt.Errorf("sqlmini: arithmetic produced NaN")
+	}
+	return Real(out), nil
+}
+
+// isConst reports whether e references no columns and no aggregates, i.e.
+// it can be evaluated at planning time given the statement arguments.
+func isConst(e expr) bool {
+	ok := true
+	walkExpr(e, func(e expr) {
+		switch e.(type) {
+		case columnRef, aggregate:
+			ok = false
+		}
+	})
+	return ok
+}
+
+// hasAggregate reports whether e contains an aggregate call.
+func hasAggregate(e expr) bool {
+	found := false
+	walkExpr(e, func(e expr) {
+		if _, ok := e.(aggregate); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// splitConjuncts flattens top-level ANDs into a conjunct list.
+func splitConjuncts(e expr) []expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(binExpr); ok && b.op == "AND" {
+		return append(splitConjuncts(b.l), splitConjuncts(b.r)...)
+	}
+	return []expr{e}
+}
+
+// validateExpr type-checks column references against the schema and
+// rejects aggregates when allowAgg is false. It is a static pass run at
+// plan time so errors surface before execution touches any page.
+func validateExpr(e expr, schema *tableSchema, allowAgg bool) error {
+	var errOut error
+	walkExpr(e, func(e expr) {
+		if errOut != nil {
+			return
+		}
+		switch x := e.(type) {
+		case columnRef:
+			if schema.colIndex(x.name) < 0 {
+				errOut = fmt.Errorf("sqlmini: unknown column %s in table %s", x.name, schema.Name)
+			}
+		case aggregate:
+			if !allowAgg {
+				errOut = fmt.Errorf("sqlmini: aggregate %s not allowed in this clause", x.fn)
+			}
+		}
+	})
+	return errOut
+}

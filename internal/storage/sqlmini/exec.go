@@ -1,0 +1,446 @@
+package sqlmini
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"segdiff/internal/storage/heap"
+	"segdiff/internal/storage/keyenc"
+	"segdiff/internal/storage/pager"
+)
+
+// Rows is a materialized query result.
+type Rows struct {
+	Columns []string
+	Data    [][]Value
+}
+
+// Len returns the number of result rows.
+func (r *Rows) Len() int { return len(r.Data) }
+
+// ridToInt packs a heap RID into an int64 for index key suffixes.
+func ridToInt(rid heap.RID) int64 {
+	return int64(rid.Page)<<16 | int64(rid.Slot)
+}
+
+func intToRID(v int64) heap.RID {
+	return heap.RID{Page: pager.PageID(v >> 16), Slot: uint16(v & 0xFFFF)}
+}
+
+// packRID writes the 8-byte index value for a RID.
+func packRID(dst []byte, rid heap.RID) {
+	binary.LittleEndian.PutUint64(dst, uint64(ridToInt(rid)))
+}
+
+// indexKey builds the unique B+tree key for a row in index ix: the encoded
+// index columns followed by the RID.
+func indexKey(schema *tableSchema, ix *indexSchema, vals []Value, rid heap.RID) ([]byte, error) {
+	parts := make([]keyenc.Value, 0, len(ix.Cols)+1)
+	for _, cn := range ix.Cols {
+		ci := schema.colIndex(cn)
+		if ci < 0 {
+			return nil, fmt.Errorf("sqlmini: index %s references unknown column %s", ix.Name, cn)
+		}
+		v := vals[ci]
+		switch schema.Cols[ci].Type {
+		case IntType:
+			parts = append(parts, keyenc.IntValue(v.I))
+		case RealType:
+			parts = append(parts, keyenc.FloatValue(v.R))
+		case TextType:
+			parts = append(parts, keyenc.StringValue(v.S))
+		}
+	}
+	parts = append(parts, keyenc.IntValue(ridToInt(rid)))
+	return keyenc.Encode(parts...), nil
+}
+
+// scanRows drives the chosen access path, invoking fn with each row that
+// passes the residual filter. fn returning false stops the scan.
+func (db *DB) scanRows(p *scanPlan, args []Value, fn func(rid heap.RID, vals []Value) (bool, error)) error {
+	if p.empty {
+		return nil
+	}
+	th := db.tables[p.schema.Name]
+	b := &binding{schema: p.schema, args: args}
+
+	visit := func(rid heap.RID, rec []byte) (bool, error) {
+		vals, err := decodeRow(p.schema, rec)
+		if err != nil {
+			return false, err
+		}
+		if p.filter != nil {
+			b.row = vals
+			ok, err := evalExpr(p.filter, b)
+			if err != nil {
+				return false, err
+			}
+			if !ok.IsTrue() {
+				return true, nil
+			}
+		}
+		return fn(rid, vals)
+	}
+
+	if p.index == nil {
+		return th.h.Scan(visit)
+	}
+	ih := db.indexes[p.index.Name]
+	return ih.tree.ScanRange(p.lo, p.hi, func(_, val []byte) (bool, error) {
+		rid := intToRID(int64(binary.LittleEndian.Uint64(val)))
+		rec, err := th.h.Get(rid)
+		if err != nil {
+			return false, err
+		}
+		return visit(rid, rec)
+	})
+}
+
+// execSelect runs a SELECT.
+func (db *DB) execSelect(st selectStmt, args []Value, mode PlanMode) (*Rows, error) {
+	schema, ok := db.catalog.Tables[st.table]
+	if !ok {
+		return nil, fmt.Errorf("sqlmini: no such table %s", st.table)
+	}
+	if st.where != nil {
+		if err := validateExpr(st.where, schema, false); err != nil {
+			return nil, err
+		}
+	}
+	for _, k := range st.orderBy {
+		if schema.colIndex(k.col) < 0 {
+			return nil, fmt.Errorf("sqlmini: ORDER BY references unknown column %s", k.col)
+		}
+	}
+	aggMode := false
+	for _, e := range st.exprs {
+		if err := validateExpr(e, schema, true); err != nil {
+			return nil, err
+		}
+		if hasAggregate(e) {
+			aggMode = true
+		}
+	}
+	plan, err := buildPlan(db.catalog, schema, st.where, args, mode)
+	if err != nil {
+		return nil, err
+	}
+	if aggMode {
+		return db.execAggregate(st, plan, args)
+	}
+
+	out := &Rows{}
+	if st.star {
+		for _, c := range schema.Cols {
+			out.Columns = append(out.Columns, c.Name)
+		}
+	} else {
+		for _, e := range st.exprs {
+			out.Columns = append(out.Columns, e.String())
+		}
+	}
+
+	type sortedRow struct {
+		proj []Value
+		keys []Value
+	}
+	var collected []sortedRow
+	b := &binding{schema: schema, args: args}
+	needSort := len(st.orderBy) > 0
+
+	err = db.scanRows(plan, args, func(_ heap.RID, vals []Value) (bool, error) {
+		if !needSort && st.limit >= 0 && int64(len(out.Data)) >= st.limit {
+			return false, nil
+		}
+		var proj []Value
+		if st.star {
+			proj = append([]Value(nil), vals...)
+		} else {
+			b.row = vals
+			proj = make([]Value, len(st.exprs))
+			for i, e := range st.exprs {
+				v, err := evalExpr(e, b)
+				if err != nil {
+					return false, err
+				}
+				proj[i] = v
+			}
+		}
+		if !needSort {
+			out.Data = append(out.Data, proj)
+			return st.limit < 0 || int64(len(out.Data)) < st.limit, nil
+		}
+		keys := make([]Value, len(st.orderBy))
+		for i, k := range st.orderBy {
+			keys[i] = vals[schema.colIndex(k.col)]
+		}
+		collected = append(collected, sortedRow{proj: proj, keys: keys})
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if needSort {
+		var sortErr error
+		sort.SliceStable(collected, func(i, j int) bool {
+			for k, key := range st.orderBy {
+				c, err := Compare(collected[i].keys[k], collected[j].keys[k])
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				if c != 0 {
+					if key.desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+		for _, r := range collected {
+			if st.limit >= 0 && int64(len(out.Data)) >= st.limit {
+				break
+			}
+			out.Data = append(out.Data, r.proj)
+		}
+	}
+	return out, nil
+}
+
+// execAggregate runs a whole-table aggregate SELECT (no GROUP BY).
+func (db *DB) execAggregate(st selectStmt, plan *scanPlan, args []Value) (*Rows, error) {
+	aggs := make([]aggregate, len(st.exprs))
+	for i, e := range st.exprs {
+		a, ok := e.(aggregate)
+		if !ok {
+			return nil, fmt.Errorf("sqlmini: cannot mix aggregates and plain expressions")
+		}
+		aggs[i] = a
+	}
+	if len(st.orderBy) > 0 {
+		return nil, fmt.Errorf("sqlmini: ORDER BY is not supported with aggregates")
+	}
+
+	type acc struct {
+		n     int64
+		sum   float64
+		first bool
+		ext   Value // running MIN/MAX
+	}
+	accs := make([]acc, len(aggs))
+	for i := range accs {
+		accs[i].first = true
+	}
+	b := &binding{schema: plan.schema, args: args}
+
+	err := db.scanRows(plan, args, func(_ heap.RID, vals []Value) (bool, error) {
+		b.row = vals
+		for i, a := range aggs {
+			accs[i].n++
+			if a.x == nil {
+				continue // COUNT(*)
+			}
+			v, err := evalExpr(a.x, b)
+			if err != nil {
+				return false, err
+			}
+			switch a.fn {
+			case "COUNT":
+			case "SUM", "AVG":
+				f, err := v.AsReal()
+				if err != nil {
+					return false, err
+				}
+				accs[i].sum += f
+			case "MIN", "MAX":
+				if accs[i].first {
+					accs[i].ext = v
+					accs[i].first = false
+					break
+				}
+				c, err := Compare(v, accs[i].ext)
+				if err != nil {
+					return false, err
+				}
+				if (a.fn == "MIN" && c < 0) || (a.fn == "MAX" && c > 0) {
+					accs[i].ext = v
+				}
+			}
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Rows{}
+	row := make([]Value, len(aggs))
+	for i, a := range aggs {
+		out.Columns = append(out.Columns, a.String())
+		switch a.fn {
+		case "COUNT":
+			row[i] = Int(accs[i].n)
+		case "SUM":
+			row[i] = Real(accs[i].sum)
+		case "AVG":
+			if accs[i].n == 0 {
+				row[i] = Real(0)
+			} else {
+				row[i] = Real(accs[i].sum / float64(accs[i].n))
+			}
+		case "MIN", "MAX":
+			if accs[i].first {
+				row[i] = Int(0) // empty input
+			} else {
+				row[i] = accs[i].ext
+			}
+		}
+	}
+	out.Data = append(out.Data, row)
+	return out, nil
+}
+
+// execInsert runs an INSERT and returns 1.
+func (db *DB) execInsert(st insertStmt, args []Value) (int, error) {
+	schema, ok := db.catalog.Tables[st.table]
+	if !ok {
+		return 0, fmt.Errorf("sqlmini: no such table %s", st.table)
+	}
+	if len(st.vals) != len(schema.Cols) {
+		return 0, fmt.Errorf("sqlmini: table %s has %d columns, INSERT supplies %d", st.table, len(schema.Cols), len(st.vals))
+	}
+	b := &binding{args: args}
+	vals := make([]Value, len(st.vals))
+	for i, e := range st.vals {
+		if err := validateExpr(e, schema, false); err != nil {
+			return 0, err
+		}
+		v, err := evalExpr(e, b)
+		if err != nil {
+			return 0, err
+		}
+		c, err := coerce(v, schema.Cols[i].Type)
+		if err != nil {
+			return 0, fmt.Errorf("sqlmini: column %s: %w", schema.Cols[i].Name, err)
+		}
+		vals[i] = c
+	}
+	return 1, db.insertRow(schema, vals)
+}
+
+// insertRow writes a typed row into the heap and all indexes.
+func (db *DB) insertRow(schema *tableSchema, vals []Value) error {
+	rec, err := encodeRow(schema, vals)
+	if err != nil {
+		return err
+	}
+	th := db.tables[schema.Name]
+	rid, err := th.h.Insert(rec)
+	if err != nil {
+		return err
+	}
+	for _, ix := range db.catalog.indexesOn(schema.Name) {
+		key, err := indexKey(schema, ix, vals, rid)
+		if err != nil {
+			return err
+		}
+		var ridBytes [8]byte
+		binary.LittleEndian.PutUint64(ridBytes[:], uint64(ridToInt(rid)))
+		if err := db.indexes[ix.Name].tree.Insert(key, ridBytes[:]); err != nil {
+			return fmt.Errorf("sqlmini: index %s: %w", ix.Name, err)
+		}
+	}
+	return nil
+}
+
+// execDelete runs a DELETE and returns the number of removed rows.
+func (db *DB) execDelete(st deleteStmt, args []Value, mode PlanMode) (int, error) {
+	schema, ok := db.catalog.Tables[st.table]
+	if !ok {
+		return 0, fmt.Errorf("sqlmini: no such table %s", st.table)
+	}
+	if st.where != nil {
+		if err := validateExpr(st.where, schema, false); err != nil {
+			return 0, err
+		}
+	}
+	plan, err := buildPlan(db.catalog, schema, st.where, args, mode)
+	if err != nil {
+		return 0, err
+	}
+	type victim struct {
+		rid  heap.RID
+		vals []Value
+	}
+	var victims []victim
+	err = db.scanRows(plan, args, func(rid heap.RID, vals []Value) (bool, error) {
+		victims = append(victims, victim{rid: rid, vals: vals})
+		return true, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	th := db.tables[schema.Name]
+	for _, v := range victims {
+		if err := th.h.Delete(v.rid); err != nil {
+			return 0, err
+		}
+		for _, ix := range db.catalog.indexesOn(schema.Name) {
+			key, err := indexKey(schema, ix, v.vals, v.rid)
+			if err != nil {
+				return 0, err
+			}
+			if err := db.indexes[ix.Name].tree.Delete(key); err != nil {
+				return 0, fmt.Errorf("sqlmini: index %s: %w", ix.Name, err)
+			}
+		}
+	}
+	return len(victims), nil
+}
+
+// execUnion runs each branch and merges the results with set semantics
+// (duplicate rows removed), as the paper's search requires: "the union of
+// the results of two point queries and one line query".
+func (db *DB) execUnion(st unionStmt, args []Value, mode PlanMode) (*Rows, error) {
+	out := &Rows{}
+	seen := map[string]bool{}
+	for i, b := range st.branches {
+		// Placeholder indices are assigned left to right across the whole
+		// statement, so every branch evaluates against the full args.
+		rows, err := db.execSelect(b, args, mode)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			out.Columns = rows.Columns
+		} else if len(rows.Columns) != len(out.Columns) {
+			return nil, fmt.Errorf("sqlmini: UNION branches produce %d and %d columns",
+				len(out.Columns), len(rows.Columns))
+		}
+		for _, row := range rows.Data {
+			key := rowKey(row)
+			if !seen[key] {
+				seen[key] = true
+				out.Data = append(out.Data, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+// rowKey builds a deduplication key for UNION set semantics.
+func rowKey(row []Value) string {
+	var sb strings.Builder
+	for _, v := range row {
+		sb.WriteByte(byte(v.T))
+		sb.WriteString(v.String())
+		sb.WriteByte(0)
+	}
+	return sb.String()
+}

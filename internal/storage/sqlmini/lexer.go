@@ -1,0 +1,171 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokParam  // ?
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents as written
+	pos  int    // byte offset in the input
+}
+
+var keywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "INDEX": true, "ON": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"SELECT": true, "FROM": true, "WHERE": true,
+	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"DELETE": true, "EXPLAIN": true, "UNION": true,
+	"AND": true, "OR": true, "NOT": true,
+	"INT": true, "REAL": true, "TEXT": true,
+	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true,
+}
+
+type lexer struct {
+	in  string
+	pos int
+}
+
+// lex tokenizes the whole statement up front.
+func lex(in string) ([]token, error) {
+	l := &lexer{in: in}
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if c == '-' && l.pos+1 < len(l.in) && l.in[l.pos+1] == '-' {
+			// Line comment.
+			for l.pos < len(l.in) && l.in[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.in) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.in[l.pos]
+	switch {
+	case c == '?':
+		l.pos++
+		return token{kind: tokParam, text: "?", pos: start}, nil
+	case c == '\'':
+		return l.lexString()
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.in) && isDigit(l.in[l.pos+1])):
+		return l.lexNumber()
+	case isIdentStart(c):
+		for l.pos < len(l.in) && isIdentPart(l.in[l.pos]) {
+			l.pos++
+		}
+		word := l.in[start:l.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return token{kind: tokKeyword, text: up, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: word, pos: start}, nil
+	default:
+		// Multi-char operators first.
+		for _, op := range []string{"<=", ">=", "!=", "<>"} {
+			if strings.HasPrefix(l.in[l.pos:], op) {
+				l.pos += 2
+				text := op
+				if op == "<>" {
+					text = "!="
+				}
+				return token{kind: tokSymbol, text: text, pos: start}, nil
+			}
+		}
+		if strings.ContainsRune("(),*+-/=<>", rune(c)) {
+			l.pos++
+			return token{kind: tokSymbol, text: string(c), pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sqlmini: unexpected character %q at offset %d", c, l.pos)
+	}
+}
+
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.in) && l.in[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: sb.String(), pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return token{}, fmt.Errorf("sqlmini: unterminated string literal at offset %d", start)
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	kind := tokInt
+	for l.pos < len(l.in) && isDigit(l.in[l.pos]) {
+		l.pos++
+	}
+	if l.pos < len(l.in) && l.in[l.pos] == '.' {
+		kind = tokFloat
+		l.pos++
+		for l.pos < len(l.in) && isDigit(l.in[l.pos]) {
+			l.pos++
+		}
+	}
+	if l.pos < len(l.in) && (l.in[l.pos] == 'e' || l.in[l.pos] == 'E') {
+		kind = tokFloat
+		l.pos++
+		if l.pos < len(l.in) && (l.in[l.pos] == '+' || l.in[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos >= len(l.in) || !isDigit(l.in[l.pos]) {
+			return token{}, fmt.Errorf("sqlmini: malformed exponent at offset %d", start)
+		}
+		for l.pos < len(l.in) && isDigit(l.in[l.pos]) {
+			l.pos++
+		}
+	}
+	return token{kind: kind, text: l.in[start:l.pos], pos: start}, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

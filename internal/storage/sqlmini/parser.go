@@ -1,0 +1,502 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks   []token
+	pos    int
+	params int // placeholders assigned so far
+}
+
+// parse parses one SQL statement.
+func parse(in string) (stmt, error) {
+	toks, err := lex(in)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	s, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("trailing input starting at %q", p.cur().text)
+	}
+	return s, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return token{}, p.errorf("expected %s, found %q", want, t.text)
+	}
+	p.advance()
+	return t, nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sqlmini: parse error at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) statement() (stmt, error) {
+	switch {
+	case p.accept(tokKeyword, "CREATE"):
+		return p.create()
+	case p.accept(tokKeyword, "INSERT"):
+		return p.insert()
+	case p.accept(tokKeyword, "SELECT"):
+		first, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if !p.at(tokKeyword, "UNION") {
+			return first, nil
+		}
+		branches := []selectStmt{first.(selectStmt)}
+		for p.accept(tokKeyword, "UNION") {
+			if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+				return nil, err
+			}
+			next, err := p.selectStmt()
+			if err != nil {
+				return nil, err
+			}
+			branches = append(branches, next.(selectStmt))
+		}
+		for _, b := range branches {
+			if len(b.orderBy) > 0 || b.limit >= 0 {
+				return nil, p.errorf("ORDER BY and LIMIT are not supported with UNION")
+			}
+		}
+		return unionStmt{branches: branches}, nil
+	case p.accept(tokKeyword, "DELETE"):
+		return p.deleteStmt()
+	case p.accept(tokKeyword, "EXPLAIN"):
+		inner, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		switch inner.(type) {
+		case selectStmt, unionStmt, deleteStmt:
+			return explainStmt{inner: inner}, nil
+		default:
+			return nil, p.errorf("EXPLAIN supports only SELECT and DELETE")
+		}
+	default:
+		return nil, p.errorf("expected a statement, found %q", p.cur().text)
+	}
+}
+
+func (p *parser) create() (stmt, error) {
+	switch {
+	case p.accept(tokKeyword, "TABLE"):
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var cols []ColumnDef
+		for {
+			cn, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			var ct ColType
+			switch {
+			case p.accept(tokKeyword, "INT"):
+				ct = IntType
+			case p.accept(tokKeyword, "REAL"):
+				ct = RealType
+			case p.accept(tokKeyword, "TEXT"):
+				ct = TextType
+			default:
+				return nil, p.errorf("expected a column type after %q", cn.text)
+			}
+			cols = append(cols, ColumnDef{Name: cn.text, Type: ct})
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return createTableStmt{name: name.text, cols: cols}, nil
+
+	case p.accept(tokKeyword, "INDEX"):
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		table, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var cols []string
+		for {
+			c, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, c.text)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return createIndexStmt{name: name.text, table: table.text, cols: cols}, nil
+
+	default:
+		return nil, p.errorf("expected TABLE or INDEX after CREATE")
+	}
+}
+
+func (p *parser) insert() (stmt, error) {
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	var vals []expr
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, e)
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return insertStmt{table: table.text, vals: vals}, nil
+}
+
+func (p *parser) selectStmt() (stmt, error) {
+	st := selectStmt{limit: -1}
+	if p.accept(tokSymbol, "*") {
+		st.star = true
+	} else {
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.exprs = append(st.exprs, e)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st.table = table.text
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.where = w
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			key := orderKey{col: c.text}
+			if p.accept(tokKeyword, "DESC") {
+				key.desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			st.orderBy = append(st.orderBy, key)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		n, err := p.expect(tokInt, "")
+		if err != nil {
+			return nil, err
+		}
+		lim, err := strconv.ParseInt(n.text, 10, 64)
+		if err != nil || lim < 0 {
+			return nil, p.errorf("bad LIMIT %q", n.text)
+		}
+		st.limit = lim
+	}
+	return st, nil
+}
+
+func (p *parser) deleteStmt() (stmt, error) {
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st := deleteStmt{table: table.text}
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.where = w
+	}
+	return st, nil
+}
+
+// Expression grammar (lowest to highest precedence):
+//
+//	expr    := orExpr
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | cmp
+//	cmp     := add ((= != < <= > >=) add)?
+//	add     := mul ((+ -) mul)*
+//	mul     := unary ((* /) unary)*
+//	unary   := - unary | primary
+//	primary := literal | ? | ident | aggregate | ( expr )
+func (p *parser) expr() (expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: "OR", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: "AND", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return unary{op: "NOT", x: x}, nil
+	}
+	return p.cmp()
+}
+
+func (p *parser) cmp() (expr, error) {
+	l, err := p.add()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"<=", ">=", "!=", "=", "<", ">"} {
+		if p.accept(tokSymbol, op) {
+			r, err := p.add()
+			if err != nil {
+				return nil, err
+			}
+			return binExpr{op: op, l: l, r: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) add() (expr, error) {
+	l, err := p.mul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "+"):
+			r, err := p.mul()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: "+", l: l, r: r}
+		case p.accept(tokSymbol, "-"):
+			r, err := p.mul()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: "-", l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) mul() (expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokSymbol, "*"):
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: "*", l: l, r: r}
+		case p.accept(tokSymbol, "/"):
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: "/", l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) unaryExpr() (expr, error) {
+	if p.accept(tokSymbol, "-") {
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return unary{op: "-", x: x}, nil
+	}
+	return p.primary()
+}
+
+var aggNames = map[string]bool{"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true}
+
+func (p *parser) primary() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.advance()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer %q", t.text)
+		}
+		return literal{v: Int(v)}, nil
+	case t.kind == tokFloat:
+		p.advance()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.text)
+		}
+		return literal{v: Real(v)}, nil
+	case t.kind == tokString:
+		p.advance()
+		return literal{v: Text(t.text)}, nil
+	case t.kind == tokParam:
+		p.advance()
+		e := param{idx: p.params}
+		p.params++
+		return e, nil
+	case t.kind == tokKeyword && aggNames[t.text]:
+		p.advance()
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		if t.text == "COUNT" && p.accept(tokSymbol, "*") {
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return aggregate{fn: "COUNT"}, nil
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return aggregate{fn: t.text, x: x}, nil
+	case t.kind == tokIdent:
+		p.advance()
+		return columnRef{name: t.text}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errorf("expected an expression, found %q", t.text)
+	}
+}

@@ -1,0 +1,354 @@
+package sqlmini
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"segdiff/internal/storage/keyenc"
+)
+
+// PlanMode controls access path selection, standing in for the paper's
+// forced choice between "sequential scan" and "execution using indexes".
+type PlanMode int8
+
+// Plan modes.
+const (
+	// PlanAuto uses an index when a usable range bound exists, otherwise a
+	// sequential scan (mirroring MySQL's optimizer on these queries).
+	PlanAuto PlanMode = iota
+	// PlanForceScan always scans the heap.
+	PlanForceScan
+	// PlanForceIndex always goes through the best-matching index, even if
+	// the whole index must be walked.
+	PlanForceIndex
+)
+
+// scanPlan is the chosen access path for a SELECT or DELETE.
+type scanPlan struct {
+	schema *tableSchema
+	index  *indexSchema // nil = sequential scan
+	lo, hi []byte       // index scan bounds; nil = open end
+	filter expr         // full WHERE, applied as residual filter
+	empty  bool         // statically impossible predicate (e.g. int col = 1.5)
+	detail string       // human-readable bound description for EXPLAIN
+}
+
+func (p *scanPlan) explain() string {
+	var sb strings.Builder
+	if p.empty {
+		sb.WriteString("EMPTY RESULT")
+	} else if p.index == nil {
+		fmt.Fprintf(&sb, "SEQ SCAN %s", p.schema.Name)
+	} else {
+		fmt.Fprintf(&sb, "INDEX SCAN %s ON %s %s", p.index.Name, p.schema.Name, p.detail)
+	}
+	if p.filter != nil {
+		fmt.Fprintf(&sb, " FILTER %s", p.filter.String())
+	}
+	return sb.String()
+}
+
+// buildPlan selects the access path for (table, where) under mode. The
+// statement arguments are available, so placeholder bounds participate in
+// planning (plans are built per execution).
+func buildPlan(c *catalog, schema *tableSchema, where expr, args []Value, mode PlanMode) (*scanPlan, error) {
+	plan := &scanPlan{schema: schema, filter: where}
+	if mode == PlanForceScan {
+		return plan, nil
+	}
+	conjs := splitConjuncts(where)
+	b := &binding{args: args}
+
+	type cand struct {
+		ix     *indexSchema
+		lo, hi []byte
+		score  int
+		empty  bool
+		detail string
+	}
+	var best *cand
+	for _, ix := range c.indexesOn(schema.Name) {
+		cd, err := matchIndex(schema, ix, conjs, b)
+		if err != nil {
+			return nil, err
+		}
+		c := cand{ix: ix, lo: cd.lo, hi: cd.hi, score: cd.score, empty: cd.empty, detail: cd.detail}
+		if best == nil || c.score > best.score {
+			best = &c
+		}
+	}
+	switch mode {
+	case PlanForceIndex:
+		if best == nil {
+			return nil, fmt.Errorf("sqlmini: no index on table %s to force", schema.Name)
+		}
+	default: // PlanAuto
+		if best == nil || best.score == 0 {
+			return plan, nil
+		}
+	}
+	plan.index = best.ix
+	plan.lo, plan.hi = best.lo, best.hi
+	plan.empty = best.empty
+	plan.detail = best.detail
+	return plan, nil
+}
+
+// rangeBound is one side of a column range.
+type rangeBound struct {
+	v         Value
+	inclusive bool
+	set       bool
+}
+
+type matched struct {
+	lo, hi []byte
+	score  int
+	empty  bool
+	detail string
+}
+
+// matchIndex derives scan bounds for one index: a run of equality
+// conjuncts over the index's column prefix, optionally terminated by range
+// conjuncts on the next column.
+func matchIndex(schema *tableSchema, ix *indexSchema, conjs []expr, b *binding) (matched, error) {
+	var m matched
+	var eqVals []keyenc.Value
+	var details []string
+
+	for pos, colName := range ix.Cols {
+		ci := schema.colIndex(colName)
+		if ci < 0 {
+			return m, fmt.Errorf("sqlmini: index %s references unknown column %s", ix.Name, colName)
+		}
+		colType := schema.Cols[ci].Type
+
+		var eq rangeBound
+		var lo, hi rangeBound
+		for _, cj := range conjs {
+			col, op, rhs, ok := asColumnCompare(cj, colName)
+			if !ok {
+				continue
+			}
+			_ = col
+			v, err := evalExpr(rhs, b)
+			if err != nil {
+				return m, err
+			}
+			switch op {
+			case "=":
+				if !eq.set {
+					eq = rangeBound{v: v, inclusive: true, set: true}
+				}
+			case ">", ">=":
+				nb := rangeBound{v: v, inclusive: op == ">=", set: true}
+				if tighterLo(nb, lo) {
+					lo = nb
+				}
+			case "<", "<=":
+				nb := rangeBound{v: v, inclusive: op == "<=", set: true}
+				if tighterHi(nb, hi) {
+					hi = nb
+				}
+			}
+		}
+
+		if eq.set {
+			kv, exact, err := encodeBoundValue(colType, eq.v)
+			if err != nil {
+				return m, err
+			}
+			if !exact {
+				// e.g. int_col = 1.5: statically empty.
+				return matched{empty: true, score: math.MaxInt32, detail: "impossible equality"}, nil
+			}
+			eqVals = append(eqVals, kv)
+			m.score += 2
+			details = append(details, fmt.Sprintf("%s=%s", colName, eq.v))
+			continue
+		}
+
+		// Range bounds terminate the prefix.
+		prefix := keyenc.Encode(eqVals...)
+		m.lo, m.hi = prefix, nil
+		if len(eqVals) > 0 {
+			m.hi = upperBound(prefix)
+		}
+		if lo.set {
+			kv, err := encodeLoBound(colType, lo)
+			if err != nil {
+				return m, err
+			}
+			m.lo = append(append([]byte{}, prefix...), kv...)
+			m.score++
+			details = append(details, fmt.Sprintf("%s>~%s", colName, lo.v))
+		}
+		if hi.set {
+			kv, err := encodeHiBound(colType, hi)
+			if err != nil {
+				return m, err
+			}
+			m.hi = append(append([]byte{}, prefix...), kv...)
+			m.score++
+			details = append(details, fmt.Sprintf("%s<~%s", colName, hi.v))
+		}
+		_ = pos
+		m.detail = "BOUNDS(" + strings.Join(details, ", ") + ")"
+		return m, nil
+	}
+
+	// Every index column had an equality.
+	prefix := keyenc.Encode(eqVals...)
+	m.lo = prefix
+	m.hi = upperBound(prefix)
+	if len(eqVals) == 0 {
+		m.lo, m.hi = nil, nil
+	}
+	m.detail = "BOUNDS(" + strings.Join(details, ", ") + ")"
+	return m, nil
+}
+
+// asColumnCompare matches conjuncts of the form <col> OP <const-expr> or
+// <const-expr> OP <col> (flipping the operator), for the given column.
+func asColumnCompare(e expr, col string) (string, string, expr, bool) {
+	bx, ok := e.(binExpr)
+	if !ok {
+		return "", "", nil, false
+	}
+	switch bx.op {
+	case "=", "<", "<=", ">", ">=":
+	default:
+		return "", "", nil, false
+	}
+	if cr, ok := bx.l.(columnRef); ok && cr.name == col && isConst(bx.r) {
+		return col, bx.op, bx.r, true
+	}
+	if cr, ok := bx.r.(columnRef); ok && cr.name == col && isConst(bx.l) {
+		return col, flipOp(bx.op), bx.l, true
+	}
+	return "", "", nil, false
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+// tighterLo reports whether a is a tighter lower bound than b.
+func tighterLo(a, b rangeBound) bool {
+	if !b.set {
+		return true
+	}
+	c, err := Compare(a.v, b.v)
+	if err != nil {
+		return false
+	}
+	return c > 0 || (c == 0 && !a.inclusive && b.inclusive)
+}
+
+func tighterHi(a, b rangeBound) bool {
+	if !b.set {
+		return true
+	}
+	c, err := Compare(a.v, b.v)
+	if err != nil {
+		return false
+	}
+	return c < 0 || (c == 0 && !a.inclusive && b.inclusive)
+}
+
+// encodeBoundValue encodes v for a column of type t. exact is false when
+// the value cannot be represented exactly in the column's type (an INT
+// column with a fractional bound).
+func encodeBoundValue(t ColType, v Value) (keyenc.Value, bool, error) {
+	switch t {
+	case IntType:
+		switch v.T {
+		case IntType:
+			return keyenc.IntValue(v.I), true, nil
+		case RealType:
+			if v.R == math.Trunc(v.R) && !math.IsInf(v.R, 0) {
+				return keyenc.IntValue(int64(v.R)), true, nil
+			}
+			return keyenc.Value{}, false, nil
+		}
+	case RealType:
+		f, err := v.AsReal()
+		if err != nil {
+			return keyenc.Value{}, false, err
+		}
+		return keyenc.FloatValue(f), true, nil
+	case TextType:
+		if v.T == TextType {
+			return keyenc.StringValue(v.S), true, nil
+		}
+	}
+	return keyenc.Value{}, false, fmt.Errorf("sqlmini: cannot bound %v column with %v value", t, v.T)
+}
+
+// encodeLoBound returns the encoded scan start for "col > / >= bound".
+func encodeLoBound(t ColType, b rangeBound) ([]byte, error) {
+	kv, exact, err := encodeBoundValue(t, adjustedLo(t, b))
+	if err != nil {
+		return nil, err
+	}
+	enc := keyenc.Encode(kv)
+	if exact && !b.inclusive && !(t == IntType && b.v.T == RealType) {
+		// col > v: skip all keys whose element equals v.
+		return upperBound(enc), nil
+	}
+	return enc, nil
+}
+
+// adjustedLo rounds fractional bounds on INT columns up: col >= 1.5 means
+// col >= 2.
+func adjustedLo(t ColType, b rangeBound) Value {
+	if t == IntType && b.v.T == RealType && b.v.R != math.Trunc(b.v.R) {
+		return Int(int64(math.Ceil(b.v.R)))
+	}
+	return b.v
+}
+
+// encodeHiBound returns the encoded scan end for "col < / <= bound"
+// (inclusive scan semantics: keys > the returned bound are excluded).
+func encodeHiBound(t ColType, b rangeBound) ([]byte, error) {
+	v := b.v
+	inclusive := b.inclusive
+	if t == IntType && v.T == RealType && v.R != math.Trunc(v.R) {
+		// col <= 1.5 and col < 1.5 both mean col <= 1.
+		v = Int(int64(math.Floor(v.R)))
+		inclusive = true
+	}
+	kv, _, err := encodeBoundValue(t, v)
+	if err != nil {
+		return nil, err
+	}
+	enc := keyenc.Encode(kv)
+	if inclusive {
+		// Include all keys whose element equals v (they carry suffixes).
+		return upperBound(enc), nil
+	}
+	// col < v: the encoded prefix itself is less than every key with
+	// element v, so it serves as an inclusive upper bound excluding them.
+	return enc, nil
+}
+
+// upperBound returns a key that is >= every key having enc as a prefix and
+// < every key with a greater prefix.
+func upperBound(enc []byte) []byte {
+	out := make([]byte, len(enc)+1)
+	copy(out, enc)
+	out[len(enc)] = 0xFF
+	return out
+}

@@ -1,0 +1,76 @@
+package sqlmini
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Row encoding: values in schema order. INT and REAL are 8 bytes
+// little-endian; TEXT is a uint16 length prefix plus bytes.
+
+func encodeRow(schema *tableSchema, vals []Value) ([]byte, error) {
+	if len(vals) != len(schema.Cols) {
+		return nil, fmt.Errorf("sqlmini: %s has %d columns, got %d values", schema.Name, len(schema.Cols), len(vals))
+	}
+	var out []byte
+	var b8 [8]byte
+	for i, col := range schema.Cols {
+		v, err := coerce(vals[i], col.Type)
+		if err != nil {
+			return nil, fmt.Errorf("sqlmini: column %s: %w", col.Name, err)
+		}
+		switch col.Type {
+		case IntType:
+			binary.LittleEndian.PutUint64(b8[:], uint64(v.I))
+			out = append(out, b8[:]...)
+		case RealType:
+			binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v.R))
+			out = append(out, b8[:]...)
+		case TextType:
+			if len(v.S) > math.MaxUint16 {
+				return nil, fmt.Errorf("sqlmini: column %s: TEXT value of %d bytes too long", col.Name, len(v.S))
+			}
+			binary.LittleEndian.PutUint16(b8[:2], uint16(len(v.S)))
+			out = append(out, b8[:2]...)
+			out = append(out, v.S...)
+		}
+	}
+	return out, nil
+}
+
+func decodeRow(schema *tableSchema, rec []byte) ([]Value, error) {
+	out := make([]Value, len(schema.Cols))
+	off := 0
+	for i, col := range schema.Cols {
+		switch col.Type {
+		case IntType:
+			if off+8 > len(rec) {
+				return nil, fmt.Errorf("sqlmini: truncated row in %s", schema.Name)
+			}
+			out[i] = Int(int64(binary.LittleEndian.Uint64(rec[off:])))
+			off += 8
+		case RealType:
+			if off+8 > len(rec) {
+				return nil, fmt.Errorf("sqlmini: truncated row in %s", schema.Name)
+			}
+			out[i] = Real(math.Float64frombits(binary.LittleEndian.Uint64(rec[off:])))
+			off += 8
+		case TextType:
+			if off+2 > len(rec) {
+				return nil, fmt.Errorf("sqlmini: truncated row in %s", schema.Name)
+			}
+			n := int(binary.LittleEndian.Uint16(rec[off:]))
+			off += 2
+			if off+n > len(rec) {
+				return nil, fmt.Errorf("sqlmini: truncated TEXT in %s", schema.Name)
+			}
+			out[i] = Text(string(rec[off : off+n]))
+			off += n
+		}
+	}
+	if off != len(rec) {
+		return nil, fmt.Errorf("sqlmini: %d trailing bytes in row of %s", len(rec)-off, schema.Name)
+	}
+	return out, nil
+}

@@ -1,0 +1,215 @@
+// Package wal implements a redo-only write-ahead log of page after-images
+// with batch commit markers, paired with the pager's no-steal eviction
+// policy:
+//
+//   - between commits, the pager never writes dirty unlogged pages to the
+//     data files, so data files only ever contain committed page content;
+//   - Commit captures the after-image of every dirty page (via
+//     pager.LogDirty), appends the images plus a commit marker, and fsyncs;
+//   - recovery replays the page images of every complete batch in log
+//     order, which is idempotent; a torn tail (missing commit marker or bad
+//     checksum) is discarded;
+//   - Checkpoint (performed by the engine) flushes all pagers to the data
+//     files and truncates the log.
+//
+// Pages from multiple files share one log; records carry a small file
+// number assigned by the engine's catalog.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Record types.
+const (
+	opPageImage = 1
+	opCommit    = 2
+)
+
+const headerLen = 1 + 2 + 4 + 4 + 4 // op, file, page, len, crc
+
+// Log is an append-only write-ahead log. Not safe for concurrent use.
+type Log struct {
+	f      *os.File
+	w      *bufio.Writer
+	path   string
+	closed bool
+}
+
+// Open opens (creating if absent) the log at path, positioned for append.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek %s: %w", path, err)
+	}
+	return &Log{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path}, nil
+}
+
+func (l *Log) appendRecord(op byte, file uint16, page uint32, data []byte) error {
+	if l.closed {
+		return errors.New("wal: use after close")
+	}
+	var hdr [headerLen]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint16(hdr[1:3], file)
+	binary.LittleEndian.PutUint32(hdr[3:7], page)
+	binary.LittleEndian.PutUint32(hdr[7:11], uint32(len(data)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:11])
+	crc.Write(data)
+	binary.LittleEndian.PutUint32(hdr[11:15], crc.Sum32())
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := l.w.Write(data)
+	return err
+}
+
+// AppendPage logs the after-image of one page.
+func (l *Log) AppendPage(file uint16, page uint32, data []byte) error {
+	return l.appendRecord(opPageImage, file, page, data)
+}
+
+// Commit appends a commit marker and durably flushes the log. Page images
+// appended since the previous Commit become recoverable.
+func (l *Log) Commit() error {
+	if err := l.appendRecord(opCommit, 0, 0, nil); err != nil {
+		return err
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Size returns the current log length in bytes (including buffered data).
+func (l *Log) Size() (int64, error) {
+	if err := l.w.Flush(); err != nil {
+		return 0, err
+	}
+	st, err := l.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Truncate discards the whole log; the engine calls it after a checkpoint
+// has flushed all data files.
+func (l *Log) Truncate() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	l.w.Reset(l.f)
+	return l.f.Sync()
+}
+
+// Close flushes and closes the log file. It does not commit: an open batch
+// is intentionally discarded by recovery.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Close()
+}
+
+// PageImage is one replayed record.
+type PageImage struct {
+	File uint16
+	Page uint32
+	Data []byte
+}
+
+// Replay reads the log at path and calls apply for every page image that
+// belongs to a complete (committed) batch, in log order. It returns the
+// number of committed batches replayed. A missing file is zero batches. A
+// torn or corrupt tail terminates replay silently (those records were
+// never acknowledged); corruption before the last commit marker is
+// reported as an error.
+func Replay(path string, apply func(PageImage) error) (int, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("wal: replay open: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+
+	var pending []PageImage
+	batches := 0
+	for {
+		rec, op, err := readRecord(r)
+		if err == io.EOF {
+			return batches, nil
+		}
+		if err != nil {
+			// Torn tail: the batch it belongs to was never committed.
+			return batches, nil
+		}
+		switch op {
+		case opPageImage:
+			pending = append(pending, rec)
+		case opCommit:
+			for _, img := range pending {
+				if err := apply(img); err != nil {
+					return batches, fmt.Errorf("wal: apply page %d of file %d: %w", img.Page, img.File, err)
+				}
+			}
+			pending = pending[:0]
+			batches++
+		default:
+			return batches, nil // unknown record: treat as torn tail
+		}
+	}
+}
+
+func readRecord(r *bufio.Reader) (PageImage, byte, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return PageImage{}, 0, errors.New("wal: torn header")
+		}
+		return PageImage{}, 0, err
+	}
+	op := hdr[0]
+	file := binary.LittleEndian.Uint16(hdr[1:3])
+	page := binary.LittleEndian.Uint32(hdr[3:7])
+	n := binary.LittleEndian.Uint32(hdr[7:11])
+	want := binary.LittleEndian.Uint32(hdr[11:15])
+	if n > 1<<20 {
+		return PageImage{}, 0, errors.New("wal: implausible record length")
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return PageImage{}, 0, errors.New("wal: torn payload")
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:11])
+	crc.Write(data)
+	if crc.Sum32() != want {
+		return PageImage{}, 0, errors.New("wal: checksum mismatch")
+	}
+	return PageImage{File: file, Page: page, Data: data}, op, nil
+}

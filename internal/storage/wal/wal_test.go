@@ -1,0 +1,353 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"segdiff/internal/storage/pager"
+)
+
+func tmpLog(t *testing.T) (string, *Log) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, l
+}
+
+func TestCommitAndReplay(t *testing.T) {
+	path, l := tmpLog(t)
+	pageA := bytes.Repeat([]byte{1}, 64)
+	pageB := bytes.Repeat([]byte{2}, 64)
+	if err := l.AppendPage(0, 10, pageA); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendPage(1, 20, pageB); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []PageImage
+	batches, err := Replay(path, func(img PageImage) error {
+		got = append(got, img)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches != 1 {
+		t.Fatalf("batches = %d", batches)
+	}
+	if len(got) != 2 {
+		t.Fatalf("images = %d", len(got))
+	}
+	if got[0].File != 0 || got[0].Page != 10 || !bytes.Equal(got[0].Data, pageA) {
+		t.Fatalf("image 0 = %+v", got[0])
+	}
+	if got[1].File != 1 || got[1].Page != 20 || !bytes.Equal(got[1].Data, pageB) {
+		t.Fatalf("image 1 = %+v", got[1])
+	}
+}
+
+func TestUncommittedTailDiscarded(t *testing.T) {
+	path, l := tmpLog(t)
+	if err := l.AppendPage(0, 1, []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// A second batch without a commit marker.
+	if err := l.AppendPage(0, 2, []byte("uncommitted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []PageImage
+	batches, err := Replay(path, func(img PageImage) error {
+		got = append(got, img)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches != 1 || len(got) != 1 || string(got[0].Data) != "committed" {
+		t.Fatalf("replay = %d batches, %d images", batches, len(got))
+	}
+}
+
+func TestTornTailDiscarded(t *testing.T) {
+	path, l := tmpLog(t)
+	if err := l.AppendPage(0, 1, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendPage(0, 2, bytes.Repeat([]byte{9}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the file mid-way through the second batch.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-30); err != nil {
+		t.Fatal(err)
+	}
+
+	batches, err := Replay(path, func(PageImage) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches != 1 {
+		t.Fatalf("batches after tear = %d", batches)
+	}
+}
+
+func TestCorruptRecordStopsReplay(t *testing.T) {
+	path, l := tmpLog(t)
+	if err := l.AppendPage(0, 1, bytes.Repeat([]byte{5}, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the payload.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	batches, err := Replay(path, func(PageImage) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches != 0 {
+		t.Fatalf("corrupt batch replayed: %d", batches)
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	batches, err := Replay(filepath.Join(t.TempDir(), "absent.log"), func(PageImage) error { return nil })
+	if err != nil || batches != 0 {
+		t.Fatalf("missing file: %d, %v", batches, err)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	path, l := tmpLog(t)
+	if err := l.AppendPage(0, 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	sz, err := l.Size()
+	if err != nil || sz != 0 {
+		t.Fatalf("size after truncate = %d, %v", sz, err)
+	}
+	// Log must be reusable after truncation.
+	if err := l.AppendPage(0, 2, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []PageImage
+	if _, err := Replay(path, func(img PageImage) error {
+		got = append(got, img)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Page != 2 {
+		t.Fatalf("after truncate replay = %+v", got)
+	}
+}
+
+func TestUseAfterClose(t *testing.T) {
+	_, l := tmpLog(t)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendPage(0, 1, nil); err == nil {
+		t.Fatal("append after close accepted")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal("second close should be nil")
+	}
+}
+
+// End-to-end with the pager: simulate a crash after commit but before
+// checkpoint; replay must restore the committed content.
+func TestCrashRecoveryWithPager(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.db")
+	logPath := filepath.Join(dir, "wal.log")
+
+	f, err := pager.OpenOSFile(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pager.New(f, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetNoSteal(true)
+	l, err := Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pg, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(pg.Data(), "batch-one")
+	pg.MarkDirty()
+	pg.Release()
+
+	// Commit: log dirty pages, then the marker.
+	if err := p.LogDirty(func(id pager.PageID, data []byte) error {
+		return l.AppendPage(0, uint32(id), data)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second, uncommitted batch.
+	pg2, err := p.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(pg2.Data(), "batch-two")
+	pg2.MarkDirty()
+	pg2.Release()
+
+	// "Crash": drop the pager without flushing; data file never saw any
+	// page (no-steal and no checkpoint). Close the log abruptly.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery: replay committed images into the data file.
+	f2, err := pager.OpenOSFile(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Replay(logPath, func(img PageImage) error {
+		_, werr := f2.WriteAt(img.Data, int64(img.Page)*pager.PageSize)
+		return werr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := pager.New(f2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p2.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Data()[:9]) != "batch-one" {
+		t.Fatalf("recovered %q, want committed batch-one", got.Data()[:9])
+	}
+	got.Release()
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The pager must not evict dirty unlogged frames under no-steal, and must
+// evict them once logged.
+func TestNoStealEviction(t *testing.T) {
+	f := pager.NewMemFile()
+	p, err := pager.New(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetNoSteal(true)
+	for i := 0; i < 4; i++ {
+		pg, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Data()[0] = byte(i + 1)
+		pg.MarkDirty()
+		pg.Release()
+	}
+	// Nothing may have reached the file yet.
+	sz, _ := f.Size()
+	if sz != 0 {
+		t.Fatalf("dirty unlogged pages written under no-steal: %d bytes", sz)
+	}
+	logged := 0
+	if err := p.LogDirty(func(pager.PageID, []byte) error {
+		logged++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if logged != 4 {
+		t.Fatalf("logged %d frames", logged)
+	}
+	// Second LogDirty finds nothing new.
+	again := 0
+	if err := p.LogDirty(func(pager.PageID, []byte) error { again++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if again != 0 {
+		t.Fatalf("re-logged %d frames", again)
+	}
+	// Now eviction may proceed: allocating more pages shrinks the pool.
+	for i := 0; i < 4; i++ {
+		pg, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.MarkDirty()
+		pg.Release()
+		if err := p.LogDirty(func(pager.PageID, []byte) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Stats().Evictions == 0 {
+		t.Fatal("no evictions after logging")
+	}
+}

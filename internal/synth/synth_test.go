@@ -1,0 +1,234 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func dayConfig(seed int64, days int64) Config {
+	return Config{Seed: seed, Duration: days * SecondsPerDay}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, evA, err := Generate(dayConfig(7, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, evB, err := Generate(dayConfig(7, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Points(), b.Points()) {
+		t.Fatal("same seed produced different series")
+	}
+	if !reflect.DeepEqual(evA, evB) {
+		t.Fatal("same seed produced different events")
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _, _ := Generate(dayConfig(1, 2))
+	b, _, _ := Generate(dayConfig(2, 2))
+	if reflect.DeepEqual(a.Points(), b.Points()) {
+		t.Fatal("different seeds produced identical series")
+	}
+}
+
+func TestGenerateSampleCountAndSpacing(t *testing.T) {
+	s, _, err := Generate(dayConfig(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SecondsPerDay / DefaultSampleInterval
+	if s.Len() != want {
+		t.Fatalf("len = %d, want %d", s.Len(), want)
+	}
+	for i := 1; i < s.Len(); i++ {
+		if s.At(i).T-s.At(i-1).T != DefaultSampleInterval {
+			t.Fatalf("irregular spacing at %d", i)
+		}
+	}
+}
+
+func TestGenerateTemperatureRange(t *testing.T) {
+	s, _, err := Generate(Config{Seed: 5, Duration: 30 * SecondsPerDay, AnomalyRate: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := s.MinMax()
+	if lo < -40 || hi > 50 {
+		t.Fatalf("implausible temperature range [%v, %v]", lo, hi)
+	}
+	if hi-lo < 5 {
+		t.Fatalf("range too narrow: [%v, %v]", lo, hi)
+	}
+}
+
+// An injected CAD event must actually appear in the data: the value at the
+// bottom of the drop must be close to Drop degrees below the onset value.
+func TestEventsAppearInData(t *testing.T) {
+	cfg := Config{Seed: 11, Duration: 60 * SecondsPerDay, CADPerWeek: 3, AnomalyRate: -1, NoiseStd: 0.01}
+	s, events, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events scheduled over 60 days at 3/week")
+	}
+	checked := 0
+	for i, e := range events {
+		bottom := e.Start + e.DropLen
+		if bottom > s.End() || e.Start < s.Start() {
+			continue
+		}
+		// Skip events whose window overlaps another event: their
+		// contributions superpose and single-event accounting breaks.
+		overlaps := false
+		for j, o := range events {
+			if i != j && e.Start < o.End() && o.Start < e.End() {
+				overlaps = true
+				break
+			}
+		}
+		if overlaps {
+			continue
+		}
+		// After removing the deterministic baseline, the deepest sample in
+		// the event window must reach close to -Drop (sampling at 300 s can
+		// miss the exact bottom of a >=20 min ramp by only a little).
+		cfgN, _ := cfg.Normalize()
+		deepest := math.Inf(1)
+		for _, p := range s.Slice(e.Start, e.End()).Points() {
+			if d := p.V - base(cfgN, p.T); d < deepest {
+				deepest = d
+			}
+		}
+		if math.Abs(deepest-(-e.Drop)) > 0.5 {
+			t.Errorf("event at %d: deepest excursion %.2f, injected drop %.2f", e.Start, deepest, e.Drop)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no events were checkable")
+	}
+}
+
+func TestEventContributionShape(t *testing.T) {
+	e := Event{Start: 1000, DropLen: 100, Drop: 5, Recovery: 200}
+	if got := eventContribution(e, 999); got != 0 {
+		t.Fatalf("before event: %v", got)
+	}
+	if got := eventContribution(e, 1000); got != 0 {
+		t.Fatalf("at onset: %v", got)
+	}
+	if got := eventContribution(e, 1100); got != -5 {
+		t.Fatalf("at bottom: %v", got)
+	}
+	if got := eventContribution(e, 1200); got != -2.5 {
+		t.Fatalf("mid recovery: %v", got)
+	}
+	if got := eventContribution(e, 1300); got != 0 {
+		t.Fatalf("after end: %v", got)
+	}
+}
+
+func TestGenerateTransect(t *testing.T) {
+	cfg := Config{Seed: 21, Duration: 2 * SecondsPerDay}
+	sensors, events, err := GenerateTransect(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sensors) != 5 {
+		t.Fatalf("sensor count = %d", len(sensors))
+	}
+	for i, s := range sensors {
+		if s.Len() == 0 {
+			t.Fatalf("sensor %d empty", i)
+		}
+		if s.Len() != sensors[0].Len() {
+			t.Fatalf("sensor %d length differs", i)
+		}
+	}
+	if reflect.DeepEqual(sensors[0].Points(), sensors[1].Points()) {
+		t.Fatal("adjacent sensors identical")
+	}
+	_ = events
+	// Determinism across calls.
+	again, _, err := GenerateTransect(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sensors {
+		if !reflect.DeepEqual(sensors[i].Points(), again[i].Points()) {
+			t.Fatalf("transect sensor %d not deterministic", i)
+		}
+	}
+}
+
+func TestGenerateTransectRejectsBadCount(t *testing.T) {
+	if _, _, err := GenerateTransect(dayConfig(1, 1), 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, _, err := Generate(Config{Seed: 1}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, _, err := Generate(Config{Seed: 1, Duration: 100, SampleInterval: -5}); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+	if _, _, err := Generate(Config{Seed: 1, Duration: 100, NoisePhi: 1.5}); err == nil {
+		t.Fatal("NoisePhi >= 1 accepted")
+	}
+	if _, _, err := Generate(Config{Seed: 1, Duration: 100, CADMinDrop: 5, CADMaxDrop: 3}); err == nil {
+		t.Fatal("inverted drop range accepted")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 20000
+	mean := 2.5
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, mean)
+	}
+	got := float64(sum) / n
+	if math.Abs(got-mean) > 0.1 {
+		t.Fatalf("poisson mean = %v, want ~%v", got, mean)
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Fatal("non-positive mean should give 0")
+	}
+}
+
+func TestRandomWalk(t *testing.T) {
+	s, err := RandomWalk(9, 100, 60, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 100 || s.At(0).V != 50 || s.At(0).T != 0 || s.At(1).T != 60 {
+		t.Fatalf("walk shape wrong: len=%d first=%v", s.Len(), s.At(0))
+	}
+	again, _ := RandomWalk(9, 100, 60, 50, 1)
+	if !reflect.DeepEqual(s.Points(), again.Points()) {
+		t.Fatal("random walk not deterministic")
+	}
+	if _, err := RandomWalk(9, 0, 60, 50, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestBaseSignalDiurnalCycle(t *testing.T) {
+	cfg, _ := Config{Duration: 1}.Normalize()
+	// Afternoon (15:00) should be warmer than pre-dawn (03:00) on the
+	// same day.
+	afternoon := base(cfg, 15*3600)
+	predawn := base(cfg, 3*3600)
+	if afternoon <= predawn {
+		t.Fatalf("diurnal cycle inverted: 15:00=%v 03:00=%v", afternoon, predawn)
+	}
+}

@@ -1,0 +1,60 @@
+package timeseries
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the series as "t,v" rows with a header line.
+func WriteCSV(w io.Writer, s *Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t", "v"}); err != nil {
+		return err
+	}
+	for _, p := range s.Points() {
+		rec := []string{
+			strconv.FormatInt(p.T, 10),
+			strconv.FormatFloat(p.V, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a series from "t,v" rows. A first row that fails integer
+// parsing is treated as a header and skipped.
+func ReadCSV(r io.Reader) (*Series, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	s := &Series{}
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return s, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		line++
+		t, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			if line == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("timeseries: line %d: bad timestamp %q: %w", line, rec[0], err)
+		}
+		v, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: line %d: bad value %q: %w", line, rec[1], err)
+		}
+		if err := s.Append(Point{T: t, V: v}); err != nil {
+			return nil, fmt.Errorf("timeseries: line %d: %w", line, err)
+		}
+	}
+}

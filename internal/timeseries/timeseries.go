@@ -1,0 +1,188 @@
+// Package timeseries provides the shared data model for the SegDiff
+// framework: observation points, time series, and the data generating
+// model G of the paper (Definition 1), which treats the unobserved signal
+// between two consecutive samples as their linear interpolation.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is a single observation (t, v): a value v sampled at time t.
+// Timestamps are int64 "time units"; the CAD workload uses seconds.
+type Point struct {
+	T int64
+	V float64
+}
+
+// Series is a time-ordered sequence of observations with strictly
+// increasing timestamps. The zero value is an empty, usable series.
+type Series struct {
+	pts []Point
+}
+
+// ErrOutOfOrder is returned when an appended point does not have a
+// strictly greater timestamp than the last point in the series.
+var ErrOutOfOrder = errors.New("timeseries: timestamps must be strictly increasing")
+
+// ErrOutOfRange is returned by Value and At for a time outside the series.
+var ErrOutOfRange = errors.New("timeseries: time outside series range")
+
+// New returns a series built from pts. It returns an error if the
+// timestamps are not strictly increasing or any value is not finite.
+func New(pts []Point) (*Series, error) {
+	s := &Series{}
+	for _, p := range pts {
+		if err := s.Append(p); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// MustNew is like New but panics on error. It is intended for tests and
+// for literals known to be valid.
+func MustNew(pts []Point) *Series {
+	s, err := New(pts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Append adds one observation to the end of the series.
+func (s *Series) Append(p Point) error {
+	if math.IsNaN(p.V) || math.IsInf(p.V, 0) {
+		return fmt.Errorf("timeseries: non-finite value %v at t=%d", p.V, p.T)
+	}
+	if n := len(s.pts); n > 0 && p.T <= s.pts[n-1].T {
+		return fmt.Errorf("%w: t=%d after t=%d", ErrOutOfOrder, p.T, s.pts[n-1].T)
+	}
+	s.pts = append(s.pts, p)
+	return nil
+}
+
+// Len returns the number of observations.
+func (s *Series) Len() int { return len(s.pts) }
+
+// At returns the i-th observation.
+func (s *Series) At(i int) Point { return s.pts[i] }
+
+// Points returns the underlying observations. The returned slice must be
+// treated as read-only.
+func (s *Series) Points() []Point { return s.pts }
+
+// Start returns the first timestamp. It panics on an empty series.
+func (s *Series) Start() int64 { return s.pts[0].T }
+
+// End returns the last timestamp. It panics on an empty series.
+func (s *Series) End() int64 { return s.pts[len(s.pts)-1].T }
+
+// Span returns End-Start, or 0 for a series with fewer than two points.
+func (s *Series) Span() int64 {
+	if len(s.pts) < 2 {
+		return 0
+	}
+	return s.End() - s.Start()
+}
+
+// Value evaluates the data generating model G (Definition 1) at time t:
+// the exact sample value at sample times, and the linear interpolation of
+// the two surrounding samples otherwise.
+func (s *Series) Value(t int64) (float64, error) {
+	n := len(s.pts)
+	if n == 0 || t < s.pts[0].T || t > s.pts[n-1].T {
+		return 0, fmt.Errorf("%w: t=%d", ErrOutOfRange, t)
+	}
+	// Index of the first point with T >= t.
+	i := sort.Search(n, func(i int) bool { return s.pts[i].T >= t })
+	if s.pts[i].T == t {
+		return s.pts[i].V, nil
+	}
+	a, b := s.pts[i-1], s.pts[i]
+	return Interpolate(a, b, t), nil
+}
+
+// Interpolate evaluates the line through a and b at time t (model G on a
+// single sampling interval). It requires a.T < b.T.
+func Interpolate(a, b Point, t int64) float64 {
+	return a.V + (b.V-a.V)*float64(t-a.T)/float64(b.T-a.T)
+}
+
+// Slice returns the sub-series of observations with from <= T <= to.
+// The result shares storage with s.
+func (s *Series) Slice(from, to int64) *Series {
+	n := len(s.pts)
+	lo := sort.Search(n, func(i int) bool { return s.pts[i].T >= from })
+	hi := sort.Search(n, func(i int) bool { return s.pts[i].T > to })
+	return &Series{pts: s.pts[lo:hi]}
+}
+
+// Head returns the sub-series of the first n observations (all of them if
+// n exceeds the length). The result shares storage with s.
+func (s *Series) Head(n int) *Series {
+	if n > len(s.pts) {
+		n = len(s.pts)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return &Series{pts: s.pts[:n]}
+}
+
+// MinMax returns the minimum and maximum observed values.
+// It panics on an empty series.
+func (s *Series) MinMax() (lo, hi float64) {
+	lo, hi = s.pts[0].V, s.pts[0].V
+	for _, p := range s.pts[1:] {
+		if p.V < lo {
+			lo = p.V
+		}
+		if p.V > hi {
+			hi = p.V
+		}
+	}
+	return lo, hi
+}
+
+// Clone returns a deep copy of the series.
+func (s *Series) Clone() *Series {
+	pts := make([]Point, len(s.pts))
+	copy(pts, s.pts)
+	return &Series{pts: pts}
+}
+
+// Map returns a new series with f applied to every value.
+func (s *Series) Map(f func(Point) float64) *Series {
+	out := make([]Point, len(s.pts))
+	for i, p := range s.pts {
+		out[i] = Point{T: p.T, V: f(p)}
+	}
+	return &Series{pts: out}
+}
+
+// Resample returns a new series sampled from model G at the given step,
+// starting at the series start. Useful for building test oracles that probe
+// unsampled instants.
+func (s *Series) Resample(step int64) (*Series, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("timeseries: non-positive resample step %d", step)
+	}
+	if len(s.pts) == 0 {
+		return &Series{}, nil
+	}
+	out := &Series{}
+	for t := s.Start(); t <= s.End(); t += step {
+		v, err := s.Value(t)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.Append(Point{T: t, V: v}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

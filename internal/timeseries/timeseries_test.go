@@ -1,0 +1,254 @@
+package timeseries
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendOrdering(t *testing.T) {
+	s := &Series{}
+	if err := s.Append(Point{T: 10, V: 1}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := s.Append(Point{T: 20, V: 2}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := s.Append(Point{T: 20, V: 3}); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("equal timestamp: got %v, want ErrOutOfOrder", err)
+	}
+	if err := s.Append(Point{T: 5, V: 3}); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("earlier timestamp: got %v, want ErrOutOfOrder", err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+}
+
+func TestAppendRejectsNonFinite(t *testing.T) {
+	s := &Series{}
+	if err := s.Append(Point{T: 1, V: math.NaN()}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if err := s.Append(Point{T: 1, V: math.Inf(1)}); err == nil {
+		t.Fatal("+Inf accepted")
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New([]Point{{T: 2, V: 0}, {T: 1, V: 0}}); err == nil {
+		t.Fatal("out-of-order input accepted")
+	}
+}
+
+func TestValueAtSamples(t *testing.T) {
+	s := MustNew([]Point{{0, 1}, {10, 5}, {20, -3}})
+	for _, p := range s.Points() {
+		v, err := s.Value(p.T)
+		if err != nil {
+			t.Fatalf("Value(%d): %v", p.T, err)
+		}
+		if v != p.V {
+			t.Errorf("Value(%d) = %v, want %v", p.T, v, p.V)
+		}
+	}
+}
+
+func TestValueInterpolates(t *testing.T) {
+	s := MustNew([]Point{{0, 0}, {10, 10}})
+	for _, tc := range []struct {
+		t    int64
+		want float64
+	}{{1, 1}, {5, 5}, {9, 9}} {
+		v, err := s.Value(tc.t)
+		if err != nil {
+			t.Fatalf("Value(%d): %v", tc.t, err)
+		}
+		if math.Abs(v-tc.want) > 1e-12 {
+			t.Errorf("Value(%d) = %v, want %v", tc.t, v, tc.want)
+		}
+	}
+}
+
+func TestValueOutOfRange(t *testing.T) {
+	s := MustNew([]Point{{0, 0}, {10, 10}})
+	if _, err := s.Value(-1); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Value(-1): got %v", err)
+	}
+	if _, err := s.Value(11); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Value(11): got %v", err)
+	}
+	empty := &Series{}
+	if _, err := empty.Value(0); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("empty Value(0): got %v", err)
+	}
+}
+
+// Model G must agree with the exact line between any two consecutive
+// samples (Definition 1), at every intermediate integer instant.
+func TestModelGProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := &Series{}
+		tt := int64(0)
+		for i := 0; i < 20; i++ {
+			tt += 1 + rng.Int63n(30)
+			if err := s.Append(Point{T: tt, V: rng.NormFloat64() * 10}); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < s.Len()-1; i++ {
+			a, b := s.At(i), s.At(i+1)
+			for tm := a.T; tm <= b.T; tm++ {
+				got, err := s.Value(tm)
+				if err != nil {
+					return false
+				}
+				want := a.V + (b.V-a.V)*float64(tm-a.T)/float64(b.T-a.T)
+				if math.Abs(got-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := MustNew([]Point{{0, 0}, {10, 1}, {20, 2}, {30, 3}})
+	sub := s.Slice(10, 20)
+	if sub.Len() != 2 || sub.Start() != 10 || sub.End() != 20 {
+		t.Fatalf("Slice(10,20) = %v", sub.Points())
+	}
+	if got := s.Slice(11, 19).Len(); got != 0 {
+		t.Fatalf("empty slice has %d points", got)
+	}
+	if got := s.Slice(-100, 100).Len(); got != 4 {
+		t.Fatalf("full slice has %d points", got)
+	}
+}
+
+func TestHead(t *testing.T) {
+	s := MustNew([]Point{{0, 0}, {10, 1}, {20, 2}})
+	if got := s.Head(2).Len(); got != 2 {
+		t.Fatalf("Head(2).Len() = %d", got)
+	}
+	if got := s.Head(99).Len(); got != 3 {
+		t.Fatalf("Head(99).Len() = %d", got)
+	}
+	if got := s.Head(-1).Len(); got != 0 {
+		t.Fatalf("Head(-1).Len() = %d", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := MustNew([]Point{{0, 3}, {10, -7}, {20, 5}})
+	lo, hi := s.MinMax()
+	if lo != -7 || hi != 5 {
+		t.Fatalf("MinMax = %v,%v", lo, hi)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	if got := MustNew([]Point{{5, 0}, {25, 0}}).Span(); got != 20 {
+		t.Fatalf("Span = %d", got)
+	}
+	if got := MustNew([]Point{{5, 0}}).Span(); got != 0 {
+		t.Fatalf("single-point Span = %d", got)
+	}
+	if got := (&Series{}).Span(); got != 0 {
+		t.Fatalf("empty Span = %d", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := MustNew([]Point{{0, 1}, {10, 2}})
+	c := s.Clone()
+	c.Points()[0].V = 99
+	if s.At(0).V != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestMap(t *testing.T) {
+	s := MustNew([]Point{{0, 1}, {10, 2}})
+	m := s.Map(func(p Point) float64 { return p.V * 2 })
+	if m.At(0).V != 2 || m.At(1).V != 4 {
+		t.Fatalf("Map result %v", m.Points())
+	}
+	if s.At(0).V != 1 {
+		t.Fatal("Map mutated input")
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := MustNew([]Point{{0, 0}, {10, 10}})
+	r, err := s.Resample(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Point{{0, 0}, {2, 2}, {4, 4}, {6, 6}, {8, 8}, {10, 10}}
+	if !reflect.DeepEqual(r.Points(), want) {
+		t.Fatalf("Resample = %v", r.Points())
+	}
+	if _, err := s.Resample(0); err == nil {
+		t.Fatal("Resample(0) accepted")
+	}
+	if e, err := (&Series{}).Resample(5); err != nil || e.Len() != 0 {
+		t.Fatalf("empty Resample = %v, %v", e, err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := MustNew([]Point{{0, 1.5}, {300, -2.25}, {600, 3.875}})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Points(), s.Points()) {
+		t.Fatalf("round trip = %v, want %v", got.Points(), s.Points())
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	got, err := ReadCSV(bytes.NewBufferString("0,1\n10,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("len = %d", got.Len())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("t,v\n10,notafloat\n")); err == nil {
+		t.Fatal("bad value accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("t,v\n10,1\nbadtime,2\n")); err == nil {
+		t.Fatal("bad timestamp accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("10,1\n5,2\n")); err == nil {
+		t.Fatal("out-of-order rows accepted")
+	}
+}
+
+func TestInterpolateEndpoints(t *testing.T) {
+	a, b := Point{0, -4}, Point{8, 4}
+	if Interpolate(a, b, 0) != -4 || Interpolate(a, b, 8) != 4 {
+		t.Fatal("endpoints wrong")
+	}
+	if Interpolate(a, b, 4) != 0 {
+		t.Fatal("midpoint wrong")
+	}
+}

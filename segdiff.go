@@ -1,0 +1,261 @@
+// Package segdiff is a library for searching for drops (and jumps) in
+// sensor time series, reproducing the SegDiff framework of Chen, Cho and
+// Hansen, "On the brink: Searching for drops in sensor data" (EDBT 2008).
+//
+// A drop search asks: at which periods in history did the signal fall by
+// at least |V| units within a time span of at most T? SegDiff answers such
+// ad-hoc queries quickly by
+//
+//  1. compressing the series online into a piecewise linear approximation
+//     with maximum error ε/2,
+//  2. summarizing all potential events between every pair of nearby
+//     segments as a parallelogram in (Δt, Δv) feature space, storing only
+//     the ε-shifted boundary corners needed for intersection tests, and
+//  3. translating each search into standard relational range queries over
+//     B-tree-indexed feature tables (served by an embedded storage engine
+//     written for this library).
+//
+// Results come with the paper's Theorem 1 guarantee: no true event is
+// missed, and every reported period contains an event within 2ε of the
+// requested threshold. Events are defined on the linear-interpolation
+// model of the signal, so drops that straddle sampling instants are found
+// too.
+//
+// # Quick start
+//
+//	ix, err := segdiff.NewMemory(segdiff.Options{Epsilon: 0.2, Window: 8 * time.Hour})
+//	...
+//	for _, p := range observations {
+//		ix.Append(p.Time, p.Value) // online ingest
+//	}
+//	ix.Finish()
+//	matches, err := ix.Drops(time.Hour, -3) // ≥3-unit drop within 1 hour
+//	for _, m := range matches {
+//		fmt.Printf("drop starts in [%d,%d], ends in [%d,%d]\n",
+//			m.From.Start, m.From.End, m.To.Start, m.To.End)
+//	}
+//
+// Use Open for a durable on-disk index and OpenCollection to manage one
+// index per sensor.
+package segdiff
+
+import (
+	"fmt"
+	"time"
+
+	"segdiff/internal/core"
+	"segdiff/internal/feature"
+	"segdiff/internal/smooth"
+	"segdiff/internal/storage/sqlmini"
+	"segdiff/internal/timeseries"
+)
+
+// Point is one observation: a value sampled at a Unix-style timestamp in
+// seconds (any integral time unit works as long as it is consistent).
+type Point struct {
+	Time  int64
+	Value float64
+}
+
+// Interval is a closed time interval [Start, End].
+type Interval struct {
+	Start, End int64
+}
+
+// Contains reports whether t lies in the interval.
+func (iv Interval) Contains(t int64) bool { return iv.Start <= t && t <= iv.End }
+
+// Match is one search result: the event starts somewhere in From and ends
+// somewhere in To (the paper's tuple ((t_D, t_C), (t_B, t_A))). From and
+// To are endpoints of data segments of the underlying piecewise linear
+// approximation; a matched period typically contains one or more events.
+type Match struct {
+	From, To Interval
+}
+
+// Options configures an Index.
+type Options struct {
+	// Epsilon is the approximation tolerance ε in value units
+	// (default 0.2). Larger ε compresses more and answers faster; results
+	// stay exact up to 2ε.
+	Epsilon float64
+	// Window is the longest time span searches will ever use
+	// (default 8 h). Queries require T ≤ Window.
+	Window time.Duration
+	// CachePages is the buffer-pool capacity per storage file, in 4 KiB
+	// pages (default 1024).
+	CachePages int
+}
+
+func (o Options) toCore() core.Options {
+	return core.Options{
+		Epsilon: o.Epsilon,
+		Window:  int64(o.Window / time.Second),
+		DB:      sqlmini.Options{PoolPages: o.CachePages},
+	}
+}
+
+// Index is a drop/jump search index over a single time series (one
+// sensor). It is safe for concurrent searches; ingestion must be
+// single-goroutine.
+type Index struct {
+	st *core.Store
+}
+
+// Open opens (creating or resuming) an on-disk index in dir.
+func Open(dir string, opts Options) (*Index, error) {
+	st, err := core.Open(dir, opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return &Index{st: st}, nil
+}
+
+// NewMemory returns an in-memory index (no durability).
+func NewMemory(opts Options) (*Index, error) {
+	st, err := core.OpenMemory(opts.toCore())
+	if err != nil {
+		return nil, err
+	}
+	return &Index{st: st}, nil
+}
+
+// Append ingests one observation online. Timestamps must be strictly
+// increasing. Features become searchable once their segment closes; call
+// Sync to commit a batch or Finish to flush the trailing segment.
+func (ix *Index) Append(t int64, v float64) error {
+	return ix.st.Append(timeseries.Point{T: t, V: v})
+}
+
+// AppendPoints ingests a batch and commits it.
+func (ix *Index) AppendPoints(pts []Point) error {
+	for _, p := range pts {
+		if err := ix.Append(p.Time, p.Value); err != nil {
+			return err
+		}
+	}
+	return ix.Sync()
+}
+
+// Sync commits buffered features to storage.
+func (ix *Index) Sync() error { return ix.st.Sync() }
+
+// Finish flushes the trailing partial segment; afterwards the index is
+// read-only.
+func (ix *Index) Finish() error { return ix.st.Finish() }
+
+// Close finishes and releases the index.
+func (ix *Index) Close() error { return ix.st.Close() }
+
+// Drops searches for periods experiencing a drop of at least |v| value
+// units (v must be negative) within a span of at most span. No true event
+// is missed; every returned match contains an event with change ≤ v + 2ε.
+func (ix *Index) Drops(span time.Duration, v float64) ([]Match, error) {
+	return ix.search(feature.Drop, span, v)
+}
+
+// Jumps searches for rises of at least v (v must be positive) within span.
+func (ix *Index) Jumps(span time.Duration, v float64) ([]Match, error) {
+	return ix.search(feature.Jump, span, v)
+}
+
+func (ix *Index) search(kind feature.Kind, span time.Duration, v float64) ([]Match, error) {
+	T := int64(span / time.Second)
+	if T <= 0 {
+		return nil, fmt.Errorf("segdiff: span %v is below one second", span)
+	}
+	ms, err := ix.st.SearchMode(kind, T, v, sqlmini.PlanAuto)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = Match{
+			From: Interval{Start: m.TD, End: m.TC},
+			To:   Interval{Start: m.TB, End: m.TA},
+		}
+	}
+	return out, nil
+}
+
+// Stats reports storage and compression statistics.
+type Stats struct {
+	Points          int     // observations ingested this session
+	Segments        int     // linear segments produced this session
+	CompressionRate float64 // observations per segment
+	FeatureRows     int     // stored feature rows
+	FeatureBytes    int64   // feature table bytes
+	IndexBytes      int64   // B-tree index bytes
+	Epsilon         float64
+	Window          time.Duration
+}
+
+// DiskBytes is the total storage footprint (features + indexes).
+func (s Stats) DiskBytes() int64 { return s.FeatureBytes + s.IndexBytes }
+
+// Stats gathers current statistics.
+func (ix *Index) Stats() (Stats, error) {
+	st, err := ix.st.Stats()
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{
+		Points:          st.Points,
+		Segments:        st.Segments,
+		CompressionRate: st.CompressionRate,
+		FeatureRows:     st.FeatureRows,
+		FeatureBytes:    st.FeatureBytes,
+		IndexBytes:      st.IndexBytes,
+		Epsilon:         st.Epsilon,
+		Window:          time.Duration(st.Window) * time.Second,
+	}, nil
+}
+
+// Segment is one piece of the stored piecewise linear approximation.
+type Segment struct {
+	Start, End Point
+}
+
+// Segments returns the stored approximation, for plotting matches against
+// the compressed signal (paper Figure 1).
+func (ix *Index) Segments() ([]Segment, error) {
+	segs, err := ix.st.Segments()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Segment, len(segs))
+	for i, g := range segs {
+		out[i] = Segment{
+			Start: Point{Time: g.Ts, Value: g.Vs},
+			End:   Point{Time: g.Te, Value: g.Ve},
+		}
+	}
+	return out, nil
+}
+
+// Prune removes all indexed history strictly before the cutoff timestamp
+// (retention for long-running deployments). Pruned periods are no longer
+// searchable. It returns the number of feature rows removed.
+func (ix *Index) Prune(before int64) (int, error) { return ix.st.Prune(before) }
+
+// Denoise applies the paper's preprocessing: a robust local-linear
+// smoother that removes isolated anomaly spikes while preserving genuine
+// multi-sample drops. bandwidth is the smoothing half-window (default
+// 30 min when zero). Feed the result to Append.
+func Denoise(pts []Point, bandwidth time.Duration) ([]Point, error) {
+	s := &timeseries.Series{}
+	for _, p := range pts {
+		if err := s.Append(timeseries.Point{T: p.Time, V: p.Value}); err != nil {
+			return nil, err
+		}
+	}
+	sm, err := smooth.Robust(s, smooth.Config{Bandwidth: int64(bandwidth / time.Second)})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Point, sm.Len())
+	for i, p := range sm.Points() {
+		out[i] = Point{Time: p.T, Value: p.V}
+	}
+	return out, nil
+}

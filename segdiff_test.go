@@ -1,0 +1,304 @@
+package segdiff
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"segdiff/internal/synth"
+)
+
+func points(seed int64, n int) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	v := 10.0
+	tt := int64(0)
+	for i := range pts {
+		tt += 300
+		v += rng.NormFloat64() * 0.3
+		if rng.Intn(20) == 0 {
+			v -= rng.Float64() * 5
+		}
+		pts[i] = Point{Time: tt, Value: v}
+	}
+	return pts
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	ix, err := NewMemory(Options{Epsilon: 0.2, Window: 8 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if err := ix.AppendPoints(points(1, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := ix.Drops(time.Hour, -3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no drops found in a series with injected 5-unit falls")
+	}
+	for _, m := range matches {
+		if m.From.Start > m.From.End || m.To.Start > m.To.End {
+			t.Fatalf("malformed match %+v", m)
+		}
+		if !m.From.Contains(m.From.Start) || m.From.Contains(m.From.End+1) {
+			t.Fatal("Interval.Contains wrong")
+		}
+	}
+	st, err := ix.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Points != 2000 || st.CompressionRate <= 1 || st.DiskBytes() == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Epsilon != 0.2 || st.Window != 8*time.Hour {
+		t.Fatalf("options in stats = %+v", st)
+	}
+	segs, err := ix.Segments()
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %d, %v", len(segs), err)
+	}
+}
+
+func TestJumpsAPI(t *testing.T) {
+	ix, err := NewMemory(Options{Window: 4 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	pts := []Point{}
+	for i := 0; i < 100; i++ {
+		v := 0.0
+		if i >= 50 && i < 55 {
+			v = float64(i-49) * 2 // sharp rise of 10 over 25 min
+		} else if i >= 55 {
+			v = 10
+		}
+		pts = append(pts, Point{Time: int64(i) * 300, Value: v})
+	}
+	if err := ix.AppendPoints(pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	jumps, err := ix.Jumps(time.Hour, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jumps) == 0 {
+		t.Fatal("sharp rise not found")
+	}
+	if _, err := ix.Jumps(time.Hour, -1); err == nil {
+		t.Fatal("negative V accepted for jumps")
+	}
+	if _, err := ix.Drops(time.Millisecond, -1); err == nil {
+		t.Fatal("sub-second span accepted")
+	}
+}
+
+func TestOnDiskIndex(t *testing.T) {
+	dir := t.TempDir()
+	ix, err := Open(dir, Options{Epsilon: 0.3, Window: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.AppendPoints(points(9, 500)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ix.Drops(time.Hour, -2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix2.Close()
+	got, err := ix2.Drops(time.Hour, -2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < len(want) {
+		t.Fatalf("matches lost across reopen: %d -> %d", len(want), len(got))
+	}
+}
+
+func TestDenoise(t *testing.T) {
+	pts := points(3, 300)
+	pts[100].Value += 25 // isolated anomaly
+	clean, err := Denoise(pts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean) != len(pts) {
+		t.Fatalf("length changed: %d", len(clean))
+	}
+	if d := clean[100].Value - pts[100].Value; d > -15 {
+		t.Fatalf("anomaly not removed: delta %.1f", d)
+	}
+	if _, err := Denoise([]Point{{Time: 2}, {Time: 1}}, 0); err == nil {
+		t.Fatal("out-of-order input accepted")
+	}
+}
+
+func TestCollection(t *testing.T) {
+	c := NewMemoryCollection(Options{Epsilon: 0.2, Window: 8 * time.Hour})
+	defer c.Close()
+	series, _, err := synth.GenerateTransect(synth.Config{
+		Seed: 2, Duration: 3 * synth.SecondsPerDay, CADPerWeek: 10, AnomalyRate: -1,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range series {
+		ix, err := c.Sensor(sensorName(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := make([]Point, s.Len())
+		for j, p := range s.Points() {
+			pts[j] = Point{Time: p.T, Value: p.V}
+		}
+		if err := ix.AppendPoints(pts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := c.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 4 {
+		t.Fatalf("names = %v", names)
+	}
+	res, err := c.Drops(time.Hour, -3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("results for %d sensors", len(res))
+	}
+	total := 0
+	for _, r := range res {
+		total += len(r.Matches)
+	}
+	if total == 0 {
+		t.Fatal("no CAD drops found across the transect")
+	}
+	if _, err := c.Jumps(time.Hour, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sensorName(i int) string {
+	return string(rune('a'+i)) + "-node"
+}
+
+func TestCollectionOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCollection(dir, Options{Window: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := c.Sensor("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.AppendPoints(points(4, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the sensor is discoverable without being explicitly opened.
+	c2, err := OpenCollection(dir, Options{Window: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	names, err := c2.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "n1" {
+		t.Fatalf("names after reopen = %v", names)
+	}
+	res, err := c2.Drops(30*time.Minute, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Sensor != "n1" {
+		t.Fatalf("results = %+v", res)
+	}
+}
+
+func TestCollectionValidation(t *testing.T) {
+	c := NewMemoryCollection(Options{})
+	if _, err := c.Sensor("../evil"); err == nil {
+		t.Fatal("path traversal sensor name accepted")
+	}
+	if _, err := c.Sensor(""); err == nil {
+		t.Fatal("empty sensor name accepted")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Sensor("ok"); err == nil {
+		t.Fatal("sensor on closed collection accepted")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal("second close should be nil")
+	}
+}
+
+func TestIndexPrune(t *testing.T) {
+	ix, err := NewMemory(Options{Epsilon: 0.2, Window: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	pts := points(12, 1000)
+	if err := ix.AppendPoints(pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := ix.Drops(time.Hour, -2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutoff := pts[len(pts)/2].Time
+	removed, err := ix.Prune(cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("prune removed nothing")
+	}
+	after, err := ix.Drops(time.Hour, -2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) >= len(before) {
+		t.Fatalf("prune did not reduce matches: %d -> %d", len(before), len(after))
+	}
+	for _, m := range after {
+		if m.To.End <= cutoff {
+			t.Fatalf("pruned match survived: %+v", m)
+		}
+	}
+}
