@@ -6,10 +6,12 @@
 //	benchrunner                       # default scaled-down run to stdout
 //	benchrunner -days 30 -sensors 3   # bigger workload
 //	benchrunner -out EXPERIMENTS.md   # write the report file
+//	benchrunner -perf BENCH_PR1.json  # read-path perf comparison only
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +32,17 @@ func main() {
 		queries = flag.Int("queries", 25, "random queries for the query-region experiments")
 		seed    = flag.Int64("seed", 20080325, "workload seed")
 		skipAbl = flag.Bool("skip-ablations", false, "skip the ablation experiments")
+		perf    = flag.String("perf", "", "run only the sequential-vs-parallel read-path comparison and write JSON to this file")
+		iters   = flag.Int("perf-iters", 20, "queries per client in the -perf comparison")
+
+		// Cross-commit go test -bench numbers (ms/op) to embed in the -perf
+		// report; the single-lock baseline cannot be linked into this build,
+		// so its measurements are supplied by whoever ran both commits.
+		benchSource       = flag.String("bench-source", "", "description of how the -bench-* numbers were measured")
+		benchBaseSerial   = flag.Float64("bench-baseline-serial-ms", 0, "BenchmarkIndexDropsSerial ms/op on the single-lock baseline commit")
+		benchBaseParallel = flag.Float64("bench-baseline-parallel-ms", 0, "BenchmarkIndexDropsParallel ms/op on the single-lock baseline commit")
+		benchCurSerial    = flag.Float64("bench-serial-ms", 0, "BenchmarkIndexDropsSerial ms/op on this commit")
+		benchCurParallel  = flag.Float64("bench-parallel-ms", 0, "BenchmarkIndexDropsParallel ms/op on this commit")
 	)
 	flag.Parse()
 
@@ -41,6 +54,22 @@ func main() {
 	cfg.Repeats = *repeats
 	cfg.RandomQs = *queries
 	cfg.Seed = *seed
+
+	if *perf != "" {
+		var gb *bench.GoBench
+		if *benchBaseParallel > 0 && *benchCurParallel > 0 {
+			gb = &bench.GoBench{
+				Source:             *benchSource,
+				BaselineSerialMS:   *benchBaseSerial,
+				BaselineParallelMS: *benchBaseParallel,
+				CurrentSerialMS:    *benchCurSerial,
+				CurrentParallelMS:  *benchCurParallel,
+				ParallelSpeedup:    *benchBaseParallel / *benchCurParallel,
+			}
+		}
+		runPerf(cfg, *perf, *iters, gb)
+		return
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -152,6 +181,38 @@ func main() {
 			}
 			return t.Render(w)
 		})
+	}
+}
+
+// runPerf runs the sequential-vs-parallel read-path comparison and writes
+// the report as indented JSON (the BENCH_PR1.json artifact).
+func runPerf(cfg bench.Config, path string, iters int, gb *bench.GoBench) {
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "running read-path perf comparison (%d iters/client, GOMAXPROCS=%d)...",
+		iters, runtime.GOMAXPROCS(0))
+	rep, err := bench.RunPerf(cfg, iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr)
+		fatal(err)
+	}
+	rep.Bench = gb
+	fmt.Fprintf(os.Stderr, " done in %v\n", time.Since(start).Round(time.Millisecond))
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	for _, sc := range rep.Scenarios {
+		fmt.Fprintf(os.Stderr, "  %-17s clients=%d workers=%d  mean %.1f ms/query  %.1f queries/s\n",
+			sc.Name, sc.Clients, sc.UnionWorkers, sc.MeanLatMS, sc.Throughput)
+	}
+	fmt.Fprintf(os.Stderr, "  throughput speedup %.2fx, results identical: %v\n", rep.Speedup, rep.Identical)
+	if rep.Bench != nil {
+		fmt.Fprintf(os.Stderr, "  go-bench parallel: baseline %.1f ms/op -> current %.1f ms/op (%.2fx)\n",
+			rep.Bench.BaselineParallelMS, rep.Bench.CurrentParallelMS, rep.Bench.ParallelSpeedup)
 	}
 }
 

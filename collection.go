@@ -5,14 +5,17 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
 )
 
 // Collection manages one Index per sensor, like the 25-sensor Cold Air
-// Drainage transect of the paper. Searches fan out across sensors
-// concurrently.
+// Drainage transect of the paper. Searches fan out across sensors on a
+// bounded worker pool (Options.SearchConcurrency workers); per-sensor
+// results always come back in sensor-name order regardless of completion
+// order.
 type Collection struct {
 	mu      sync.Mutex
 	dir     string // "" = in-memory
@@ -101,36 +104,64 @@ type SensorMatches struct {
 // Drops searches every sensor concurrently for drops of at least |v|
 // within span, returning per-sensor results sorted by sensor name.
 func (c *Collection) Drops(span time.Duration, v float64) ([]SensorMatches, error) {
-	return c.fanout(span, v, func(ix *Index) ([]Match, error) { return ix.Drops(span, v) })
+	return c.fanout(func(ix *Index) ([]Match, error) { return ix.Drops(span, v) })
 }
 
 // Jumps is the symmetric multi-sensor jump search.
 func (c *Collection) Jumps(span time.Duration, v float64) ([]SensorMatches, error) {
-	return c.fanout(span, v, func(ix *Index) ([]Match, error) { return ix.Jumps(span, v) })
+	return c.fanout(func(ix *Index) ([]Match, error) { return ix.Jumps(span, v) })
 }
 
-func (c *Collection) fanout(span time.Duration, v float64, search func(*Index) ([]Match, error)) ([]SensorMatches, error) {
+// fanout runs search against every sensor on a bounded worker pool
+// (Options.SearchConcurrency workers, default GOMAXPROCS) instead of one
+// goroutine per sensor, so a thousand-sensor collection does not explode
+// into a thousand concurrent searches.
+func (c *Collection) fanout(search func(*Index) ([]Match, error)) ([]SensorMatches, error) {
 	names, err := c.Names()
 	if err != nil {
 		return nil, err
 	}
+	workers := c.opts.SearchConcurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+
+	type job struct {
+		i  int
+		ix *Index
+	}
 	out := make([]SensorMatches, len(names))
 	errs := make([]error, len(names))
+	jobs := make(chan job)
 	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				ms, err := search(j.ix)
+				out[j.i] = SensorMatches{Sensor: names[j.i], Matches: ms}
+				errs[j.i] = err
+			}
+		}()
+	}
+	var openErr error
 	for i, name := range names {
 		ix, err := c.Sensor(name)
 		if err != nil {
-			return nil, err
+			openErr = err
+			break
 		}
-		wg.Add(1)
-		go func(i int, name string, ix *Index) {
-			defer wg.Done()
-			ms, err := search(ix)
-			out[i] = SensorMatches{Sensor: name, Matches: ms}
-			errs[i] = err
-		}(i, name, ix)
+		jobs <- job{i: i, ix: ix}
 	}
+	close(jobs)
 	wg.Wait()
+	if openErr != nil {
+		return nil, openErr
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

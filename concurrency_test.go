@@ -1,0 +1,324 @@
+package segdiff
+
+// Concurrency coverage for the parallel read path: stress tests that must
+// pass under -race, result-identity checks between sequential and parallel
+// search execution, and the Benchmark*Parallel targets quoted in PR
+// descriptions (shared-Index throughput and multi-sensor fanout).
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// buildIndex ingests n deterministic noisy points (seeded drops included)
+// into a fresh in-memory index with the given options.
+func buildIndex(t testing.TB, opts Options, seed int64, n int) *Index {
+	t.Helper()
+	ix, err := NewMemory(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.AppendPoints(points(seed, n)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	return ix
+}
+
+// TestConcurrentSearchStress hammers one shared Index with concurrent
+// Drops, Jumps and Stats calls and checks every result against the
+// single-threaded answer. Run with -race.
+func TestConcurrentSearchStress(t *testing.T) {
+	ix := buildIndex(t, Options{Epsilon: 0.2, Window: 8 * time.Hour}, 7, 1500)
+
+	wantDrops, err := ix.Drops(30*time.Minute, -4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJumps, err := ix.Jumps(30*time.Minute, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantDrops) == 0 {
+		t.Fatal("baseline search found no drops; stress test would be vacuous")
+	}
+
+	const goroutines = 8
+	const iters = 6
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					got, err := ix.Drops(30*time.Minute, -4)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if !reflect.DeepEqual(got, wantDrops) {
+						errCh <- fmt.Errorf("goroutine %d: concurrent Drops diverged: got %d matches, want %d", g, len(got), len(wantDrops))
+						return
+					}
+				case 1:
+					got, err := ix.Jumps(30*time.Minute, 4)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if !reflect.DeepEqual(got, wantJumps) {
+						errCh <- fmt.Errorf("goroutine %d: concurrent Jumps diverged", g)
+						return
+					}
+				case 2:
+					st, err := ix.Stats()
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if st.FeatureRows <= 0 || st.DiskBytes() <= 0 {
+						errCh <- fmt.Errorf("goroutine %d: corrupt stats %+v", g, st)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestWriterConcurrentWithReaders runs a single ingesting goroutine
+// against a crowd of searching goroutines. Writes must simply serialize
+// against reads: every search either sees a consistent snapshot or blocks,
+// and never errors or returns malformed matches.
+func TestWriterConcurrentWithReaders(t *testing.T) {
+	ix, err := NewMemory(Options{Epsilon: 0.2, Window: 8 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	pts := points(11, 1000)
+	// Seed enough history that searches have work to do from the start.
+	if err := ix.AppendPoints(pts[:400]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each reader runs a fixed number of queries rather than free-running
+	// until the writer finishes: every commit of the writer queues behind
+	// the in-flight reads, so unbounded re-querying starves the ingest for
+	// the whole test (minutes under the race detector).
+	errCh := make(chan error, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				ms, err := ix.Drops(10*time.Minute, -6)
+				if err != nil {
+					errCh <- fmt.Errorf("reader: %w", err)
+					return
+				}
+				for _, m := range ms {
+					if m.From.Start > m.From.End || m.To.Start > m.To.End {
+						errCh <- fmt.Errorf("reader: malformed match %+v", m)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// The single writer: batches of appends, each committed with Sync.
+	for i := 400; i < len(pts); i += 300 {
+		end := i + 300
+		if end > len(pts) {
+			end = len(pts)
+		}
+		if err := ix.AppendPoints(pts[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// After the writer finished, readers and writer agree on the world.
+	ms, err := ix.Drops(time.Hour, -4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("no drops found after concurrent ingest of a droppy series")
+	}
+}
+
+// TestParallelMatchesSequential verifies the tentpole's correctness
+// condition: a search with SearchConcurrency 1 (fully sequential union
+// evaluation) and one with a wide worker pool return identical match sets
+// across a grid of queries, for both kinds.
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := buildIndex(t, Options{Epsilon: 0.2, Window: 8 * time.Hour, SearchConcurrency: 1}, 23, 2000)
+	par := buildIndex(t, Options{Epsilon: 0.2, Window: 8 * time.Hour, SearchConcurrency: 8}, 23, 2000)
+
+	spans := []time.Duration{10 * time.Minute, time.Hour}
+	for _, span := range spans {
+		for _, v := range []float64{-1, -4} {
+			s, err := seq.Drops(span, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := par.Drops(span, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(s, p) {
+				t.Fatalf("Drops(%v, %v): sequential %d matches, parallel %d matches", span, v, len(s), len(p))
+			}
+		}
+		for _, v := range []float64{1, 4} {
+			s, err := seq.Jumps(span, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := par.Jumps(span, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(s, p) {
+				t.Fatalf("Jumps(%v, %v): sequential and parallel diverge", span, v)
+			}
+		}
+	}
+}
+
+// TestCollectionFanoutBounded checks the bounded multi-sensor fanout still
+// returns complete, name-ordered results when the pool is smaller than,
+// equal to, and larger than the sensor count.
+func TestCollectionFanoutBounded(t *testing.T) {
+	for _, workers := range []int{1, 2, 16} {
+		c := NewMemoryCollection(Options{Epsilon: 0.2, Window: 8 * time.Hour, SearchConcurrency: workers})
+		const sensors = 5
+		for s := 0; s < sensors; s++ {
+			ix, err := c.Sensor(fmt.Sprintf("s%02d", s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ix.AppendPoints(points(int64(s+1), 800)); err != nil {
+				t.Fatal(err)
+			}
+			if err := ix.Finish(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := c.Drops(time.Hour, -3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != sensors {
+			t.Fatalf("workers=%d: got %d sensor results, want %d", workers, len(res), sensors)
+		}
+		total := 0
+		for i, sm := range res {
+			if want := fmt.Sprintf("s%02d", i); sm.Sensor != want {
+				t.Fatalf("workers=%d: result %d is sensor %q, want %q", workers, i, sm.Sensor, want)
+			}
+			total += len(sm.Matches)
+		}
+		if total == 0 {
+			t.Fatalf("workers=%d: no matches across %d droppy sensors", workers, sensors)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// benchIndex builds the shared benchmark index (kept small: one search on
+// it takes tens of milliseconds).
+func benchIndex(b *testing.B, opts Options) *Index {
+	return buildIndex(b, opts, 42, 2000)
+}
+
+// BenchmarkIndexDropsSerial is the single-client search latency baseline.
+func BenchmarkIndexDropsSerial(b *testing.B) {
+	ix := benchIndex(b, Options{Epsilon: 0.2, Window: 8 * time.Hour})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Drops(30*time.Minute, -4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexDropsSequentialUnion pins SearchConcurrency to 1,
+// approximating the pre-parallel engine: one client, union branches
+// evaluated one after another.
+func BenchmarkIndexDropsSequentialUnion(b *testing.B) {
+	ix := benchIndex(b, Options{Epsilon: 0.2, Window: 8 * time.Hour, SearchConcurrency: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Drops(30*time.Minute, -4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexDropsParallel measures aggregate search throughput with
+// GOMAXPROCS clients hammering one shared Index — the workload the
+// single-lock engine serialized completely.
+func BenchmarkIndexDropsParallel(b *testing.B) {
+	ix := benchIndex(b, Options{Epsilon: 0.2, Window: 8 * time.Hour})
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := ix.Drops(30*time.Minute, -4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCollectionDropsParallel measures the multi-sensor fanout: one
+// Drops call searching every sensor of a collection through the bounded
+// worker pool.
+func BenchmarkCollectionDropsParallel(b *testing.B) {
+	c := NewMemoryCollection(Options{Epsilon: 0.2, Window: 8 * time.Hour})
+	defer c.Close()
+	for s := 0; s < 6; s++ {
+		ix, err := c.Sensor(fmt.Sprintf("s%02d", s))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ix.AppendPoints(points(int64(s+1), 2000)); err != nil {
+			b.Fatal(err)
+		}
+		if err := ix.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Drops(30*time.Minute, -4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

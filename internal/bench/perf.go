@@ -1,0 +1,198 @@
+package bench
+
+// Read-path performance comparison for the concurrent-search work: it
+// pits the pre-parallel engine configuration (one client, union branches
+// evaluated sequentially) against branch-level parallelism and against
+// many clients sharing one index, and verifies all configurations return
+// identical matches. cmd/benchrunner -perf serializes the result to JSON
+// (BENCH_PR1.json in the repository root).
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"time"
+
+	"segdiff/internal/core"
+	"segdiff/internal/storage/sqlmini"
+)
+
+// PerfScenario is one measured configuration of the read path.
+type PerfScenario struct {
+	Name         string  `json:"name"`
+	Clients      int     `json:"clients"`       // concurrent searchers
+	UnionWorkers int     `json:"union_workers"` // union-branch pool size (1 = sequential)
+	Queries      int     `json:"queries"`       // total queries timed
+	WallMS       float64 `json:"wall_ms"`       // wall time for all queries
+	MeanLatMS    float64 `json:"mean_latency_ms"`
+	Throughput   float64 `json:"throughput_qps"`
+	Matches      int     `json:"matches"` // per-query match count (identical across scenarios)
+}
+
+// GoBench records `go test -bench` numbers for the shared-index drop
+// search (BenchmarkIndexDrops*), measured once on the single-lock baseline
+// commit and once on the current tree. They are passed in by the runner —
+// the baseline engine cannot be linked into this build — and persisted so
+// the cross-commit speedup travels with the report.
+type GoBench struct {
+	Source             string  `json:"source"` // how/where the numbers were measured
+	BaselineSerialMS   float64 `json:"baseline_serial_ms"`
+	BaselineParallelMS float64 `json:"baseline_parallel_ms"`
+	CurrentSerialMS    float64 `json:"current_serial_ms"`
+	CurrentParallelMS  float64 `json:"current_parallel_ms"`
+	// ParallelSpeedup is baseline over current parallel ms/op: aggregate
+	// throughput gain versus the single-lock engine.
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+}
+
+// PerfReport is the full sequential-vs-parallel comparison.
+type PerfReport struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Days       int64   `json:"days"`
+	QueryT     int64   `json:"query_t_seconds"`
+	QueryV     float64 `json:"query_v"`
+	// Speedup is parallel-clients throughput over the sequential baseline.
+	Speedup   float64        `json:"throughput_speedup"`
+	Identical bool           `json:"results_identical"`
+	Scenarios []PerfScenario `json:"scenarios"`
+	Bench     *GoBench       `json:"go_bench,omitempty"`
+}
+
+// perfStore opens a single-sensor store with an explicit union pool size
+// (0 = engine default, GOMAXPROCS) and ingests the workload.
+func perfStore(cfg Config, unionWorkers int) (*core.Store, error) {
+	series, err := Workload(cfg, 1, cfg.Days)
+	if err != nil {
+		return nil, err
+	}
+	st, err := core.OpenMemory(core.Options{
+		Epsilon: cfg.DefaultEps,
+		Window:  cfg.DefaultWH * 3600,
+		DB:      sqlmini.Options{PoolPages: cfg.PoolPages, UnionWorkers: unionWorkers},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := st.AppendSeries(series[0]); err != nil {
+		st.Close()
+		return nil, err
+	}
+	if err := st.Finish(); err != nil {
+		st.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+// runScenario times iters drop queries per client against st.
+func runScenario(st *core.Store, name string, clients, unionWorkers, iters int, T int64, V float64) (PerfScenario, error) {
+	// Warm the buffer pool once; the comparison targets lock contention,
+	// not cold I/O.
+	if _, err := st.SearchDrops(T, V); err != nil {
+		return PerfScenario{}, err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := st.SearchDrops(T, V); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return PerfScenario{}, err
+		}
+	}
+	matches, err := st.SearchDrops(T, V)
+	if err != nil {
+		return PerfScenario{}, err
+	}
+	total := clients * iters
+	return PerfScenario{
+		Name:         name,
+		Clients:      clients,
+		UnionWorkers: unionWorkers,
+		Queries:      total,
+		WallMS:       float64(wall.Microseconds()) / 1e3,
+		MeanLatMS:    float64(wall.Microseconds()) / 1e3 * float64(clients) / float64(total),
+		Throughput:   float64(total) / wall.Seconds(),
+		Matches:      len(matches),
+	}, nil
+}
+
+// RunPerf measures three read-path configurations over the same workload:
+//
+//   - sequential: one client, UnionWorkers 1 — the pre-parallel engine
+//   - parallel-union: one client, default pool — branch-level parallelism
+//   - parallel-clients: GOMAXPROCS clients sharing one index — the
+//     workload a single-lock engine serializes completely
+//
+// and checks all three return the same match set.
+func RunPerf(cfg Config, iters int) (*PerfReport, error) {
+	if iters <= 0 {
+		iters = 20
+	}
+	procs := runtime.GOMAXPROCS(0)
+	rep := &PerfReport{
+		GOMAXPROCS: procs,
+		Days:       cfg.Days,
+		QueryT:     cfg.QueryT,
+		QueryV:     cfg.QueryV,
+	}
+
+	seqStore, err := perfStore(cfg, 1)
+	if err != nil {
+		return nil, err
+	}
+	defer seqStore.Close()
+	parStore, err := perfStore(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer parStore.Close()
+
+	seqMatches, err := seqStore.SearchDrops(cfg.QueryT, cfg.QueryV)
+	if err != nil {
+		return nil, err
+	}
+	parMatches, err := parStore.SearchDrops(cfg.QueryT, cfg.QueryV)
+	if err != nil {
+		return nil, err
+	}
+	rep.Identical = reflect.DeepEqual(seqMatches, parMatches)
+	if !rep.Identical {
+		return nil, fmt.Errorf("bench: sequential found %d matches, parallel %d — read paths diverge",
+			len(seqMatches), len(parMatches))
+	}
+
+	type run struct {
+		name         string
+		store        *core.Store
+		clients      int
+		unionWorkers int
+	}
+	for _, r := range []run{
+		{"sequential", seqStore, 1, 1},
+		{"parallel-union", parStore, 1, procs},
+		{"parallel-clients", parStore, procs, procs},
+	} {
+		sc, err := runScenario(r.store, r.name, r.clients, r.unionWorkers, iters, cfg.QueryT, cfg.QueryV)
+		if err != nil {
+			return nil, err
+		}
+		rep.Scenarios = append(rep.Scenarios, sc)
+	}
+	rep.Speedup = rep.Scenarios[2].Throughput / rep.Scenarios[0].Throughput
+	return rep, nil
+}

@@ -1,0 +1,90 @@
+package core
+
+// EXPLAIN-based guard for the access-path claim of Section 5.2: every
+// branch of the search union must execute as a B-tree index scan over the
+// intended corner index under PlanAuto, never a sequential scan.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"segdiff/internal/feature"
+	"segdiff/internal/storage/sqlmini"
+)
+
+// branchPlan is the plan one union branch is required to pick.
+type branchPlan struct {
+	table string
+	index string
+	bound string // the dt column whose range drives the scan
+}
+
+// expectedBranchPlans lists, in union-branch order, the index each branch
+// of searchQueries(kind) must use under PlanAuto.
+//
+// Point query i ranges on dt_i, so it matches the corner index
+// <table>_c<i>. Line query i also resolves to <table>_c<i>: the planner
+// uses an equality prefix plus one range column, the line predicate has no
+// equalities, so every candidate (c_i, c_{i+1}, l_i) scores the same
+// single dt range and the tie goes to the first-created index, c_i.
+func expectedBranchPlans(kind feature.Kind) []branchPlan {
+	var out []branchPlan
+	for nc := 1; nc <= 3; nc++ {
+		name := tableName(kind, nc)
+		for i := 1; i <= nc; i++ { // point queries
+			out = append(out, branchPlan{name, fmt.Sprintf("%s_c%d", name, i), fmt.Sprintf("dt%d", i)})
+		}
+		for i := 1; i < nc; i++ { // line queries
+			out = append(out, branchPlan{name, fmt.Sprintf("%s_c%d", name, i), fmt.Sprintf("dt%d", i)})
+		}
+	}
+	return out
+}
+
+func TestSearchUnionBranchPlans(t *testing.T) {
+	s, err := OpenMemory(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for _, tc := range []struct {
+		kind feature.Kind
+		v    float64
+	}{
+		{feature.Drop, -3},
+		{feature.Jump, 3},
+	} {
+		qs := searchQueries(tc.kind)
+		parts := make([]string, len(qs))
+		var args []sqlmini.Value
+		for i, q := range qs {
+			parts[i] = q.sql
+			args = append(args, q.args(3600, tc.v)...)
+		}
+		rows, err := s.db.Query("EXPLAIN "+strings.Join(parts, " UNION "), args...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := expectedBranchPlans(tc.kind)
+		if rows.Len() != len(want) {
+			t.Fatalf("kind %v: EXPLAIN returned %d plan rows for %d branches", tc.kind, rows.Len(), len(want))
+		}
+		for i, row := range rows.Data {
+			plan := row[0].S
+			if strings.Contains(plan, "SEQ SCAN") {
+				t.Errorf("kind %v branch %d fell back to a table scan: %q", tc.kind, i, plan)
+				continue
+			}
+			prefix := fmt.Sprintf("INDEX SCAN %s ON %s ", want[i].index, want[i].table)
+			if !strings.HasPrefix(plan, prefix) {
+				t.Errorf("kind %v branch %d picked the wrong path:\n  got  %q\n  want prefix %q", tc.kind, i, plan, prefix)
+				continue
+			}
+			if !strings.Contains(plan, "BOUNDS("+want[i].bound+"<~") {
+				t.Errorf("kind %v branch %d has no range bound on %s: %q", tc.kind, i, want[i].bound, plan)
+			}
+		}
+	}
+}

@@ -71,7 +71,14 @@ type Match struct {
 	TD, TC, TB, TA int64
 }
 
-// Store is a single-sensor SegDiff feature store.
+// Store is a single-sensor SegDiff feature store. Search methods
+// (SearchDrops, SearchJumps, SearchMode, Stats, Segments) are safe for
+// concurrent use and run in parallel: each search is one prepared UNION
+// statement whose branches the engine spreads over a bounded worker pool
+// (Options.DB.UnionWorkers), and independent searches proceed side by side
+// under the engine's shared read lock. Ingestion (Append, Sync, Finish,
+// Prune) must be driven by a single goroutine; concurrent searches block
+// only while a write holds the engine's exclusive lock.
 type Store struct {
 	db   *sqlmini.DB
 	opts Options

@@ -31,7 +31,13 @@ const (
 	MaxVal = 512
 )
 
-// Tree is a B+tree. It is not safe for concurrent use.
+// Tree is a B+tree. Reads (Get, Seek, ScanRange, Len, Height) touch no
+// tree state, so any number of them may run concurrently on top of the
+// pager's reader-friendly locking; Insert and Delete mutate the tree and
+// must be serialized externally against all other calls (the engine's
+// writer lock does this). Key and value slices handed out by reads alias
+// buffer pool memory and are stable only until the next mutating call —
+// callers that outlive the enclosing read-locked section must copy.
 type Tree struct {
 	pg   *pager.Pager
 	root pager.PageID
@@ -61,7 +67,7 @@ func Open(pg *pager.Pager) (*Tree, error) {
 		rootPg.MarkDirty()
 		rootPg.Release()
 		t.n = 0
-		t.writeMeta(meta)
+		t.writeMeta(&meta)
 		meta.Release()
 		return t, nil
 	}
@@ -92,7 +98,7 @@ func (t *Tree) syncMeta() error {
 	if err != nil {
 		return err
 	}
-	t.writeMeta(meta)
+	t.writeMeta(&meta)
 	meta.Release()
 	return nil
 }
@@ -126,13 +132,32 @@ type node struct {
 	next     pager.PageID   // leaf only; 0 = none (page 0 is meta)
 }
 
+// readNode decodes page id for reading. The decoded keys and values alias
+// the buffer pool frame directly (zero copy). This is safe because the
+// pager never recycles a frame's buffer — eviction drops the reference and
+// a re-read allocates fresh memory — and because page contents are only
+// mutated under the engine's writer lock, which excludes every reader that
+// could hold a decoded node.
 func (t *Tree) readNode(id pager.PageID) (*node, error) {
 	p, err := t.pg.Get(id)
 	if err != nil {
 		return nil, err
 	}
 	defer p.Release()
-	return decodeNode(p.Data())
+	return decodeNode(p.Data(), false)
+}
+
+// readNodeMut decodes page id for a mutating caller. Keys and values are
+// copied into a private arena: insert and delete rewrite the same page the
+// node came from, and writeNode must not read key bytes that alias the
+// region it is overwriting.
+func (t *Tree) readNodeMut(id pager.PageID) (*node, error) {
+	p, err := t.pg.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Release()
+	return decodeNode(p.Data(), true)
 }
 
 func (t *Tree) writeNodeTo(id pager.PageID, nd *node) error {
@@ -146,7 +171,11 @@ func (t *Tree) writeNodeTo(id pager.PageID, nd *node) error {
 	return nil
 }
 
-func decodeNode(d []byte) (*node, error) {
+// decodeNode decodes a page image. With copyArena the key and value bytes
+// are copied into a private buffer (needed by mutating callers); otherwise
+// they alias d, keeping the read path at a handful of allocations instead
+// of two per entry.
+func decodeNode(d []byte, copyArena bool) (*node, error) {
 	nd := &node{}
 	switch d[0] {
 	case leafType:
@@ -157,33 +186,36 @@ func decodeNode(d []byte) (*node, error) {
 	}
 	nKeys := int(binary.LittleEndian.Uint16(d[1:3]))
 	off := 3
+	buf := d
+	if copyArena {
+		buf = make([]byte, len(d))
+		copy(buf, d)
+	}
 	if nd.leaf {
 		nd.next = pager.PageID(binary.LittleEndian.Uint32(d[off:]))
 		off += 4
+		nd.keys = make([][]byte, 0, nKeys)
+		nd.vals = make([][]byte, 0, nKeys)
 		for i := 0; i < nKeys; i++ {
 			kl := int(binary.LittleEndian.Uint16(d[off:]))
 			vl := int(binary.LittleEndian.Uint16(d[off+2:]))
 			off += 4
-			k := make([]byte, kl)
-			copy(k, d[off:off+kl])
+			nd.keys = append(nd.keys, buf[off:off+kl:off+kl])
 			off += kl
-			v := make([]byte, vl)
-			copy(v, d[off:off+vl])
+			nd.vals = append(nd.vals, buf[off:off+vl:off+vl])
 			off += vl
-			nd.keys = append(nd.keys, k)
-			nd.vals = append(nd.vals, v)
 		}
 		return nd, nil
 	}
+	nd.keys = make([][]byte, 0, nKeys)
+	nd.children = make([]pager.PageID, 0, nKeys+1)
 	nd.children = append(nd.children, pager.PageID(binary.LittleEndian.Uint32(d[off:])))
 	off += 4
 	for i := 0; i < nKeys; i++ {
 		kl := int(binary.LittleEndian.Uint16(d[off:]))
 		off += 2
-		k := make([]byte, kl)
-		copy(k, d[off:off+kl])
+		nd.keys = append(nd.keys, buf[off:off+kl:off+kl])
 		off += kl
-		nd.keys = append(nd.keys, k)
 		nd.children = append(nd.children, pager.PageID(binary.LittleEndian.Uint32(d[off:])))
 		off += 4
 	}
@@ -290,7 +322,7 @@ func (t *Tree) Insert(key, val []byte) error {
 // insert descends into page id. On split it returns the separator key and
 // the new right sibling's page id.
 func (t *Tree) insert(id pager.PageID, key, val []byte) (sep []byte, newID pager.PageID, split bool, err error) {
-	nd, err := t.readNode(id)
+	nd, err := t.readNodeMut(id)
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -382,7 +414,7 @@ func (t *Tree) Get(key []byte) ([]byte, error) {
 func (t *Tree) Delete(key []byte) error {
 	id := t.root
 	for {
-		nd, err := t.readNode(id)
+		nd, err := t.readNodeMut(id)
 		if err != nil {
 			return err
 		}

@@ -39,7 +39,11 @@ type RID struct {
 
 func (r RID) String() string { return fmt.Sprintf("rid(%d,%d)", r.Page, r.Slot) }
 
-// Heap is a heap file over a pager. It is not safe for concurrent use.
+// Heap is a heap file over a pager. Reads (Get, Scan, Len) keep no mutable
+// state of their own, so any number of them may run concurrently on top of
+// the pager's reader-friendly latches; Insert and Delete mutate the heap
+// and must be serialized externally against all other calls (the engine's
+// writer lock does this).
 type Heap struct {
 	pg   *pager.Pager
 	last pager.PageID // page currently receiving inserts
@@ -123,6 +127,22 @@ func (h *Heap) Insert(rec []byte) (RID, error) {
 
 // Get returns a copy of the record at rid.
 func (h *Heap) Get(rid RID) ([]byte, error) {
+	rec, err := h.View(rid)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	return out, nil
+}
+
+// View returns the record bytes at rid without copying. The slice aliases
+// buffer pool memory: record bytes are never moved or overwritten in place
+// (deletion only tombstones the slot directory and the pager never
+// recycles a frame's buffer), but callers that outlive the enclosing
+// read-locked section must copy — a writer may reuse the page's free
+// space, and Get exists for exactly that.
+func (h *Heap) View(rid RID) ([]byte, error) {
 	p, err := h.pg.Get(rid.Page)
 	if err != nil {
 		return nil, err
@@ -132,9 +152,7 @@ func (h *Heap) Get(rid RID) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("heap: %v: %w", rid, err)
 	}
-	out := make([]byte, len(rec))
-	copy(out, rec)
-	return out, nil
+	return rec, nil
 }
 
 // Delete tombstones the record at rid. Deleting a dead or absent slot is

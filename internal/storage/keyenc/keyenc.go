@@ -162,7 +162,14 @@ func Encode(vals ...Value) []byte {
 
 // Decode decodes all elements of a composite key.
 func Decode(b []byte) ([]Value, error) {
-	var out []Value
+	return DecodeInto(b, nil)
+}
+
+// DecodeInto is Decode appending into dst, reusing its capacity. Tight
+// scan loops pass the previous call's slice (truncated via dst[:0]) to
+// avoid one allocation per visited key.
+func DecodeInto(b []byte, dst []Value) ([]Value, error) {
+	out := dst
 	for len(b) > 0 {
 		switch b[0] {
 		case tagInt:

@@ -1,16 +1,29 @@
 // Package pager implements the buffer pool of the embedded storage engine:
-// fixed-size pages cached in memory with LRU eviction, pin counts, dirty
-// tracking, and an explicit DropCache hook used by the cold-cache
-// experiments (the paper flushes the operating system cache before every
-// query in Sections 6.1–6.3 and studies the warm-cache case in 6.4).
+// fixed-size pages cached in memory with clock (second-chance) eviction,
+// pin counts, dirty tracking, and an explicit DropCache hook used by the
+// cold-cache experiments (the paper flushes the operating system cache
+// before every query in Sections 6.1–6.3 and studies the warm-cache case
+// in 6.4).
 //
-// A Pager is not safe for concurrent use; the query engine layers its own
-// locking above it.
+// Concurrency. A Pager is safe for concurrent readers, and the page-hit
+// path is designed to stay off every exclusive lock: a hit takes the
+// shared lock for the frame lookup and pins the frame with an atomic
+// counter, and Release is a single atomic decrement. Misses, allocations,
+// evictions and the checkpoint operations (Flush, Sync, DropCache,
+// LogDirty, Close) take the exclusive lock; a miss re-checks the frame map
+// under it so concurrent misses never load a page twice. Eviction is safe
+// because pinning requires the lock (shared or exclusive) while eviction
+// holds it exclusively: a frame observed unpinned cannot be re-pinned
+// until the eviction finishes. Stats counters are atomic. Writers
+// (MarkDirty and the code paths that modify page contents) must still be
+// serialized externally against readers — the query engine layers a
+// reader/writer lock above this package (see sqlmini.DB).
 package pager
 
 import (
-	"container/list"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the size of every page in bytes.
@@ -29,20 +42,30 @@ type Stats struct {
 }
 
 type frame struct {
-	id     PageID
-	data   []byte
-	dirty  bool
-	logged bool // dirty content captured by the WAL (safe to steal)
-	pins   int
-	elem   *list.Element // position in lru; nil while pinned
+	id      PageID
+	data    []byte
+	pins    atomic.Int32
+	used    atomic.Bool // referenced since the clock hand last passed
+	dirty   bool
+	logged  bool // dirty content captured by the WAL (safe to steal)
+	ringIdx int  // position in Pager.ring; maintained under mu exclusive
 }
 
-// Pager caches pages of a File with an LRU replacement policy.
+// Pager caches pages of a File with a clock replacement policy.
+//
+// Locking: mu guards the frame map, the clock ring, the page count, and
+// the closed/noSteal flags; it is held shared by cache hits and
+// exclusively by everything that inserts or removes frames. Pin counts and
+// reference bits are atomics so the hit path never serializes; dirty and
+// logged flags are only accessed by the external writer or under mu
+// exclusive. stats is accessed with atomics only.
 type Pager struct {
+	mu       sync.RWMutex
 	f        File
 	capacity int
 	frames   map[PageID]*frame
-	lru      *list.List // front = most recently used unpinned frame
+	ring     []*frame // clock order; eviction candidates
+	hand     int      // clock hand index into ring
 	nPages   PageID
 	stats    Stats
 	closed   bool
@@ -72,22 +95,34 @@ func New(f File, capacity int) (*Pager, error) {
 		f:        f,
 		capacity: capacity,
 		frames:   make(map[PageID]*frame),
-		lru:      list.New(),
 		nPages:   PageID(size / PageSize),
 	}, nil
 }
 
 // NumPages returns the number of allocated pages.
-func (p *Pager) NumPages() PageID { return p.nPages }
+func (p *Pager) NumPages() PageID {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.nPages
+}
 
 // Capacity returns the buffer pool capacity in frames.
 func (p *Pager) Capacity() int { return p.capacity }
 
 // Stats returns a copy of the cumulative counters.
-func (p *Pager) Stats() Stats { return p.stats }
+func (p *Pager) Stats() Stats {
+	return Stats{
+		Hits:      atomic.LoadUint64(&p.stats.Hits),
+		Misses:    atomic.LoadUint64(&p.stats.Misses),
+		Reads:     atomic.LoadUint64(&p.stats.Reads),
+		Writes:    atomic.LoadUint64(&p.stats.Writes),
+		Evictions: atomic.LoadUint64(&p.stats.Evictions),
+	}
+}
 
-// Page is a pinned page handle. Data is valid until Release; writers must
-// call MarkDirty before Release.
+// Page is a pinned page handle, returned by value so the hot read path
+// does not allocate. Data is valid until Release; writers must call
+// MarkDirty before Release.
 type Page struct {
 	p  *Pager
 	fr *frame
@@ -99,7 +134,9 @@ func (pg *Page) ID() PageID { return pg.fr.id }
 // Data returns the page's PageSize-byte buffer.
 func (pg *Page) Data() []byte { return pg.fr.data }
 
-// MarkDirty records that the page's buffer was modified.
+// MarkDirty records that the page's buffer was modified. It must only be
+// called while the caller holds the engine-level writer lock: readers never
+// observe dirty-flag changes concurrently.
 func (pg *Page) MarkDirty() {
 	pg.fr.dirty = true
 	pg.fr.logged = false
@@ -107,89 +144,152 @@ func (pg *Page) MarkDirty() {
 
 // Release unpins the page. The handle must not be used afterwards.
 func (pg *Page) Release() {
-	fr := pg.fr
-	if fr.pins <= 0 {
+	if pg.fr.pins.Add(-1) < 0 {
 		panic("pager: release of unpinned page")
-	}
-	fr.pins--
-	if fr.pins == 0 {
-		fr.elem = pg.p.lru.PushFront(fr)
 	}
 	pg.fr = nil
 }
 
-// Allocate appends a zeroed page to the file and returns it pinned.
-func (p *Pager) Allocate() (*Page, error) {
+// pin pins fr. The caller must hold mu (shared or exclusive): eviction
+// holds mu exclusively, so a cached frame cannot disappear between lookup
+// and pin.
+func (fr *frame) pin() {
+	fr.pins.Add(1)
+	fr.used.Store(true)
+}
+
+// checkGet validates a Get under mu.
+func (p *Pager) checkGet(id PageID) error {
 	if p.closed {
-		return nil, fmt.Errorf("pager: use after close")
+		return fmt.Errorf("pager: use after close")
+	}
+	if id >= p.nPages {
+		return fmt.Errorf("pager: page %d out of range (have %d)", id, p.nPages)
+	}
+	return nil
+}
+
+// insertFrame adds fr to the map and the clock ring. The caller must hold
+// mu exclusively.
+func (p *Pager) insertFrame(fr *frame) {
+	fr.ringIdx = len(p.ring)
+	p.ring = append(p.ring, fr)
+	p.frames[fr.id] = fr
+}
+
+// removeFrame deletes fr from the map and the clock ring (swap-remove).
+// The caller must hold mu exclusively.
+func (p *Pager) removeFrame(fr *frame) {
+	last := p.ring[len(p.ring)-1]
+	p.ring[fr.ringIdx] = last
+	last.ringIdx = fr.ringIdx
+	p.ring = p.ring[:len(p.ring)-1]
+	delete(p.frames, fr.id)
+}
+
+// Allocate appends a zeroed page to the file and returns it pinned.
+func (p *Pager) Allocate() (Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return Page{}, fmt.Errorf("pager: use after close")
 	}
 	if err := p.makeRoom(); err != nil {
-		return nil, err
+		return Page{}, err
 	}
 	id := p.nPages
 	p.nPages++
-	fr := &frame{id: id, data: make([]byte, PageSize), dirty: true, pins: 1}
-	p.frames[id] = fr
-	return &Page{p: p, fr: fr}, nil
+	// New frames start with the used bit clear: recency is earned by a
+	// later Get hit, which keeps re-referenced pages ahead of one-shot
+	// scans in the clock order.
+	fr := &frame{id: id, data: make([]byte, PageSize), dirty: true}
+	fr.pins.Store(1)
+	p.insertFrame(fr)
+	return Page{p: p, fr: fr}, nil
 }
 
-// Get returns the page with the given id, pinned.
-func (p *Pager) Get(id PageID) (*Page, error) {
-	if p.closed {
-		return nil, fmt.Errorf("pager: use after close")
-	}
-	if id >= p.nPages {
-		return nil, fmt.Errorf("pager: page %d out of range (have %d)", id, p.nPages)
+// Get returns the page with the given id, pinned. Cache hits run under the
+// shared lock and proceed in parallel; a miss upgrades to the exclusive
+// lock for the file read and possible eviction.
+func (p *Pager) Get(id PageID) (Page, error) {
+	p.mu.RLock()
+	if err := p.checkGet(id); err != nil {
+		p.mu.RUnlock()
+		return Page{}, err
 	}
 	if fr, ok := p.frames[id]; ok {
-		p.stats.Hits++
-		if fr.pins == 0 {
-			p.lru.Remove(fr.elem)
-			fr.elem = nil
-		}
-		fr.pins++
-		return &Page{p: p, fr: fr}, nil
+		fr.pin()
+		p.mu.RUnlock()
+		atomic.AddUint64(&p.stats.Hits, 1)
+		return Page{p: p, fr: fr}, nil
 	}
-	p.stats.Misses++
+	p.mu.RUnlock()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.checkGet(id); err != nil {
+		return Page{}, err
+	}
+	if fr, ok := p.frames[id]; ok {
+		// A concurrent miss loaded the page between our two lookups.
+		fr.pin()
+		atomic.AddUint64(&p.stats.Hits, 1)
+		return Page{p: p, fr: fr}, nil
+	}
+	atomic.AddUint64(&p.stats.Misses, 1)
 	if err := p.makeRoom(); err != nil {
-		return nil, err
+		return Page{}, err
 	}
 	data := make([]byte, PageSize)
 	if _, err := p.f.ReadAt(data, int64(id)*PageSize); err != nil {
-		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+		return Page{}, fmt.Errorf("pager: read page %d: %w", id, err)
 	}
-	p.stats.Reads++
-	fr := &frame{id: id, data: data, pins: 1}
-	p.frames[id] = fr
-	return &Page{p: p, fr: fr}, nil
+	atomic.AddUint64(&p.stats.Reads, 1)
+	fr := &frame{id: id, data: data}
+	fr.pins.Store(1)
+	p.insertFrame(fr)
+	return Page{p: p, fr: fr}, nil
 }
 
-// makeRoom evicts LRU unpinned frames until a new frame fits. If every
-// frame is pinned (or, under no-steal, dirty and unlogged) the pool is
-// allowed to grow past capacity.
+// makeRoom evicts unpinned frames chosen by the clock hand until a new
+// frame fits. Recently referenced frames get a second chance (their used
+// bit is cleared on the first pass). If every frame is pinned (or, under
+// no-steal, dirty and unlogged) the pool is allowed to grow past capacity.
+// The caller must hold mu exclusively, so a victim with zero pins cannot
+// be re-pinned while it is written out.
 func (p *Pager) makeRoom() error {
-	for len(p.frames) >= p.capacity {
-		var victim *list.Element
-		for e := p.lru.Back(); e != nil; e = e.Prev() {
-			fr := e.Value.(*frame)
+	for len(p.frames) >= p.capacity && len(p.ring) > 0 {
+		var victim *frame
+		// Two revolutions: the first clears reference bits, the second
+		// must find a victim if any frame is evictable at all.
+		for i := 0; i < 2*len(p.ring); i++ {
+			if p.hand >= len(p.ring) {
+				p.hand = 0
+			}
+			fr := p.ring[p.hand]
+			p.hand++
+			if fr.pins.Load() != 0 {
+				continue
+			}
 			if p.noSteal && fr.dirty && !fr.logged {
 				continue // uncommitted content must not reach the file
 			}
-			victim = e
+			if fr.used.CompareAndSwap(true, false) {
+				continue // second chance
+			}
+			victim = fr
 			break
 		}
 		if victim == nil {
 			return nil // nothing evictable: overcommit
 		}
-		fr := victim.Value.(*frame)
-		if fr.dirty {
-			if err := p.writeFrame(fr); err != nil {
-				return err
+		if victim.dirty {
+			if err := p.writeFrame(victim); err != nil {
+				return err // victim stays cached; retry on a later miss
 			}
 		}
-		p.lru.Remove(victim)
-		delete(p.frames, fr.id)
-		p.stats.Evictions++
+		p.removeFrame(victim)
+		atomic.AddUint64(&p.stats.Evictions, 1)
 	}
 	return nil
 }
@@ -199,13 +299,19 @@ func (p *Pager) makeRoom() error {
 // by LogDirty are never written to the file by eviction (the pool
 // overcommits instead). Flush, Sync, DropCache and Close still write all
 // dirty frames — they are checkpoint operations.
-func (p *Pager) SetNoSteal(on bool) { p.noSteal = on }
+func (p *Pager) SetNoSteal(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.noSteal = on
+}
 
 // LogDirty invokes fn for every dirty frame whose content has not yet been
 // logged, in unspecified order, and marks those frames logged (making them
 // evictable again under no-steal). The data slice passed to fn is only
 // valid during the call.
 func (p *Pager) LogDirty(fn func(id PageID, data []byte) error) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for _, fr := range p.frames {
 		if fr.dirty && !fr.logged {
 			if err := fn(fr.id, fr.data); err != nil {
@@ -222,12 +328,13 @@ func (p *Pager) writeFrame(fr *frame) error {
 		return fmt.Errorf("pager: write page %d: %w", fr.id, err)
 	}
 	fr.dirty = false
-	p.stats.Writes++
+	atomic.AddUint64(&p.stats.Writes, 1)
 	return nil
 }
 
-// Flush writes every dirty cached page back to the file (without fsync).
-func (p *Pager) Flush() error {
+// flushLocked writes every dirty cached page back to the file (no fsync).
+// The caller must hold mu exclusively.
+func (p *Pager) flushLocked() error {
 	for _, fr := range p.frames {
 		if fr.dirty {
 			if err := p.writeFrame(fr); err != nil {
@@ -238,9 +345,22 @@ func (p *Pager) Flush() error {
 	return nil
 }
 
+// Flush writes every dirty cached page back to the file (without fsync).
+func (p *Pager) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushLocked()
+}
+
 // Sync flushes dirty pages and fsyncs the file.
 func (p *Pager) Sync() error {
-	if err := p.Flush(); err != nil {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.syncLocked()
+}
+
+func (p *Pager) syncLocked() error {
+	if err := p.flushLocked(); err != nil {
 		return err
 	}
 	return p.f.Sync()
@@ -250,38 +370,54 @@ func (p *Pager) Sync() error {
 // a cold cache (the experiments' "operating system cache is flushed before
 // every query"). Pinned frames are retained.
 func (p *Pager) DropCache() error {
-	if err := p.Flush(); err != nil {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.flushLocked(); err != nil {
 		return err
 	}
-	for e := p.lru.Front(); e != nil; {
-		next := e.Next()
-		fr := e.Value.(*frame)
-		p.lru.Remove(e)
-		delete(p.frames, fr.id)
-		p.stats.Evictions++
-		e = next
+	for i := 0; i < len(p.ring); {
+		fr := p.ring[i]
+		if fr.pins.Load() != 0 {
+			i++
+			continue
+		}
+		p.removeFrame(fr) // swap-remove: re-examine index i
+		atomic.AddUint64(&p.stats.Evictions, 1)
 	}
+	p.hand = 0
 	return nil
 }
 
 // ResetStats zeroes the counters (used between experiment runs).
-func (p *Pager) ResetStats() { p.stats = Stats{} }
+func (p *Pager) ResetStats() {
+	atomic.StoreUint64(&p.stats.Hits, 0)
+	atomic.StoreUint64(&p.stats.Misses, 0)
+	atomic.StoreUint64(&p.stats.Reads, 0)
+	atomic.StoreUint64(&p.stats.Writes, 0)
+	atomic.StoreUint64(&p.stats.Evictions, 0)
+}
 
 // SizeBytes returns the file size implied by the allocated page count.
-func (p *Pager) SizeBytes() int64 { return int64(p.nPages) * PageSize }
+func (p *Pager) SizeBytes() int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return int64(p.nPages) * PageSize
+}
 
 // Close flushes and closes the underlying file. Pinned pages outstanding at
 // Close are an error.
 func (p *Pager) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.closed {
 		return nil
 	}
 	for _, fr := range p.frames {
-		if fr.pins > 0 {
+		if fr.pins.Load() > 0 {
 			return fmt.Errorf("pager: close with page %d still pinned", fr.id)
 		}
 	}
-	if err := p.Sync(); err != nil {
+	if err := p.syncLocked(); err != nil {
 		return err
 	}
 	p.closed = true

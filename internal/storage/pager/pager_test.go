@@ -120,7 +120,7 @@ func TestPinnedPagesNotEvicted(t *testing.T) {
 func TestReleasePanicsWhenUnpinned(t *testing.T) {
 	p := newMemPager(t, 4)
 	pg, _ := p.Allocate()
-	pg2 := *pg // copy of handle
+	pg2 := pg // copy of handle
 	pg.Release()
 	defer func() {
 		if recover() == nil {

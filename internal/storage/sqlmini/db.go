@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -21,6 +22,12 @@ type Options struct {
 	// CheckpointBytes triggers an automatic checkpoint when the WAL grows
 	// past this size (default 64 MiB). Only meaningful on disk.
 	CheckpointBytes int64
+	// UnionWorkers bounds how many UNION branches a query evaluates
+	// concurrently (default runtime.GOMAXPROCS(0); 1 runs branches
+	// sequentially). The paper's drop/jump search is a union of ~10
+	// independent point and line queries, so this is the engine's main
+	// intra-query parallelism knob.
+	UnionWorkers int
 }
 
 func (o Options) normalize() Options {
@@ -29,6 +36,9 @@ func (o Options) normalize() Options {
 	}
 	if o.CheckpointBytes <= 0 {
 		o.CheckpointBytes = 64 << 20
+	}
+	if o.UnionWorkers <= 0 {
+		o.UnionWorkers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -47,10 +57,15 @@ type indexHandle struct {
 
 // DB is a sqlmini database: a directory of heap-table and B+tree-index
 // files plus a WAL, or a fully in-memory instance (dir == ""). All methods
-// are safe for concurrent use (a single big lock; the engine is not a
-// concurrency showcase).
+// are safe for concurrent use under a reader/writer discipline: Query,
+// QueryMode, prepared Stmt queries, RowCount, TableSizeBytes,
+// IndexSizeBytes, CacheStats and Tables run concurrently under a shared
+// read lock (the buffer pool below them takes its own reader-friendly
+// latches), while Exec, batch commit, Checkpoint, DropCache and Close
+// serialize exclusively. Within one query, UNION branches additionally
+// fan out across a bounded worker pool (Options.UnionWorkers).
 type DB struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	dir     string // "" = in-memory
 	opts    Options
 	catalog *catalog
@@ -351,11 +366,14 @@ func (db *DB) QueryMode(mode PlanMode, sql string, args ...Value) (*Rows, error)
 	if err != nil {
 		return nil, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.queryLocked(st, args, mode)
 }
 
+// queryLocked executes a parsed read statement. Callers hold db.mu shared;
+// everything below (planning, heap scans, B+tree range reads) only reads
+// engine state, so any number of queries proceed in parallel.
 func (db *DB) queryLocked(st stmt, args []Value, mode PlanMode) (*Rows, error) {
 	if db.closed {
 		return nil, fmt.Errorf("sqlmini: database is closed")
@@ -441,8 +459,8 @@ func (s *Stmt) Query(args ...Value) (*Rows, error) {
 
 // QueryMode executes a prepared SELECT/EXPLAIN under an explicit plan mode.
 func (s *Stmt) QueryMode(mode PlanMode, args ...Value) (*Rows, error) {
-	s.db.mu.Lock()
-	defer s.db.mu.Unlock()
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
 	return s.db.queryLocked(s.st, args, mode)
 }
 
@@ -547,8 +565,8 @@ func (db *DB) DropCache() error {
 
 // CacheStats aggregates buffer pool counters across all files.
 func (db *DB) CacheStats() pager.Stats {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var s pager.Stats
 	add := func(x pager.Stats) {
 		s.Hits += x.Hits
@@ -569,8 +587,8 @@ func (db *DB) CacheStats() pager.Stats {
 // TableSizeBytes returns the heap file size of a table — the paper's
 // "feature size" metric when the table holds extracted features.
 func (db *DB) TableSizeBytes(table string) (int64, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	th, ok := db.tables[table]
 	if !ok {
 		return 0, fmt.Errorf("sqlmini: no such table %s", table)
@@ -581,8 +599,8 @@ func (db *DB) TableSizeBytes(table string) (int64, error) {
 // IndexSizeBytes returns the total size of all indexes on a table. The
 // paper's "disk size" is TableSizeBytes + IndexSizeBytes.
 func (db *DB) IndexSizeBytes(table string) (int64, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if _, ok := db.tables[table]; !ok {
 		return 0, fmt.Errorf("sqlmini: no such table %s", table)
 	}
@@ -595,8 +613,8 @@ func (db *DB) IndexSizeBytes(table string) (int64, error) {
 
 // RowCount returns the number of live rows in a table.
 func (db *DB) RowCount(table string) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	th, ok := db.tables[table]
 	if !ok {
 		return 0, fmt.Errorf("sqlmini: no such table %s", table)
@@ -606,8 +624,8 @@ func (db *DB) RowCount(table string) (int, error) {
 
 // Tables lists the table names in sorted order.
 func (db *DB) Tables() []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var out []string
 	for name := range db.catalog.Tables {
 		out = append(out, name)

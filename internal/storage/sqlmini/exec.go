@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"segdiff/internal/storage/heap"
 	"segdiff/internal/storage/keyenc"
@@ -58,7 +59,9 @@ func indexKey(schema *tableSchema, ix *indexSchema, vals []Value, rid heap.RID) 
 }
 
 // scanRows drives the chosen access path, invoking fn with each row that
-// passes the residual filter. fn returning false stops the scan.
+// passes the residual filter. fn returning false stops the scan. The vals
+// slice passed to fn is reused between calls: callbacks that retain rows
+// past their return must copy.
 func (db *DB) scanRows(p *scanPlan, args []Value, fn func(rid heap.RID, vals []Value) (bool, error)) error {
 	if p.empty {
 		return nil
@@ -66,8 +69,9 @@ func (db *DB) scanRows(p *scanPlan, args []Value, fn func(rid heap.RID, vals []V
 	th := db.tables[p.schema.Name]
 	b := &binding{schema: p.schema, args: args}
 
+	rowBuf := make([]Value, len(p.schema.Cols))
 	visit := func(rid heap.RID, rec []byte) (bool, error) {
-		vals, err := decodeRow(p.schema, rec)
+		vals, err := decodeRowInto(p.schema, rec, rowBuf)
 		if err != nil {
 			return false, err
 		}
@@ -88,9 +92,56 @@ func (db *DB) scanRows(p *scanPlan, args []Value, fn func(rid heap.RID, vals []V
 		return th.h.Scan(visit)
 	}
 	ih := db.indexes[p.index.Name]
-	return ih.tree.ScanRange(p.lo, p.hi, func(_, val []byte) (bool, error) {
+
+	// For covered conjuncts, filter on values decoded from the index key
+	// and only fetch the heap row for survivors. kvals and krow are reused
+	// across entries to keep the scan allocation-free.
+	var (
+		kb     *binding
+		keyIdx []int
+		kvals  []keyenc.Value
+		krow   []Value
+	)
+	if p.keyFilter != nil {
+		keyIdx = make([]int, len(p.index.Cols))
+		for i, cn := range p.index.Cols {
+			keyIdx[i] = p.schema.colIndex(cn)
+		}
+		krow = make([]Value, len(p.schema.Cols))
+		kb = &binding{schema: p.schema, args: args}
+	}
+
+	return ih.tree.ScanRange(p.lo, p.hi, func(key, val []byte) (bool, error) {
+		if kb != nil {
+			var err error
+			kvals, err = keyenc.DecodeInto(key, kvals[:0])
+			if err != nil {
+				return false, err
+			}
+			if len(kvals) != len(keyIdx)+1 { // + trailing RID
+				return false, fmt.Errorf("sqlmini: index %s key has %d parts, want %d", p.index.Name, len(kvals), len(keyIdx)+1)
+			}
+			for i, ci := range keyIdx {
+				switch kvals[i].Kind {
+				case keyenc.Int:
+					krow[ci] = Int(kvals[i].I)
+				case keyenc.Float:
+					krow[ci] = Real(kvals[i].F)
+				case keyenc.String:
+					krow[ci] = Text(kvals[i].S)
+				}
+			}
+			kb.row = krow
+			ok, err := evalExpr(p.keyFilter, kb)
+			if err != nil {
+				return false, err
+			}
+			if !ok.IsTrue() {
+				return true, nil
+			}
+		}
 		rid := intToRID(int64(binary.LittleEndian.Uint64(val)))
-		rec, err := th.h.Get(rid)
+		rec, err := th.h.View(rid)
 		if err != nil {
 			return false, err
 		}
@@ -380,7 +431,8 @@ func (db *DB) execDelete(st deleteStmt, args []Value, mode PlanMode) (int, error
 	}
 	var victims []victim
 	err = db.scanRows(plan, args, func(rid heap.RID, vals []Value) (bool, error) {
-		victims = append(victims, victim{rid: rid, vals: vals})
+		// scanRows reuses vals; victims outlive the scan.
+		victims = append(victims, victim{rid: rid, vals: append([]Value(nil), vals...)})
 		return true, nil
 	})
 	if err != nil {
@@ -407,16 +459,56 @@ func (db *DB) execDelete(st deleteStmt, args []Value, mode PlanMode) (int, error
 // execUnion runs each branch and merges the results with set semantics
 // (duplicate rows removed), as the paper's search requires: "the union of
 // the results of two point queries and one line query".
+//
+// Branches are independent read-only scans, so they are evaluated on a
+// bounded worker pool (Options.UnionWorkers goroutines; the caller already
+// holds db.mu shared). The merge happens afterwards in branch order, so
+// the result is byte-identical to sequential evaluation.
 func (db *DB) execUnion(st unionStmt, args []Value, mode PlanMode) (*Rows, error) {
+	branchRows := make([]*Rows, len(st.branches))
+	workers := db.opts.UnionWorkers
+	if workers > len(st.branches) {
+		workers = len(st.branches)
+	}
+	if workers <= 1 {
+		for i, b := range st.branches {
+			// Placeholder indices are assigned left to right across the
+			// whole statement, so every branch evaluates against the full
+			// args.
+			rows, err := db.execSelect(b, args, mode)
+			if err != nil {
+				return nil, err
+			}
+			branchRows[i] = rows
+		}
+	} else {
+		errs := make([]error, len(st.branches))
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					branchRows[i], errs[i] = db.execSelect(st.branches[i], args, mode)
+				}
+			}()
+		}
+		for i := range st.branches {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	out := &Rows{}
 	seen := map[string]bool{}
-	for i, b := range st.branches {
-		// Placeholder indices are assigned left to right across the whole
-		// statement, so every branch evaluates against the full args.
-		rows, err := db.execSelect(b, args, mode)
-		if err != nil {
-			return nil, err
-		}
+	for i, rows := range branchRows {
 		if i == 0 {
 			out.Columns = rows.Columns
 		} else if len(rows.Columns) != len(out.Columns) {

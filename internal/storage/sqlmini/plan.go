@@ -30,8 +30,14 @@ type scanPlan struct {
 	index  *indexSchema // nil = sequential scan
 	lo, hi []byte       // index scan bounds; nil = open end
 	filter expr         // full WHERE, applied as residual filter
-	empty  bool         // statically impossible predicate (e.g. int col = 1.5)
-	detail string       // human-readable bound description for EXPLAIN
+	// keyFilter is the AND of WHERE conjuncts that reference only indexed
+	// columns. An index scan evaluates it against values decoded from the
+	// B+tree key and skips the heap fetch for non-matching entries — on
+	// the search workload most scanned entries fail the value predicate,
+	// so this avoids the dominant per-row cost.
+	keyFilter expr
+	empty     bool   // statically impossible predicate (e.g. int col = 1.5)
+	detail    string // human-readable bound description for EXPLAIN
 }
 
 func (p *scanPlan) explain() string {
@@ -92,7 +98,37 @@ func buildPlan(c *catalog, schema *tableSchema, where expr, args []Value, mode P
 	plan.lo, plan.hi = best.lo, best.hi
 	plan.empty = best.empty
 	plan.detail = best.detail
+	if !plan.empty {
+		plan.keyFilter = coveredFilter(conjs, best.ix)
+	}
 	return plan, nil
+}
+
+// coveredFilter returns the AND of the conjuncts whose column references
+// are all covered by ix, or nil if none are.
+func coveredFilter(conjs []expr, ix *indexSchema) expr {
+	covered := make(map[string]bool, len(ix.Cols))
+	for _, c := range ix.Cols {
+		covered[c] = true
+	}
+	var kf expr
+	for _, cj := range conjs {
+		ok := true
+		walkExpr(cj, func(e expr) {
+			if c, isCol := e.(columnRef); isCol && !covered[c.name] {
+				ok = false
+			}
+		})
+		if !ok {
+			continue
+		}
+		if kf == nil {
+			kf = cj
+		} else {
+			kf = binExpr{op: "AND", l: kf, r: cj}
+		}
+	}
+	return kf
 }
 
 // rangeBound is one side of a column range.

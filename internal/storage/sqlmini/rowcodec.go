@@ -40,7 +40,13 @@ func encodeRow(schema *tableSchema, vals []Value) ([]byte, error) {
 }
 
 func decodeRow(schema *tableSchema, rec []byte) ([]Value, error) {
-	out := make([]Value, len(schema.Cols))
+	return decodeRowInto(schema, rec, make([]Value, len(schema.Cols)))
+}
+
+// decodeRowInto is decodeRow writing into out, which must have
+// len(schema.Cols) elements. Scan loops pass a reused buffer to avoid one
+// allocation per visited row.
+func decodeRowInto(schema *tableSchema, rec []byte, out []Value) ([]Value, error) {
 	off := 0
 	for i, col := range schema.Cols {
 		switch col.Type {

@@ -37,6 +37,16 @@
 //
 // Use Open for a durable on-disk index and OpenCollection to manage one
 // index per sensor.
+//
+// # Concurrency
+//
+// Searches are safe to issue from any number of goroutines and run in
+// parallel end to end: the embedded engine serves queries under a shared
+// read lock, its buffer pool admits concurrent readers, and each search's
+// union of point and line queries is itself evaluated on a bounded worker
+// pool. Options.SearchConcurrency tunes the fan-out (default GOMAXPROCS).
+// Ingestion (Append, Sync, Finish, Prune) must stay single-goroutine; it
+// blocks searches only for the duration of each write.
 package segdiff
 
 import (
@@ -85,19 +95,32 @@ type Options struct {
 	// CachePages is the buffer-pool capacity per storage file, in 4 KiB
 	// pages (default 1024).
 	CachePages int
+	// SearchConcurrency bounds the read-path parallelism (default
+	// runtime.GOMAXPROCS): the number of union branches (point and line
+	// queries) one search evaluates concurrently, and the number of
+	// sensors a Collection searches concurrently. Set it to 1 for fully
+	// sequential searches; it never affects results, only latency.
+	SearchConcurrency int
 }
 
 func (o Options) toCore() core.Options {
 	return core.Options{
 		Epsilon: o.Epsilon,
 		Window:  int64(o.Window / time.Second),
-		DB:      sqlmini.Options{PoolPages: o.CachePages},
+		DB: sqlmini.Options{
+			PoolPages:    o.CachePages,
+			UnionWorkers: o.SearchConcurrency,
+		},
 	}
 }
 
 // Index is a drop/jump search index over a single time series (one
-// sensor). It is safe for concurrent searches; ingestion must be
-// single-goroutine.
+// sensor). It is safe for concurrent searches, which execute genuinely in
+// parallel: the storage engine serves them under a shared read lock and
+// splits each search's union of point and line queries across a bounded
+// worker pool (Options.SearchConcurrency). Ingestion must be
+// single-goroutine; an Append or Sync concurrent with searches simply
+// blocks on the engine's writer lock and never corrupts results.
 type Index struct {
 	st *core.Store
 }
