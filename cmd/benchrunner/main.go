@@ -6,7 +6,7 @@
 //	benchrunner                       # default scaled-down run to stdout
 //	benchrunner -days 30 -sensors 3   # bigger workload
 //	benchrunner -out EXPERIMENTS.md   # write the report file
-//	benchrunner -perf BENCH_PR1.json  # read-path perf comparison only
+//	benchrunner -perf BENCH_PR2.json  # read- and write-path perf comparison only
 package main
 
 import (
@@ -184,8 +184,9 @@ func main() {
 	}
 }
 
-// runPerf runs the sequential-vs-parallel read-path comparison and writes
-// the report as indented JSON (the BENCH_PR1.json artifact).
+// runPerf runs the sequential-vs-parallel read-path comparison plus the
+// row-at-a-time-vs-batched durable-ingest comparison and writes the
+// report as indented JSON (the BENCH_PR1.json / BENCH_PR2.json artifacts).
 func runPerf(cfg bench.Config, path string, iters int, gb *bench.GoBench) {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "running read-path perf comparison (%d iters/client, GOMAXPROCS=%d)...",
@@ -197,6 +198,21 @@ func runPerf(cfg bench.Config, path string, iters int, gb *bench.GoBench) {
 	}
 	rep.Bench = gb
 	fmt.Fprintf(os.Stderr, " done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	fmt.Fprintf(os.Stderr, "running write-path ingest comparison...")
+	dir, err := os.MkdirTemp("", "segdiff-perf-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	rep.Ingest, err = bench.RunIngestPerf(cfg, dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr)
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, " done in %v\n", time.Since(start).Round(time.Millisecond))
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -213,6 +229,14 @@ func runPerf(cfg bench.Config, path string, iters int, gb *bench.GoBench) {
 	if rep.Bench != nil {
 		fmt.Fprintf(os.Stderr, "  go-bench parallel: baseline %.1f ms/op -> current %.1f ms/op (%.2fx)\n",
 			rep.Bench.BaselineParallelMS, rep.Bench.CurrentParallelMS, rep.Bench.ParallelSpeedup)
+	}
+	if ing := rep.Ingest; ing != nil {
+		for _, sc := range []bench.IngestScenario{ing.RowAtATime, ing.Batched} {
+			fmt.Fprintf(os.Stderr, "  ingest %-14s %d pts in %.0f ms  %.0f pts/s\n",
+				sc.Name, sc.Points, sc.WallMS, sc.Throughput)
+		}
+		fmt.Fprintf(os.Stderr, "  ingest speedup %.2fx, search identical: %v, tables identical: %v\n",
+			ing.Speedup, ing.SearchIdentical, ing.TablesIdentical)
 	}
 }
 

@@ -95,6 +95,75 @@ func (c *Collection) Names() ([]string, error) {
 	return out, nil
 }
 
+// SensorBatch is one sensor's share of a multi-sensor ingest batch.
+type SensorBatch struct {
+	Sensor string
+	Points []Point
+}
+
+// AppendAll ingests batches for many sensors concurrently: each sensor's
+// points are appended and committed by one worker (per-sensor order is
+// preserved; batches naming the same sensor are concatenated in input
+// order), with at most Options.IngestConcurrency sensors in flight
+// (default GOMAXPROCS). Within each sensor the full batched write path
+// applies — buffered rows, sorted per-index runs, one group commit — so a
+// transect of sensors ingests with one fsync per sensor. The first error
+// aborts that sensor's batch and is returned; other sensors' batches are
+// unaffected and commit normally.
+func (c *Collection) AppendAll(batches []SensorBatch) error {
+	// Group by sensor, preserving first-appearance order.
+	order := make([]string, 0, len(batches))
+	grouped := map[string][]Point{}
+	for _, b := range batches {
+		if _, ok := grouped[b.Sensor]; !ok {
+			order = append(order, b.Sensor)
+		}
+		grouped[b.Sensor] = append(grouped[b.Sensor], b.Points...)
+	}
+	workers := c.opts.IngestConcurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers <= 0 {
+		return nil
+	}
+
+	errs := make([]error, len(order))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				name := order[i]
+				ix, err := c.Sensor(name)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				if err := ix.AppendPoints(grouped[name]); err != nil {
+					errs[i] = fmt.Errorf("segdiff: sensor %s: %w", name, err)
+				}
+			}
+		}()
+	}
+	for i := range order {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SensorMatches pairs a sensor name with its matches.
 type SensorMatches struct {
 	Sensor  string

@@ -211,7 +211,23 @@ func TestAblationPoolAndIngest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab2.Rows) != 2 {
+	if len(tab2.Rows) != 3 {
 		t.Fatalf("ingest rows = %d", len(tab2.Rows))
+	}
+}
+
+func TestIngestPerfIdentity(t *testing.T) {
+	rep, err := RunIngestPerf(tinyConfig(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.SearchIdentical || !rep.TablesIdentical {
+		t.Fatalf("write paths diverge: search=%v tables=%v", rep.SearchIdentical, rep.TablesIdentical)
+	}
+	if rep.RowAtATime.Points == 0 || rep.RowAtATime.Points != rep.Batched.Points {
+		t.Fatalf("points: row=%d batched=%d", rep.RowAtATime.Points, rep.Batched.Points)
+	}
+	if rep.Speedup <= 0 {
+		t.Fatalf("speedup = %v", rep.Speedup)
 	}
 }

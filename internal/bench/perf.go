@@ -1,14 +1,20 @@
 package bench
 
-// Read-path performance comparison for the concurrent-search work: it
+// Performance comparisons for the concurrency work. The read-path half
 // pits the pre-parallel engine configuration (one client, union branches
 // evaluated sequentially) against branch-level parallelism and against
 // many clients sharing one index, and verifies all configurations return
-// identical matches. cmd/benchrunner -perf serializes the result to JSON
-// (BENCH_PR1.json in the repository root).
+// identical matches (BENCH_PR1.json). The write-path half pits durable
+// row-at-a-time ingest against the batched path — buffered rows, sorted
+// per-index apply, WAL group commit — and verifies both produce identical
+// search results and byte-identical feature tables (BENCH_PR2.json).
+// cmd/benchrunner -perf serializes the reports to JSON.
 
 import (
+	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"sync"
@@ -57,6 +63,129 @@ type PerfReport struct {
 	Identical bool           `json:"results_identical"`
 	Scenarios []PerfScenario `json:"scenarios"`
 	Bench     *GoBench       `json:"go_bench,omitempty"`
+	Ingest    *IngestReport  `json:"ingest,omitempty"`
+}
+
+// IngestScenario is one measured configuration of the durable write path.
+type IngestScenario struct {
+	Name       string  `json:"name"`
+	Points     int     `json:"points"`
+	WallMS     float64 `json:"wall_ms"`
+	Throughput float64 `json:"throughput_pts_per_s"`
+}
+
+// IngestReport is the durable-ingest comparison: the same workload pushed
+// through the row-at-a-time write path (one writer-lock acquisition and
+// up to five index descents per feature row, one WAL image per dirty page
+// per row batch) and through the batched path (rows buffered in core,
+// flushed via ExecBatch with sorted per-index apply and one group
+// commit). Both stores must answer the reference drop query identically
+// and leave byte-identical feature tables on disk.
+type IngestReport struct {
+	GOMAXPROCS      int            `json:"gomaxprocs"`
+	Days            int64          `json:"days"`
+	RowAtATime      IngestScenario `json:"row_at_a_time"`
+	Batched         IngestScenario `json:"batched"`
+	Speedup         float64        `json:"throughput_speedup"`
+	SearchIdentical bool           `json:"search_identical"`
+	TablesIdentical bool           `json:"tables_identical"`
+}
+
+// ingestTables are the feature-table heap files byte-compared by the
+// identity check (indexes are rebuilt structures, the heaps are the
+// ground truth).
+var ingestTables = []string{"t_segs.tbl",
+	"t_dropf1.tbl", "t_dropf2.tbl", "t_dropf3.tbl",
+	"t_jumpf1.tbl", "t_jumpf2.tbl", "t_jumpf3.tbl"}
+
+// runIngestScenario builds one durable store in its own subdir, timing
+// AppendSeries + Finish, and returns the store's drop matches for the
+// identity check before closing it.
+func runIngestScenario(cfg Config, dir, name string, rowAtATime bool) (IngestScenario, []core.Match, error) {
+	series, err := Workload(cfg, 1, cfg.Days)
+	if err != nil {
+		return IngestScenario{}, nil, err
+	}
+	st, err := core.Open(dir, core.Options{
+		Epsilon:    cfg.DefaultEps,
+		Window:     cfg.DefaultWH * 3600,
+		RowAtATime: rowAtATime,
+		DB:         sqlmini.Options{PoolPages: cfg.PoolPages},
+	})
+	if err != nil {
+		return IngestScenario{}, nil, err
+	}
+	start := time.Now()
+	if err := st.AppendSeries(series[0]); err != nil {
+		st.Close()
+		return IngestScenario{}, nil, err
+	}
+	if err := st.Finish(); err != nil {
+		st.Close()
+		return IngestScenario{}, nil, err
+	}
+	wall := time.Since(start)
+	matches, err := st.SearchDrops(cfg.QueryT, cfg.QueryV)
+	if err != nil {
+		st.Close()
+		return IngestScenario{}, nil, err
+	}
+	if err := st.Close(); err != nil {
+		return IngestScenario{}, nil, err
+	}
+	n := series[0].Len()
+	return IngestScenario{
+		Name:       name,
+		Points:     n,
+		WallMS:     float64(wall.Microseconds()) / 1e3,
+		Throughput: float64(n) / wall.Seconds(),
+	}, matches, nil
+}
+
+// RunIngestPerf measures durable ingest throughput, row-at-a-time vs
+// batched, over the same single-sensor workload, and verifies the two
+// write paths are observationally identical: same drop matches and
+// byte-identical feature-table files.
+func RunIngestPerf(cfg Config, dir string) (*IngestReport, error) {
+	rowDir := filepath.Join(dir, "ingest-row")
+	batchDir := filepath.Join(dir, "ingest-batched")
+	rowSc, rowMatches, err := runIngestScenario(cfg, rowDir, "row-at-a-time", true)
+	if err != nil {
+		return nil, err
+	}
+	batchSc, batchMatches, err := runIngestScenario(cfg, batchDir, "batched", false)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &IngestReport{
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Days:            cfg.Days,
+		RowAtATime:      rowSc,
+		Batched:         batchSc,
+		Speedup:         batchSc.Throughput / rowSc.Throughput,
+		SearchIdentical: reflect.DeepEqual(rowMatches, batchMatches),
+		TablesIdentical: true,
+	}
+	if !rep.SearchIdentical {
+		return nil, fmt.Errorf("bench: row-at-a-time found %d matches, batched %d — write paths diverge",
+			len(rowMatches), len(batchMatches))
+	}
+	for _, name := range ingestTables {
+		a, err := os.ReadFile(filepath.Join(rowDir, name))
+		if err != nil {
+			return nil, err
+		}
+		b, err := os.ReadFile(filepath.Join(batchDir, name))
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(a, b) {
+			rep.TablesIdentical = false
+			return nil, fmt.Errorf("bench: %s differs between write paths: %d vs %d bytes", name, len(a), len(b))
+		}
+	}
+	return rep, nil
 }
 
 // perfStore opens a single-sensor store with an explicit union pool size

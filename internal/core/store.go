@@ -47,9 +47,22 @@ type Options struct {
 	Window int64
 	// DB tunes the underlying storage engine.
 	DB sqlmini.Options
+	// RowAtATime disables the batched write path: every segment and
+	// feature row is written to the engine as its own statement, as in
+	// early versions. It exists as the baseline for the ingest benchmarks;
+	// leave it false otherwise.
+	RowAtATime bool
+
+	// Set-flags recorded by normalize so a resumed store can tell an
+	// explicitly requested default (which must match the persisted value)
+	// from an unset option (which adopts it).
+	epsilonSet bool
+	windowSet  bool
 }
 
 func (o Options) normalize() (Options, error) {
+	o.epsilonSet = o.Epsilon != 0
+	o.windowSet = o.Window != 0
 	if o.Epsilon == 0 {
 		o.Epsilon = 0.2
 	}
@@ -91,6 +104,13 @@ type Store struct {
 	searchStmt map[feature.Kind]*sqlmini.Stmt         // one UNION statement per kind
 	finished   bool
 	dirty      bool
+
+	// Batched write path (default): segment and feature rows accumulate
+	// here in emission order and reach the engine in one ExecBatch per
+	// table at Sync, so the heap layout — and the table files' bytes — are
+	// identical to row-at-a-time ingestion.
+	segRows  [][]sqlmini.Value
+	featRows map[feature.Kind]map[int][][]sqlmini.Value
 }
 
 // Open opens (creating or resuming) an on-disk store.
@@ -122,6 +142,9 @@ func OpenMemory(opts Options) (*Store, error) {
 
 func initStore(db *sqlmini.DB, opts Options) (*Store, error) {
 	s := &Store{db: db, opts: opts}
+	s.featRows = map[feature.Kind]map[int][][]sqlmini.Value{
+		feature.Drop: {}, feature.Jump: {},
+	}
 	fresh, err := s.ensureSchema()
 	if err != nil {
 		return nil, err
@@ -219,10 +242,10 @@ func (s *Store) checkMeta() error {
 	if !ok1 || !ok2 {
 		return fmt.Errorf("core: store meta incomplete")
 	}
-	if s.opts.Epsilon != 0.2 && s.opts.Epsilon != eps {
+	if s.opts.epsilonSet && s.opts.Epsilon != eps {
 		return fmt.Errorf("core: store was built with epsilon=%v, reopened with %v", eps, s.opts.Epsilon)
 	}
-	if s.opts.Window != 8*3600 && s.opts.Window != int64(win) {
+	if s.opts.windowSet && s.opts.Window != int64(win) {
 		return fmt.Errorf("core: store was built with window=%v, reopened with %v", int64(win), s.opts.Window)
 	}
 	s.opts.Epsilon = eps
@@ -316,9 +339,14 @@ func (s *Store) initPipeline() error {
 }
 
 func (s *Store) storeSegment(g segment.Segment) error {
-	if _, err := s.insSeg.Exec(
-		sqlmini.Int(g.Ts), sqlmini.Real(g.Vs), sqlmini.Int(g.Te), sqlmini.Real(g.Ve)); err != nil {
-		return err
+	row := []sqlmini.Value{
+		sqlmini.Int(g.Ts), sqlmini.Real(g.Vs), sqlmini.Int(g.Te), sqlmini.Real(g.Ve)}
+	if s.opts.RowAtATime {
+		if _, err := s.insSeg.Exec(row...); err != nil {
+			return err
+		}
+	} else {
+		s.segRows = append(s.segRows, row)
 	}
 	return s.ext.Push(g)
 }
@@ -331,43 +359,144 @@ func (s *Store) storeBoundary(b feature.Boundary) error {
 	}
 	args = append(args,
 		sqlmini.Int(b.TD), sqlmini.Int(b.TC), sqlmini.Int(b.TB), sqlmini.Int(b.TA))
-	_, err := s.insFeat[b.Kind][nc].Exec(args...)
-	return err
+	if s.opts.RowAtATime {
+		_, err := s.insFeat[b.Kind][nc].Exec(args...)
+		return err
+	}
+	s.featRows[b.Kind][nc] = append(s.featRows[b.Kind][nc], args)
+	return nil
+}
+
+// buffered reports how many rows await the next Sync on the batched path.
+func (s *Store) buffered() int {
+	n := len(s.segRows)
+	for _, byNC := range s.featRows {
+		for _, rows := range byNC {
+			n += len(rows)
+		}
+	}
+	return n
+}
+
+func (s *Store) clearBuffers() {
+	s.segRows = s.segRows[:0]
+	for _, byNC := range s.featRows {
+		for nc := range byNC {
+			byNC[nc] = byNC[nc][:0]
+		}
+	}
+}
+
+// flushRows drains the buffers through one ExecBatch per table. Within a
+// table, buffer order is emission order, so the heap receives rows exactly
+// as the row-at-a-time path would.
+func (s *Store) flushRows() error {
+	if len(s.segRows) > 0 {
+		if _, err := s.insSeg.ExecBatch(s.segRows); err != nil {
+			return err
+		}
+	}
+	for _, kind := range []feature.Kind{feature.Drop, feature.Jump} {
+		for nc := 1; nc <= 3; nc++ {
+			rows := s.featRows[kind][nc]
+			if len(rows) == 0 {
+				continue
+			}
+			if _, err := s.insFeat[kind][nc].ExecBatch(rows); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// beginIngest marks the store dirty; on the row-at-a-time path it also
+// opens an engine batch (the batched path touches the engine only at Sync).
+func (s *Store) beginIngest() {
+	if s.dirty {
+		return
+	}
+	s.dirty = true
+	if s.opts.RowAtATime {
+		s.db.BeginBatch()
+	}
 }
 
 // Append feeds one observation through segmentation and feature
 // extraction. Inserts are batched; call Sync (or Close) to make them
-// durable and, in particular, before searching for recently appended data.
+// durable and searchable.
 func (s *Store) Append(p timeseries.Point) error {
 	if s.finished {
 		return fmt.Errorf("core: append after Finish")
 	}
-	if !s.dirty {
-		s.db.BeginBatch()
-		s.dirty = true
-	}
+	s.beginIngest()
 	return s.seg.Push(p)
 }
 
-// AppendSeries appends a whole series and commits the batch.
+// AppendSeries appends a whole series and commits the batch. If any point
+// is rejected, everything appended since the last Sync is aborted so no
+// partial series is ever committed.
 func (s *Store) AppendSeries(series *timeseries.Series) error {
 	for _, p := range series.Points() {
 		if err := s.Append(p); err != nil {
+			s.Abort() // best effort; the append error is primary
 			return err
 		}
 	}
 	return s.Sync()
 }
 
-// Sync commits the current ingest batch. The trailing partial segment (if
-// any) remains open: its observations become searchable once the segment
-// closes (more data arrives or Finish is called).
+// Sync commits the current ingest batch: buffered rows are written through
+// the engine's batched insert path — one writer-lock acquisition and one
+// sorted, index-parallel apply per table, then a single group commit
+// (one fsync). The trailing partial segment (if any) remains open: its
+// observations become searchable once the segment closes (more data
+// arrives or Finish is called). On error the store is rolled back to its
+// last committed state (see Abort).
 func (s *Store) Sync() error {
 	if !s.dirty {
 		return nil
 	}
 	s.dirty = false
+	if s.opts.RowAtATime {
+		return s.db.CommitBatch()
+	}
+	if s.buffered() == 0 {
+		return nil
+	}
+	s.db.BeginBatch()
+	if err := s.flushRows(); err != nil {
+		// Partial rows reached the engine: roll back to the last commit.
+		// AbortBatch cannot help an in-memory store (nothing durable to
+		// restore from), so the flush error stays primary either way.
+		s.clearBuffers()
+		s.db.AbortBatch()
+		s.initPipeline()
+		return err
+	}
+	s.clearBuffers()
 	return s.db.CommitBatch()
+}
+
+// Abort discards everything appended since the last successful Sync:
+// buffered rows are dropped, a row-at-a-time engine batch is rolled back
+// (durable stores only — in-memory stores have no committed state to
+// restore and report an error), and the segmentation pipeline is rebuilt
+// from the committed segment catalog. On the default batched path nothing
+// has touched the engine between Syncs, so aborting an in-memory store is
+// exact there.
+func (s *Store) Abort() error {
+	wasDirty := s.dirty
+	s.dirty = false
+	s.clearBuffers()
+	var err error
+	if wasDirty && s.opts.RowAtATime {
+		err = s.db.AbortBatch()
+	}
+	if perr := s.initPipeline(); perr != nil && err == nil {
+		err = perr
+	}
+	return err
 }
 
 // Finish flushes the trailing partial segment and commits. After Finish
@@ -377,11 +506,9 @@ func (s *Store) Finish() error {
 		return nil
 	}
 	s.finished = true
-	if !s.dirty {
-		s.db.BeginBatch()
-		s.dirty = true
-	}
+	s.beginIngest()
 	if err := s.seg.Close(); err != nil {
+		s.Abort()
 		return err
 	}
 	return s.Sync()

@@ -54,6 +54,7 @@ type Store struct {
 
 	ins     *sqlmini.Stmt
 	recent  []timeseries.Point // observations within the window
+	rows    [][]sqlmini.Value  // buffered feature rows awaiting Sync
 	dirty   bool
 	nPoints int
 	nRows   int
@@ -118,15 +119,13 @@ func initStore(db *sqlmini.DB, opts Options) (*Store, error) {
 }
 
 // Append materializes the differences between p and every retained
-// earlier observation within the window.
+// earlier observation within the window. Rows are buffered in memory and
+// pushed through the engine's batched write path at the next Sync.
 func (s *Store) Append(p timeseries.Point) error {
 	if n := len(s.recent); n > 0 && p.T <= s.recent[n-1].T {
 		return fmt.Errorf("exh: out-of-order timestamp %d", p.T)
 	}
-	if !s.dirty {
-		s.db.BeginBatch()
-		s.dirty = true
-	}
+	s.dirty = true
 	// Evict observations outside the window.
 	keep := 0
 	for _, q := range s.recent {
@@ -138,10 +137,8 @@ func (s *Store) Append(p timeseries.Point) error {
 	s.recent = s.recent[:keep]
 
 	for _, q := range s.recent {
-		if _, err := s.ins.Exec(
-			sqlmini.Int(p.T-q.T), sqlmini.Real(p.V-q.V), sqlmini.Int(p.T)); err != nil {
-			return err
-		}
+		s.rows = append(s.rows, []sqlmini.Value{
+			sqlmini.Int(p.T - q.T), sqlmini.Real(p.V - q.V), sqlmini.Int(p.T)})
 		s.nRows++
 	}
 	s.recent = append(s.recent, p)
@@ -159,12 +156,24 @@ func (s *Store) AppendSeries(series *timeseries.Series) error {
 	return s.Sync()
 }
 
-// Sync commits the current ingest batch.
+// Sync flushes the buffered feature rows in one ExecBatch and commits:
+// the whole batch costs a single writer-lock acquisition and one fsync.
 func (s *Store) Sync() error {
 	if !s.dirty {
 		return nil
 	}
 	s.dirty = false
+	if len(s.rows) == 0 {
+		return nil
+	}
+	s.db.BeginBatch()
+	if _, err := s.ins.ExecBatch(s.rows); err != nil {
+		s.nRows -= len(s.rows)
+		s.rows = s.rows[:0]
+		s.db.AbortBatch() // best effort; the flush error is primary
+		return err
+	}
+	s.rows = s.rows[:0]
 	return s.db.CommitBatch()
 }
 

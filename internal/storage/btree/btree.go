@@ -391,6 +391,218 @@ func (t *Tree) finishInsert(id pager.PageID, nd *node) (sep []byte, newID pager.
 	return sep, newID, true, nil
 }
 
+// Entry is one key/value pair of a sorted run passed to InsertRun.
+type Entry struct {
+	Key, Val []byte
+}
+
+// InsertRun adds a run of entries whose keys are strictly ascending. It is
+// equivalent to calling Insert once per entry but amortizes the descent,
+// the node decodes/encodes and the meta-page sync over the whole run: a
+// cursor remembers the path to the current leaf and its exclusive upper
+// bound, so consecutive entries that land in the same leaf mutate it in
+// memory and the node is written back once, when the cursor moves on. A
+// run appended at the right edge of the tree (e.g. a time-ordered index)
+// never re-descends except when a node splits.
+//
+// Like Insert, InsertRun must be serialized externally against all other
+// tree calls. If an entry duplicates an existing key the run stops there
+// with ErrDuplicateKey: earlier entries remain inserted and the tree stays
+// structurally consistent (the engine discards the enclosing batch).
+func (t *Tree) InsertRun(entries []Entry) error {
+	for i, e := range entries {
+		if len(e.Key) == 0 || len(e.Key) > MaxKey {
+			return fmt.Errorf("btree: key length %d outside 1..%d", len(e.Key), MaxKey)
+		}
+		if len(e.Val) > MaxVal {
+			return fmt.Errorf("btree: value length %d exceeds %d", len(e.Val), MaxVal)
+		}
+		if i > 0 && bytes.Compare(entries[i-1].Key, e.Key) >= 0 {
+			return fmt.Errorf("btree: run keys not strictly ascending at entry %d", i)
+		}
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	c := runCursor{t: t}
+	var insErr error
+	for i := range entries {
+		if insErr = c.insertOne(entries[i].Key, entries[i].Val); insErr != nil {
+			break
+		}
+	}
+	if err := c.flush(); err != nil && insErr == nil {
+		insErr = err
+	}
+	if err := t.syncMeta(); err != nil && insErr == nil {
+		insErr = err
+	}
+	return insErr
+}
+
+// runLevel is one level of a runCursor's root-to-leaf path.
+type runLevel struct {
+	id       pager.PageID
+	nd       *node
+	hi       []byte // exclusive upper bound on keys reachable through nd; nil = +inf
+	childIdx int    // child taken during descent (internal nodes; -1 for the leaf)
+	dirty    bool   // nd mutated in memory, not yet written back
+}
+
+// runCursor holds the descent path of an InsertRun between entries.
+type runCursor struct {
+	t     *Tree
+	path  []runLevel
+	valid bool
+}
+
+// flush writes every dirty path node back to its page and invalidates the
+// cursor.
+func (c *runCursor) flush() error {
+	for i := len(c.path) - 1; i >= 0; i-- {
+		lvl := &c.path[i]
+		if lvl.dirty {
+			if err := c.t.writeNodeTo(lvl.id, lvl.nd); err != nil {
+				return err
+			}
+			lvl.dirty = false
+		}
+	}
+	c.path = c.path[:0]
+	c.valid = false
+	return nil
+}
+
+// descend rebuilds the path from the root to the leaf covering key,
+// recording each level's exclusive upper bound.
+func (c *runCursor) descend(key []byte) error {
+	t := c.t
+	c.path = c.path[:0]
+	id := t.root
+	var hi []byte
+	for {
+		nd, err := t.readNodeMut(id)
+		if err != nil {
+			return err
+		}
+		c.path = append(c.path, runLevel{id: id, nd: nd, hi: hi, childIdx: -1})
+		if nd.leaf {
+			c.valid = true
+			return nil
+		}
+		ci := childIndex(nd, key)
+		c.path[len(c.path)-1].childIdx = ci
+		if ci < len(nd.keys) {
+			hi = nd.keys[ci]
+		}
+		id = nd.children[ci]
+	}
+}
+
+// insertOne places one entry of the run, reusing the cached leaf while the
+// ascending key stays under its upper bound.
+func (c *runCursor) insertOne(key, val []byte) error {
+	if c.valid {
+		// Keys equal to an internal separator belong to the right sibling.
+		if hi := c.path[len(c.path)-1].hi; hi != nil && bytes.Compare(key, hi) >= 0 {
+			if err := c.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if !c.valid {
+		if err := c.descend(key); err != nil {
+			return err
+		}
+	}
+	leaf := &c.path[len(c.path)-1]
+	i := lowerBound(leaf.nd.keys, key)
+	if i < len(leaf.nd.keys) && bytes.Equal(leaf.nd.keys[i], key) {
+		return fmt.Errorf("%w: %x", ErrDuplicateKey, key)
+	}
+	leaf.nd.keys = insertAt(leaf.nd.keys, i, key)
+	leaf.nd.vals = insertAt(leaf.nd.vals, i, val)
+	leaf.dirty = true
+	c.t.n++
+	if nodeSize(leaf.nd) > pager.PageSize {
+		return c.splitPath()
+	}
+	return nil
+}
+
+// splitPath resolves an overflowing leaf by the standard mid-split,
+// cascading up the saved parent path (growing a new root if the cascade
+// reaches it), then invalidates the cursor so the next entry re-descends.
+func (c *runCursor) splitPath() error {
+	t := c.t
+	li := len(c.path) - 1
+	for {
+		lvl := &c.path[li]
+		nd := lvl.nd
+		mid := len(nd.keys) / 2
+		var right *node
+		var sep []byte
+		if nd.leaf {
+			right = &node{
+				leaf: true,
+				keys: append([][]byte(nil), nd.keys[mid:]...),
+				vals: append([][]byte(nil), nd.vals[mid:]...),
+				next: nd.next,
+			}
+			sep = right.keys[0]
+			nd.keys = nd.keys[:mid]
+			nd.vals = nd.vals[:mid]
+		} else {
+			sep = nd.keys[mid]
+			right = &node{
+				keys:     append([][]byte(nil), nd.keys[mid+1:]...),
+				children: append([]pager.PageID(nil), nd.children[mid+1:]...),
+			}
+			nd.keys = nd.keys[:mid]
+			nd.children = nd.children[:mid+1]
+		}
+		rp, err := t.pg.Allocate()
+		if err != nil {
+			return err
+		}
+		newID := rp.ID()
+		if nd.leaf {
+			nd.next = newID
+		}
+		writeNode(rp.Data(), right)
+		rp.MarkDirty()
+		rp.Release()
+		if err := t.writeNodeTo(lvl.id, nd); err != nil {
+			return err
+		}
+		lvl.dirty = false
+		if li == 0 {
+			rootPg, err := t.pg.Allocate()
+			if err != nil {
+				return err
+			}
+			writeNode(rootPg.Data(), &node{
+				keys:     [][]byte{sep},
+				children: []pager.PageID{lvl.id, newID},
+			})
+			rootPg.MarkDirty()
+			t.root = rootPg.ID()
+			rootPg.Release()
+			break
+		}
+		parent := &c.path[li-1]
+		ci := parent.childIdx
+		parent.nd.keys = insertAt(parent.nd.keys, ci, sep)
+		parent.nd.children = insertAt(parent.nd.children, ci+1, newID)
+		parent.dirty = true
+		if nodeSize(parent.nd) <= pager.PageSize {
+			break
+		}
+		li--
+	}
+	return c.flush()
+}
+
 // Get returns the value for key, or ErrKeyNotFound.
 func (t *Tree) Get(key []byte) ([]byte, error) {
 	id := t.root

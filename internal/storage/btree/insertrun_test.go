@@ -1,0 +1,252 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"segdiff/internal/storage/pager"
+)
+
+func openBenchTree() (*Tree, error) {
+	pg, err := pager.New(pager.NewMemFile(), 4096)
+	if err != nil {
+		return nil, err
+	}
+	return Open(pg)
+}
+
+// collect returns every entry of tr in key order.
+func collect(t *testing.T, tr *Tree) ([][]byte, [][]byte) {
+	t.Helper()
+	var keys, vals [][]byte
+	if err := tr.ScanRange(nil, nil, func(k, v []byte) (bool, error) {
+		keys = append(keys, append([]byte(nil), k...))
+		vals = append(vals, append([]byte(nil), v...))
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return keys, vals
+}
+
+func TestInsertRunAscending(t *testing.T) {
+	// A purely ascending run exercises the right-edge fast path: every
+	// entry after the first lands on the rightmost spine without
+	// re-descending (except at splits).
+	tr := newTree(t)
+	const n = 5000
+	entries := make([]Entry, n)
+	for i := 0; i < n; i++ {
+		entries[i] = Entry{Key: k(i), Val: []byte(fmt.Sprintf("v%d", i))}
+	}
+	if err := tr.InsertRun(entries); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i += 97 {
+		v, err := tr.Get(k(i))
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %d: got %q", i, v)
+		}
+	}
+	keys, _ := collect(t, tr)
+	if len(keys) != n {
+		t.Fatalf("scan found %d entries", len(keys))
+	}
+}
+
+func TestInsertRunMatchesInsert(t *testing.T) {
+	// A sorted run of random keys applied by InsertRun must leave the tree
+	// holding exactly the entries per-key Insert produces, including when
+	// the run interleaves with keys already present.
+	rng := rand.New(rand.NewSource(42))
+	perm := rng.Perm(4000)
+
+	single := newTree(t)
+	bulk := newTree(t)
+
+	// Preload both trees with the odd keys one at a time.
+	for _, i := range perm {
+		if i%2 == 1 {
+			if err := single.Insert(k(i), k(i)); err != nil {
+				t.Fatal(err)
+			}
+			if err := bulk.Insert(k(i), k(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Apply the even keys: per-key vs one sorted run.
+	var run []Entry
+	for i := 0; i < 4000; i += 2 {
+		run = append(run, Entry{Key: k(i), Val: k(i)})
+		if err := single.Insert(k(i), k(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bulk.InsertRun(run); err != nil {
+		t.Fatal(err)
+	}
+
+	if single.Len() != bulk.Len() {
+		t.Fatalf("len: single %d, bulk %d", single.Len(), bulk.Len())
+	}
+	sk, sv := collect(t, single)
+	bk, bv := collect(t, bulk)
+	if len(sk) != len(bk) {
+		t.Fatalf("entries: single %d, bulk %d", len(sk), len(bk))
+	}
+	for i := range sk {
+		if !bytes.Equal(sk[i], bk[i]) || !bytes.Equal(sv[i], bv[i]) {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestInsertRunValidation(t *testing.T) {
+	tr := newTree(t)
+	if err := tr.InsertRun(nil); err != nil {
+		t.Fatalf("empty run: %v", err)
+	}
+	err := tr.InsertRun([]Entry{{Key: k(2), Val: nil}, {Key: k(1), Val: nil}})
+	if err == nil {
+		t.Fatal("descending run accepted")
+	}
+	err = tr.InsertRun([]Entry{{Key: k(1), Val: nil}, {Key: k(1), Val: nil}})
+	if err == nil {
+		t.Fatal("duplicate keys within run accepted")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("rejected runs changed the tree: len %d", tr.Len())
+	}
+	if err := tr.InsertRun([]Entry{{Key: nil, Val: nil}}); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := tr.InsertRun([]Entry{{Key: make([]byte, MaxKey+1)}}); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+}
+
+func TestInsertRunDuplicateAgainstTree(t *testing.T) {
+	tr := newTree(t)
+	if err := tr.Insert(k(10), []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	err := tr.InsertRun([]Entry{
+		{Key: k(5), Val: []byte("a")},
+		{Key: k(10), Val: []byte("dup")},
+		{Key: k(15), Val: []byte("b")},
+	})
+	if !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("err = %v", err)
+	}
+	// Entries before the duplicate stay; the tree remains consistent.
+	if v, err := tr.Get(k(5)); err != nil || string(v) != "a" {
+		t.Fatalf("prefix entry lost: %q, %v", v, err)
+	}
+	if v, err := tr.Get(k(10)); err != nil || string(v) != "old" {
+		t.Fatalf("existing entry clobbered: %q, %v", v, err)
+	}
+	if _, err := tr.Get(k(15)); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("suffix entry applied: %v", err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestInsertRunChunkedInterleaved(t *testing.T) {
+	// Many small runs in random chunk order, as the engine produces them
+	// across batches; deep trees exercise split cascades above the leaf.
+	rng := rand.New(rand.NewSource(7))
+	perm := rng.Perm(6000)
+	tr := newTree(t)
+	inserted := 0
+	for len(perm) > 0 {
+		n := 1 + rng.Intn(200)
+		if n > len(perm) {
+			n = len(perm)
+		}
+		chunk := perm[:n]
+		perm = perm[n:]
+		run := make([]Entry, 0, n)
+		seen := map[int]bool{}
+		for _, i := range chunk {
+			if !seen[i] {
+				seen[i] = true
+				run = append(run, Entry{Key: k(i), Val: k(i)})
+			}
+		}
+		sortEntries(run)
+		if err := tr.InsertRun(run); err != nil {
+			t.Fatal(err)
+		}
+		inserted += len(run)
+	}
+	if int(tr.Len()) != inserted {
+		t.Fatalf("len = %d, want %d", tr.Len(), inserted)
+	}
+	keys, _ := collect(t, tr)
+	if len(keys) != inserted {
+		t.Fatalf("scan found %d", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if bytes.Compare(keys[i-1], keys[i]) >= 0 {
+			t.Fatalf("scan order broken at %d", i)
+		}
+	}
+}
+
+func sortEntries(run []Entry) {
+	for i := 1; i < len(run); i++ {
+		for j := i; j > 0 && bytes.Compare(run[j-1].Key, run[j].Key) > 0; j-- {
+			run[j-1], run[j] = run[j], run[j-1]
+		}
+	}
+}
+
+func BenchmarkInsertSingle(b *testing.B) {
+	pgTree := func() *Tree {
+		tr, err := openBenchTree()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return tr
+	}
+	b.ReportAllocs()
+	tr := pgTree()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(k(i), k(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertRun(b *testing.B) {
+	tr, err := openBenchTree()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const chunk = 512
+	b.ReportAllocs()
+	run := make([]Entry, 0, chunk)
+	next := 0
+	for i := 0; i < b.N; i += chunk {
+		run = run[:0]
+		for j := 0; j < chunk && i+j < b.N; j++ {
+			run = append(run, Entry{Key: k(next), Val: k(next)})
+			next++
+		}
+		if err := tr.InsertRun(run); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package heap
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"segdiff/internal/storage/pager"
+)
+
+func TestInsertBatchMatchesInsert(t *testing.T) {
+	// InsertBatch must assign exactly the pages and slots that per-record
+	// Insert would, so the two write paths produce byte-identical files.
+	mk := func() *Heap {
+		pg, err := pager.New(pager.NewMemFile(), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := Open(pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	single, batch := mk(), mk()
+
+	var recs [][]byte
+	for i := 0; i < 3000; i++ {
+		recs = append(recs, []byte(fmt.Sprintf("record-%04d-%s", i, bytes.Repeat([]byte{'x'}, i%40))))
+	}
+	var want []RID
+	for _, rec := range recs {
+		rid, err := single.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rid)
+	}
+	got, err := batch.InsertBatch(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d rids, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rid %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if single.Len() != batch.Len() {
+		t.Fatalf("len: %d vs %d", single.Len(), batch.Len())
+	}
+	for i, rid := range got {
+		rec, err := batch.Get(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rec, recs[i]) {
+			t.Fatalf("record %d corrupted", i)
+		}
+	}
+}
+
+func TestInsertBatchAppendsAfterInserts(t *testing.T) {
+	pg, err := pager.New(pager.NewMemFile(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Open(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Insert([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	rids, err := h.InsertBatch([][]byte{[]byte("second"), []byte("third")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 2 || h.Len() != 3 {
+		t.Fatalf("rids %v, len %d", rids, h.Len())
+	}
+	if rec, _ := h.Get(rids[1]); string(rec) != "third" {
+		t.Fatalf("got %q", rec)
+	}
+	// Empty and oversized batches.
+	if rids, err := h.InsertBatch(nil); err != nil || rids != nil {
+		t.Fatalf("empty batch: %v, %v", rids, err)
+	}
+	if _, err := h.InsertBatch([][]byte{make([]byte, MaxRecord+1)}); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package pager
+
+import (
+	"testing"
+)
+
+func TestDiscardDropsUnflushedWrites(t *testing.T) {
+	f := NewMemFile()
+	p, err := New(f, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One page flushed to the file, one allocated but never written out.
+	pg, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg.Data()[0] = 1
+	pg.MarkDirty()
+	pg.Release()
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pg2, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg2.Data()[0] = 2
+	pg2.MarkDirty()
+	pg2.Release()
+
+	if err := p.Discard(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumPages() != 1 {
+		t.Fatalf("page count after discard = %d, want 1 (file size)", p.NumPages())
+	}
+	got, err := p.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data()[0] != 1 {
+		t.Fatalf("flushed page content lost: %d", got.Data()[0])
+	}
+	got.Release()
+	if _, err := p.Get(1); err == nil {
+		t.Fatal("discarded page still readable")
+	}
+}
+
+func TestDiscardRefusesPinnedPages(t *testing.T) {
+	p, err := New(NewMemFile(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Discard(); err == nil {
+		t.Fatal("discard with pinned page accepted")
+	}
+	pg.Release()
+	if err := p.Discard(); err != nil {
+		t.Fatal(err)
+	}
+}

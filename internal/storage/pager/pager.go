@@ -388,6 +388,33 @@ func (p *Pager) DropCache() error {
 	return nil
 }
 
+// Discard drops every cached frame without writing anything back and
+// re-derives the page count from the file. It is the batch-abort hook:
+// uncommitted dirty frames vanish, and the engine then restores committed
+// page content by WAL replay before re-reading through the pager.
+// Outstanding pins are an error.
+func (p *Pager) Discard() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("pager: use after close")
+	}
+	for _, fr := range p.frames {
+		if fr.pins.Load() > 0 {
+			return fmt.Errorf("pager: discard with page %d still pinned", fr.id)
+		}
+	}
+	p.frames = make(map[PageID]*frame)
+	p.ring = p.ring[:0]
+	p.hand = 0
+	size, err := p.f.Size()
+	if err != nil {
+		return err
+	}
+	p.nPages = PageID(size / PageSize)
+	return nil
+}
+
 // ResetStats zeroes the counters (used between experiment runs).
 func (p *Pager) ResetStats() {
 	atomic.StoreUint64(&p.stats.Hits, 0)

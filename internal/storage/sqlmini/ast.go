@@ -86,9 +86,11 @@ type createIndexStmt struct {
 	cols  []string
 }
 
+// insertStmt is INSERT INTO t VALUES (...), (...); a plain single-row
+// INSERT is the one-row case.
 type insertStmt struct {
 	table string
-	vals  []expr
+	rows  [][]expr
 }
 
 type selectStmt struct {
@@ -157,8 +159,10 @@ func countParams(s stmt) int {
 	}
 	switch st := s.(type) {
 	case insertStmt:
-		for _, e := range st.vals {
-			count(e)
+		for _, row := range st.rows {
+			for _, e := range row {
+				count(e)
+			}
 		}
 	case selectStmt:
 		for _, e := range st.exprs {

@@ -28,6 +28,12 @@ type Options struct {
 	// independent point and line queries, so this is the engine's main
 	// intra-query parallelism knob.
 	UnionWorkers int
+	// WriteWorkers bounds how many secondary indexes a batched insert
+	// (multi-row INSERT or Stmt.ExecBatch) updates concurrently (default
+	// runtime.GOMAXPROCS(0); 1 applies indexes sequentially). Each feature
+	// table carries one index per parallelogram corner, so this is the
+	// write path's counterpart to UnionWorkers.
+	WriteWorkers int
 }
 
 func (o Options) normalize() Options {
@@ -39,6 +45,9 @@ func (o Options) normalize() Options {
 	}
 	if o.UnionWorkers <= 0 {
 		o.UnionWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.WriteWorkers <= 0 {
+		o.WriteWorkers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -452,6 +461,56 @@ func (s *Stmt) Exec(args ...Value) (int, error) {
 	return s.db.execLocked(s.st, args)
 }
 
+// ExecBatch executes a prepared INSERT once per argument row under a
+// single writer-lock acquisition: all rows are evaluated up front, written
+// to the heap in one batch, applied to each secondary index as a sorted run
+// on its own worker, and committed together (group commit — one fsync for
+// the whole batch unless a batch is already open via BeginBatch). It
+// returns the number of rows inserted. Only INSERT statements are
+// supported.
+func (s *Stmt) ExecBatch(argRows [][]Value) (int, error) {
+	st, ok := s.st.(insertStmt)
+	if !ok {
+		return 0, fmt.Errorf("sqlmini: ExecBatch supports INSERT statements only")
+	}
+	if len(argRows) == 0 {
+		return 0, nil
+	}
+	db := s.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, fmt.Errorf("sqlmini: database is closed")
+	}
+	schema, ok := db.catalog.Tables[st.table]
+	if !ok {
+		return 0, fmt.Errorf("sqlmini: no such table %s", st.table)
+	}
+	if err := validateInsert(schema, st); err != nil {
+		return 0, err
+	}
+	want := countParams(st)
+	b := &binding{}
+	rows := make([][]Value, 0, len(argRows)*len(st.rows))
+	for _, args := range argRows {
+		if len(args) != want {
+			return 0, fmt.Errorf("sqlmini: statement has %d placeholders, got %d args", want, len(args))
+		}
+		b.args = args
+		for _, rx := range st.rows {
+			vals, err := evalInsertRow(schema, rx, b)
+			if err != nil {
+				return 0, err
+			}
+			rows = append(rows, vals)
+		}
+	}
+	if err := db.insertRows(schema, rows); err != nil {
+		return 0, err
+	}
+	return len(rows), db.maybeCommit()
+}
+
 // Query executes a prepared SELECT/EXPLAIN.
 func (s *Stmt) Query(args ...Value) (*Rows, error) {
 	return s.QueryMode(PlanAuto, args...)
@@ -480,6 +539,65 @@ func (db *DB) CommitBatch() error {
 	return db.commitLocked()
 }
 
+// AbortBatch discards everything written since the last commit and
+// restores the engine to its committed state: staged WAL images are
+// dropped, every buffer pool is emptied (the no-steal policy guarantees
+// uncommitted pages never reached the data files), the WAL's committed
+// batches are replayed into the data files to recover committed pages that
+// lived only in the discarded caches, and every table and index is
+// remounted. Prepared statements remain valid. In-memory databases have no
+// committed state to return to and report an error.
+func (db *DB) AbortBatch() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.inBatch = false
+	if db.closed {
+		return fmt.Errorf("sqlmini: database is closed")
+	}
+	if db.log == nil {
+		return fmt.Errorf("sqlmini: cannot abort a batch on an in-memory database")
+	}
+	db.log.DiscardStaged()
+	if err := db.log.Flush(); err != nil {
+		return err
+	}
+	// Replay before discarding the caches: a committed page image may exist
+	// only in the WAL and a dirty frame, and replay may extend a data file
+	// whose committed tail was never checkpointed. Discard re-derives the
+	// page count from the (now restored) file size.
+	if _, err := wal.Replay(filepath.Join(db.dir, "wal.log"), func(img wal.PageImage) error {
+		f, ok := db.files[img.File]
+		if !ok {
+			return fmt.Errorf("unknown file %d in WAL", img.File)
+		}
+		_, werr := f.WriteAt(img.Data, int64(img.Page)*pager.PageSize)
+		return werr
+	}); err != nil {
+		return fmt.Errorf("sqlmini: abort: %w", err)
+	}
+	for _, th := range db.tables {
+		if err := th.pg.Discard(); err != nil {
+			return err
+		}
+		h, err := heap.Open(th.pg)
+		if err != nil {
+			return err
+		}
+		th.h = h
+	}
+	for _, ih := range db.indexes {
+		if err := ih.pg.Discard(); err != nil {
+			return err
+		}
+		tr, err := btree.Open(ih.pg)
+		if err != nil {
+			return err
+		}
+		ih.tree = tr
+	}
+	return nil
+}
+
 // maybeCommit commits unless a batch is open.
 func (db *DB) maybeCommit() error {
 	if db.inBatch {
@@ -488,14 +606,17 @@ func (db *DB) maybeCommit() error {
 	return db.commitLocked()
 }
 
-// commitLocked captures dirty page images in the WAL and commits them.
+// commitLocked stages dirty page after-images in the WAL and group-commits
+// them: the staging layer keeps only the last image per page, and Commit
+// writes the whole batch with a single flush and fsync. A commit with no
+// dirty pages is skipped entirely — no marker, no fsync.
 func (db *DB) commitLocked() error {
 	if db.log == nil {
 		return nil
 	}
 	logPages := func(id uint16, pg *pager.Pager) error {
 		return pg.LogDirty(func(p pager.PageID, data []byte) error {
-			return db.log.AppendPage(id, uint32(p), data)
+			return db.log.Stage(id, uint32(p), data)
 		})
 	}
 	for name, th := range db.tables {
@@ -507,6 +628,9 @@ func (db *DB) commitLocked() error {
 		if err := logPages(db.catalog.Indexes[name].FileID, ih.pg); err != nil {
 			return err
 		}
+	}
+	if db.log.StagedPages() == 0 {
+		return nil
 	}
 	if err := db.log.Commit(); err != nil {
 		return err

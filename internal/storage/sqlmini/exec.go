@@ -1,12 +1,14 @@
 package sqlmini
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 
+	"segdiff/internal/storage/btree"
 	"segdiff/internal/storage/heap"
 	"segdiff/internal/storage/keyenc"
 	"segdiff/internal/storage/pager"
@@ -357,32 +359,64 @@ func (db *DB) execAggregate(st selectStmt, plan *scanPlan, args []Value) (*Rows,
 	return out, nil
 }
 
-// execInsert runs an INSERT and returns 1.
+// validateInsert checks every VALUES row of st against the schema.
+func validateInsert(schema *tableSchema, st insertStmt) error {
+	for _, row := range st.rows {
+		if len(row) != len(schema.Cols) {
+			return fmt.Errorf("sqlmini: table %s has %d columns, INSERT supplies %d", st.table, len(schema.Cols), len(row))
+		}
+		for _, e := range row {
+			if err := validateExpr(e, schema, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// evalInsertRow evaluates one validated VALUES group into a typed row.
+func evalInsertRow(schema *tableSchema, exprs []expr, b *binding) ([]Value, error) {
+	vals := make([]Value, len(exprs))
+	for i, e := range exprs {
+		v, err := evalExpr(e, b)
+		if err != nil {
+			return nil, err
+		}
+		c, err := coerce(v, schema.Cols[i].Type)
+		if err != nil {
+			return nil, fmt.Errorf("sqlmini: column %s: %w", schema.Cols[i].Name, err)
+		}
+		vals[i] = c
+	}
+	return vals, nil
+}
+
+// execInsert runs an INSERT and returns the number of rows inserted.
 func (db *DB) execInsert(st insertStmt, args []Value) (int, error) {
 	schema, ok := db.catalog.Tables[st.table]
 	if !ok {
 		return 0, fmt.Errorf("sqlmini: no such table %s", st.table)
 	}
-	if len(st.vals) != len(schema.Cols) {
-		return 0, fmt.Errorf("sqlmini: table %s has %d columns, INSERT supplies %d", st.table, len(schema.Cols), len(st.vals))
+	if err := validateInsert(schema, st); err != nil {
+		return 0, err
 	}
 	b := &binding{args: args}
-	vals := make([]Value, len(st.vals))
-	for i, e := range st.vals {
-		if err := validateExpr(e, schema, false); err != nil {
-			return 0, err
-		}
-		v, err := evalExpr(e, b)
+	if len(st.rows) == 1 {
+		vals, err := evalInsertRow(schema, st.rows[0], b)
 		if err != nil {
 			return 0, err
 		}
-		c, err := coerce(v, schema.Cols[i].Type)
-		if err != nil {
-			return 0, fmt.Errorf("sqlmini: column %s: %w", schema.Cols[i].Name, err)
-		}
-		vals[i] = c
+		return 1, db.insertRow(schema, vals)
 	}
-	return 1, db.insertRow(schema, vals)
+	rows := make([][]Value, len(st.rows))
+	for i, rx := range st.rows {
+		vals, err := evalInsertRow(schema, rx, b)
+		if err != nil {
+			return 0, err
+		}
+		rows[i] = vals
+	}
+	return len(rows), db.insertRows(schema, rows)
 }
 
 // insertRow writes a typed row into the heap and all indexes.
@@ -405,6 +439,95 @@ func (db *DB) insertRow(schema *tableSchema, vals []Value) error {
 		binary.LittleEndian.PutUint64(ridBytes[:], uint64(ridToInt(rid)))
 		if err := db.indexes[ix.Name].tree.Insert(key, ridBytes[:]); err != nil {
 			return fmt.Errorf("sqlmini: index %s: %w", ix.Name, err)
+		}
+	}
+	return nil
+}
+
+// insertRows writes many typed rows at once: one heap batch under a single
+// tail-page pin, then each secondary index applied as a sorted run on its
+// own worker (Options.WriteWorkers). Sorting the per-index entries lets the
+// B+tree take its right-edge fast path (btree.InsertRun), and distinct
+// indexes live in distinct files with distinct pagers, so the workers share
+// no mutable state. Row order in the heap — and therefore the table file's
+// bytes — is identical to per-row insertion.
+func (db *DB) insertRows(schema *tableSchema, rows [][]Value) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	recs := make([][]byte, len(rows))
+	for i, vals := range rows {
+		rec, err := encodeRow(schema, vals)
+		if err != nil {
+			return err
+		}
+		recs[i] = rec
+	}
+	th := db.tables[schema.Name]
+	rids, err := th.h.InsertBatch(recs)
+	if err != nil {
+		return err
+	}
+	idxs := db.catalog.indexesOn(schema.Name)
+	if len(idxs) == 0 {
+		return nil
+	}
+
+	applyIndex := func(ix *indexSchema) error {
+		entries := make([]btree.Entry, len(rows))
+		ridBytes := make([]byte, 8*len(rows))
+		for i, vals := range rows {
+			key, err := indexKey(schema, ix, vals, rids[i])
+			if err != nil {
+				return err
+			}
+			val := ridBytes[8*i : 8*i+8]
+			packRID(val, rids[i])
+			entries[i] = btree.Entry{Key: key, Val: val}
+		}
+		// Keys are unique (RID suffix), so a plain byte sort yields the
+		// strictly ascending run InsertRun requires.
+		sort.Slice(entries, func(a, b int) bool {
+			return bytes.Compare(entries[a].Key, entries[b].Key) < 0
+		})
+		if err := db.indexes[ix.Name].tree.InsertRun(entries); err != nil {
+			return fmt.Errorf("sqlmini: index %s: %w", ix.Name, err)
+		}
+		return nil
+	}
+
+	workers := db.opts.WriteWorkers
+	if workers > len(idxs) {
+		workers = len(idxs)
+	}
+	if workers <= 1 {
+		for _, ix := range idxs {
+			if err := applyIndex(ix); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(idxs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = applyIndex(idxs[i])
+			}
+		}()
+	}
+	for i := range idxs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
 	return nil

@@ -197,25 +197,36 @@ func (p *parser) insert() (stmt, error) {
 	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
 		return nil, err
 	}
-	if _, err := p.expect(tokSymbol, "("); err != nil {
-		return nil, err
-	}
-	var vals []expr
+	var rows [][]expr
 	for {
-		e, err := p.expr()
-		if err != nil {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
 			return nil, err
 		}
-		vals = append(vals, e)
+		var vals []expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, e)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		if len(rows) > 0 && len(vals) != len(rows[0]) {
+			return nil, p.errorf("VALUES row %d has %d values, first row has %d", len(rows)+1, len(vals), len(rows[0]))
+		}
+		rows = append(rows, vals)
 		if p.accept(tokSymbol, ",") {
 			continue
 		}
 		break
 	}
-	if _, err := p.expect(tokSymbol, ")"); err != nil {
-		return nil, err
-	}
-	return insertStmt{table: table.text, vals: vals}, nil
+	return insertStmt{table: table.text, rows: rows}, nil
 }
 
 func (p *parser) selectStmt() (stmt, error) {

@@ -1,0 +1,211 @@
+package wal
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"segdiff/internal/storage/pager"
+)
+
+func TestStageDeduplicatesWithinBatch(t *testing.T) {
+	path, l := tmpLog(t)
+	if err := l.Stage(0, 7, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Stage(1, 7, []byte("other-file")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Stage(0, 7, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Stage(0, 7, []byte("final")); err != nil {
+		t.Fatal(err)
+	}
+	if n := l.StagedPages(); n != 2 {
+		t.Fatalf("staged pages = %d, want 2 after dedupe", n)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []PageImage
+	batches, err := Replay(path, func(img PageImage) error {
+		got = append(got, img)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the last image per (file, page) reaches the log.
+	if batches != 1 || len(got) != 2 {
+		t.Fatalf("replay = %d batches, %d images, want 1/2", batches, len(got))
+	}
+	if got[0].File != 0 || got[0].Page != 7 || string(got[0].Data) != "final" {
+		t.Fatalf("image 0 = %+v", got[0])
+	}
+	if got[1].File != 1 || string(got[1].Data) != "other-file" {
+		t.Fatalf("image 1 = %+v", got[1])
+	}
+}
+
+func TestDiscardStaged(t *testing.T) {
+	path, l := tmpLog(t)
+	if err := l.Stage(0, 1, []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Stage(0, 2, []byte("aborted")); err != nil {
+		t.Fatal(err)
+	}
+	l.DiscardStaged()
+	if n := l.StagedPages(); n != 0 {
+		t.Fatalf("staged pages after discard = %d", n)
+	}
+	// A later commit must not resurrect discarded images. The empty commit
+	// writes only a marker.
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []PageImage
+	if _, err := Replay(path, func(img PageImage) error {
+		got = append(got, img)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0].Data) != "committed" {
+		t.Fatalf("replay images = %+v", got)
+	}
+}
+
+func TestStageAfterCloseRejected(t *testing.T) {
+	_, l := tmpLog(t)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Stage(0, 1, []byte("x")); err == nil {
+		t.Fatal("stage after close accepted")
+	}
+}
+
+// Crash simulation under group commit, mirroring TestCrashRecoveryWithPager
+// but with the staged write path: a committed batch whose pages were staged
+// (with within-batch duplicates deduped) survives; a staged-but-uncommitted
+// batch leaves no trace — staged images never touch the log file before
+// Commit, so there is not even a torn tail to discard.
+func TestCrashRecoveryWithStagedBatches(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.db")
+	logPath := filepath.Join(dir, "wal.log")
+
+	f, err := pager.OpenOSFile(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pager.New(f, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetNoSteal(true)
+	l, err := Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch one: write page 0 twice before committing; only the final image
+	// may reach the log.
+	pg, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(pg.Data(), "draft-one")
+	pg.MarkDirty()
+	pg.Release()
+	if err := p.LogDirty(func(id pager.PageID, data []byte) error {
+		return l.Stage(0, uint32(id), data)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pg, err = p.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(pg.Data(), "batch-one")
+	pg.MarkDirty()
+	pg.Release()
+	if err := p.LogDirty(func(id pager.PageID, data []byte) error {
+		return l.Stage(0, uint32(id), data)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := l.StagedPages(); n != 1 {
+		t.Fatalf("staged = %d, want 1 (deduped)", n)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch two: staged but never committed.
+	pg2, err := p.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(pg2.Data(), "batch-two")
+	pg2.MarkDirty()
+	pg2.Release()
+	if err := p.LogDirty(func(id pager.PageID, data []byte) error {
+		return l.Stage(0, uint32(id), data)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash": abandon pager and staged images; close log abruptly.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery.
+	f2, err := pager.OpenOSFile(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var images int
+	batches, err := Replay(logPath, func(img PageImage) error {
+		images++
+		_, werr := f2.WriteAt(img.Data, int64(img.Page)*pager.PageSize)
+		return werr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches != 1 || images != 1 {
+		t.Fatalf("replay = %d batches, %d images, want 1/1", batches, images)
+	}
+	p2, err := pager.New(f2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p2.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data()[:9], []byte("batch-one")) {
+		t.Fatalf("recovered %q, want committed batch-one", got.Data()[:9])
+	}
+	got.Release()
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

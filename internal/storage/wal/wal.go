@@ -4,8 +4,11 @@
 //
 //   - between commits, the pager never writes dirty unlogged pages to the
 //     data files, so data files only ever contain committed page content;
-//   - Commit captures the after-image of every dirty page (via
-//     pager.LogDirty), appends the images plus a commit marker, and fsyncs;
+//   - the engine stages the after-image of every dirty page (via
+//     pager.LogDirty and Stage) into an in-memory buffer that keeps only
+//     the last image per page — within one batch only the final image
+//     matters for redo — and Commit appends the staged images plus a
+//     commit marker with a single flush and fsync (group commit);
 //   - recovery replays the page images of every complete batch in log
 //     order, which is idempotent; a torn tail (missing commit marker or bad
 //     checksum) is discarded;
@@ -40,6 +43,17 @@ type Log struct {
 	w      *bufio.Writer
 	path   string
 	closed bool
+
+	// Group-commit staging area: page images buffered for the next Commit,
+	// deduplicated by (file, page).
+	staged    map[uint64]int // (file, page) -> index into stagedBuf
+	stagedBuf []stagedPage
+}
+
+type stagedPage struct {
+	file uint16
+	page uint32
+	data []byte
 }
 
 // Open opens (creating if absent) the log at path, positioned for append.
@@ -75,14 +89,58 @@ func (l *Log) appendRecord(op byte, file uint16, page uint32, data []byte) error
 	return err
 }
 
-// AppendPage logs the after-image of one page.
+// AppendPage logs the after-image of one page immediately. Most writers
+// should prefer Stage, which deduplicates images within the batch; the two
+// may be mixed (appended records always precede staged ones in the log).
 func (l *Log) AppendPage(file uint16, page uint32, data []byte) error {
 	return l.appendRecord(opPageImage, file, page, data)
 }
 
-// Commit appends a commit marker and durably flushes the log. Page images
-// appended since the previous Commit become recoverable.
+// Stage buffers the after-image of one page for the next Commit (group
+// commit). Staging the same (file, page) again replaces the earlier image:
+// within one committed batch only the final image of a page matters for
+// redo, so duplicates never reach the log. data is copied.
+func (l *Log) Stage(file uint16, page uint32, data []byte) error {
+	if l.closed {
+		return errors.New("wal: use after close")
+	}
+	k := uint64(file)<<32 | uint64(page)
+	if i, ok := l.staged[k]; ok {
+		l.stagedBuf[i].data = append(l.stagedBuf[i].data[:0], data...)
+		return nil
+	}
+	if l.staged == nil {
+		l.staged = map[uint64]int{}
+	}
+	l.staged[k] = len(l.stagedBuf)
+	l.stagedBuf = append(l.stagedBuf, stagedPage{
+		file: file, page: page, data: append([]byte(nil), data...),
+	})
+	return nil
+}
+
+// StagedPages returns the number of distinct page images currently staged.
+func (l *Log) StagedPages() int { return len(l.stagedBuf) }
+
+// DiscardStaged drops all staged page images without logging them — the
+// engine's batch-abort path.
+func (l *Log) DiscardStaged() {
+	l.stagedBuf = l.stagedBuf[:0]
+	for k := range l.staged {
+		delete(l.staged, k)
+	}
+}
+
+// Commit writes the staged page images followed by a commit marker and
+// durably flushes the log in a single flush + fsync. Images appended with
+// AppendPage since the previous Commit are part of the same batch.
 func (l *Log) Commit() error {
+	for _, s := range l.stagedBuf {
+		if err := l.appendRecord(opPageImage, s.file, s.page, s.data); err != nil {
+			return err
+		}
+	}
+	l.DiscardStaged()
 	if err := l.appendRecord(opCommit, 0, 0, nil); err != nil {
 		return err
 	}
@@ -90,6 +148,15 @@ func (l *Log) Commit() error {
 		return err
 	}
 	return l.f.Sync()
+}
+
+// Flush pushes buffered records to the file without committing them.
+// Staged images are not flushed — they only reach the file at Commit.
+func (l *Log) Flush() error {
+	if l.closed {
+		return nil
+	}
+	return l.w.Flush()
 }
 
 // Size returns the current log length in bytes (including buffered data).

@@ -45,8 +45,15 @@
 // read lock, its buffer pool admits concurrent readers, and each search's
 // union of point and line queries is itself evaluated on a bounded worker
 // pool. Options.SearchConcurrency tunes the fan-out (default GOMAXPROCS).
-// Ingestion (Append, Sync, Finish, Prune) must stay single-goroutine; it
-// blocks searches only for the duration of each write.
+//
+// The write path is batched: Append buffers rows in memory and Sync (or
+// Finish/Close) pushes them through the engine in bulk — one writer-lock
+// acquisition per table, each secondary index applied as a sorted run on
+// its own worker (Options.IngestConcurrency), and one WAL group commit, so
+// a whole batch costs a single fsync. Ingestion into one Index (Append,
+// Sync, Finish, Prune) must stay single-goroutine; it blocks searches only
+// for the duration of each write. A Collection ingests many sensors in
+// parallel via AppendAll.
 package segdiff
 
 import (
@@ -101,6 +108,12 @@ type Options struct {
 	// sensors a Collection searches concurrently. Set it to 1 for fully
 	// sequential searches; it never affects results, only latency.
 	SearchConcurrency int
+	// IngestConcurrency bounds the write-path parallelism (default
+	// runtime.GOMAXPROCS): the number of secondary indexes one batch
+	// commit updates concurrently, and the number of sensors a Collection
+	// ingests concurrently in AppendAll. Set it to 1 for fully sequential
+	// ingestion; it never affects stored bytes, only throughput.
+	IngestConcurrency int
 }
 
 func (o Options) toCore() core.Options {
@@ -110,6 +123,7 @@ func (o Options) toCore() core.Options {
 		DB: sqlmini.Options{
 			PoolPages:    o.CachePages,
 			UnionWorkers: o.SearchConcurrency,
+			WriteWorkers: o.IngestConcurrency,
 		},
 	}
 }
@@ -150,18 +164,26 @@ func (ix *Index) Append(t int64, v float64) error {
 	return ix.st.Append(timeseries.Point{T: t, V: v})
 }
 
-// AppendPoints ingests a batch and commits it.
+// AppendPoints ingests a batch and commits it. If any point is rejected,
+// everything appended since the last commit is rolled back so no partial
+// batch is ever committed.
 func (ix *Index) AppendPoints(pts []Point) error {
 	for _, p := range pts {
 		if err := ix.Append(p.Time, p.Value); err != nil {
+			ix.st.Abort() // best effort; the append error is primary
 			return err
 		}
 	}
 	return ix.Sync()
 }
 
-// Sync commits buffered features to storage.
+// Sync commits buffered features to storage in one batch (a single fsync
+// for durable indexes).
 func (ix *Index) Sync() error { return ix.st.Sync() }
+
+// Abort discards everything appended since the last commit and rebuilds
+// the ingest pipeline from committed state.
+func (ix *Index) Abort() error { return ix.st.Abort() }
 
 // Finish flushes the trailing partial segment; afterwards the index is
 // read-only.
