@@ -77,9 +77,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
 		bw := bufio.NewWriter(f)
-		defer bw.Flush()
+		defer func() {
+			if err := bw.Flush(); err != nil {
+				fatal(err)
+			}
+		}()
 		w = bw
 	}
 

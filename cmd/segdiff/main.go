@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -71,7 +72,7 @@ func openStore(db string, eps float64, window time.Duration) (*core.Store, error
 	return core.Open(db, core.Options{Epsilon: eps, Window: int64(window / time.Second)})
 }
 
-func ingest(args []string) error {
+func ingest(args []string) (err error) {
 	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
 	db := fs.String("db", "", "index directory")
 	csvPath := fs.String("csv", "", "input CSV of t,v rows ('-' for stdin)")
@@ -86,7 +87,7 @@ func ingest(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer joinClose(&err, f)
 		in = f
 	} else if *csvPath == "" {
 		return fmt.Errorf("missing -csv")
@@ -116,7 +117,7 @@ func ingest(args []string) error {
 	return nil
 }
 
-func search(args []string) error {
+func search(args []string) (err error) {
 	fs := flag.NewFlagSet("search", flag.ExitOnError)
 	db := fs.String("db", "", "index directory")
 	kindStr := fs.String("kind", "drop", "drop or jump")
@@ -145,7 +146,7 @@ func search(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer st.Close()
+	defer joinClose(&err, st)
 	start := time.Now()
 	matches, err := st.SearchMode(kind, int64(*span/time.Second), *v, mode)
 	if err != nil {
@@ -160,7 +161,7 @@ func search(args []string) error {
 	return nil
 }
 
-func stats(args []string) error {
+func stats(args []string) (err error) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	db := fs.String("db", "", "index directory")
 	fs.Parse(args)
@@ -168,7 +169,7 @@ func stats(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer st.Close()
+	defer joinClose(&err, st)
 	s, err := st.Stats()
 	if err != nil {
 		return err
@@ -187,7 +188,7 @@ func stats(args []string) error {
 	return nil
 }
 
-func sqlCmd(args []string) error {
+func sqlCmd(args []string) (err error) {
 	fs := flag.NewFlagSet("sql", flag.ExitOnError)
 	db := fs.String("db", "", "index directory")
 	q := fs.String("q", "", "SELECT or EXPLAIN statement")
@@ -199,7 +200,7 @@ func sqlCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer st.Close()
+	defer joinClose(&err, st)
 	rows, err := st.DB().Query(*q)
 	if err != nil {
 		return err
@@ -213,4 +214,13 @@ func sqlCmd(args []string) error {
 		fmt.Println(strings.Join(cells, "\t"))
 	}
 	return nil
+}
+
+// joinClose closes c when the surrounding command returns, folding a close
+// failure into the command's named error unless one is already set. Store
+// Close commits pending state, so the error is a real data-loss signal.
+func joinClose(err *error, c io.Closer) {
+	if cerr := c.Close(); cerr != nil && *err == nil {
+		*err = cerr
+	}
 }

@@ -14,7 +14,7 @@ import (
 // plotCmd renders the stored piecewise linear approximation as an ASCII
 // chart with matched drop periods marked underneath — a terminal version
 // of the paper's Figure 1 (data, segments, and a search result overlay).
-func plotCmd(args []string) error {
+func plotCmd(args []string) (err error) {
 	fs := flag.NewFlagSet("plot", flag.ExitOnError)
 	db := fs.String("db", "", "index directory")
 	from := fs.Int64("from", 0, "start timestamp (0 = series start)")
@@ -32,7 +32,7 @@ func plotCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer st.Close()
+	defer joinClose(&err, st)
 
 	segs, err := st.Segments()
 	if err != nil {

@@ -22,7 +22,7 @@ import (
 // -denoise, verify against the denoised data (the guarantees are relative
 // to the signal the index saw, not to anomalies the preprocessing
 // removed).
-func verifyCmd(args []string) error {
+func verifyCmd(args []string) (err error) {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	db := fs.String("db", "", "index directory")
 	csvPath := fs.String("csv", "", "the raw CSV the index was built from")
@@ -37,7 +37,7 @@ func verifyCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer joinClose(&err, f)
 	series, err := timeseries.ReadCSV(f)
 	if err != nil {
 		return err
@@ -47,7 +47,7 @@ func verifyCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer st.Close()
+	defer joinClose(&err, st)
 	eps := st.Epsilon()
 	T := int64(*span / time.Second)
 

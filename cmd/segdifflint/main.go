@@ -1,0 +1,96 @@
+// Command segdifflint runs the project's invariant analyzers (DESIGN.md §7)
+// over the packages matched by the given go-list patterns:
+//
+//	go run ./cmd/segdifflint ./...
+//
+// It prints one line per finding, file:line:col: [analyzer] message, and
+// exits 1 when anything is reported, 2 on load failure. Individual
+// analyzers can be switched off with -disable:
+//
+//	go run ./cmd/segdifflint -disable lockcheck,syncerr ./internal/core
+//
+// Findings are suppressed per line with a justified directive comment:
+//
+//	//segdifflint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"segdiff/internal/analysis"
+	"segdiff/internal/analysis/loader"
+	"segdiff/internal/analysis/suite"
+)
+
+func main() {
+	disable := flag.String("disable", "", "comma-separated analyzer names to skip")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: segdifflint [-disable name,...] packages...\n\nanalyzers:\n")
+		for _, a := range suite.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	analyzers := suite.Analyzers()
+	if *disable != "" {
+		off := map[string]bool{}
+		for _, name := range strings.Split(*disable, ",") {
+			off[strings.TrimSpace(name)] = true
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range analyzers {
+			if !off[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+
+	n, err := run(analyzers, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "segdifflint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "segdifflint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+func run(analyzers []*analysis.Analyzer, patterns []string) (int, error) {
+	moduleDir, err := loader.ModuleDir()
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := loader.Load(moduleDir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			return total, err
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			file := pos.Filename
+			if rel, err := filepath.Rel(moduleDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s\n", file, pos.Line, pos.Column, d.Analyzer, d.Message)
+			total++
+		}
+	}
+	return total, nil
+}

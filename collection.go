@@ -18,10 +18,10 @@ import (
 // order.
 type Collection struct {
 	mu      sync.Mutex
-	dir     string // "" = in-memory
+	dir     string // "" = in-memory; set once at open
 	opts    Options
-	sensors map[string]*Index
-	closed  bool
+	sensors map[string]*Index // guarded by mu
+	closed  bool              // guarded by mu
 }
 
 var sensorNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]*$`)

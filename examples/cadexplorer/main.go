@@ -27,7 +27,13 @@ func main() {
 	fmt.Printf("the generator injected %d cold-air-drainage events\n\n", len(events))
 
 	col := segdiff.NewMemoryCollection(segdiff.Options{Epsilon: 0.2, Window: 8 * time.Hour})
-	defer col.Close()
+	// Close commits any pending batch, so its error is the difference
+	// between durable and silently dropped data - always check it.
+	defer func() {
+		if err := col.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	start := time.Now()
 	for i, s := range series {

@@ -35,7 +35,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ix.Close()
+	// Close commits any pending batch, so its error is the difference
+	// between durable and silently dropped data - always check it.
+	defer func() {
+		if err := ix.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	start := time.Now()
 	for _, p := range series.Points() {

@@ -20,7 +20,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ix.Close()
+	// Close commits any pending batch, so its error is the difference
+	// between durable and silently dropped data - always check it.
+	defer func() {
+		if err := ix.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	// One day of 5-minute samples: a smooth diurnal curve with a sharp
 	// cold-air-drainage event before dawn (04:00–04:40).

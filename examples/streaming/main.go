@@ -25,7 +25,13 @@ func main() {
 	}
 
 	col := segdiff.NewMemoryCollection(segdiff.Options{Epsilon: 0.2, Window: 8 * time.Hour})
-	defer col.Close()
+	// Close commits any pending batch, so its error is the difference
+	// between durable and silently dropped data - always check it.
+	defer func() {
+		if err := col.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 	idx := make([]*segdiff.Index, sensors)
 	for i := range idx {
 		ix, err := col.Sensor(fmt.Sprintf("s%d", i))

@@ -1,0 +1,278 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis model: an Analyzer inspects one
+// type-checked package at a time and reports position-tagged diagnostics.
+// It exists because this repository builds offline against the standard
+// library only; the API mirrors x/tools closely enough that the analyzers
+// under internal/analysis/... could be ported to real go/analysis drivers
+// by swapping the Pass type.
+//
+// The suite it hosts (see Analyzers in suite.go) mechanically enforces the
+// engine invariants documented in DESIGN.md §6–§7: pager pin/Release
+// pairing, the lock-annotation discipline, batch abort on error paths,
+// ε-geometry float comparisons, and durability-error handling.
+//
+// Suppression. A diagnostic can be silenced with a directive comment
+//
+//	//segdifflint:ignore <analyzer> <reason>
+//
+// placed on the same line as the diagnostic or on the line directly above
+// it. The reason is mandatory: an unexplained suppression is itself
+// reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run inspects the package and reports findings through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass holds the per-package inputs handed to an Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Package is a loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// NewInfo returns a types.Info with every map the analyzers need.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Run applies analyzers to pkg, honours ignore directives, and returns the
+// surviving diagnostics sorted by position. Directive misuse (missing
+// reason, unknown analyzer name) is reported as a diagnostic of the
+// pseudo-analyzer "directive".
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	diags = applyDirectives(pkg, analyzers, diags)
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// directive is one parsed //segdifflint:ignore comment.
+type directive struct {
+	file     *token.File
+	line     int
+	analyzer string
+	reason   string
+	pos      token.Pos
+	used     bool
+}
+
+const directivePrefix = "//segdifflint:ignore"
+
+// applyDirectives filters diags through the files' ignore directives.
+func applyDirectives(pkg *Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var dirs []*directive
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, directivePrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				tf := pkg.Fset.File(c.Pos())
+				d := &directive{
+					file:     tf,
+					line:     tf.Line(c.Pos()),
+					analyzer: name,
+					reason:   strings.TrimSpace(reason),
+					pos:      c.Pos(),
+				}
+				if d.analyzer == "" || !known[d.analyzer] {
+					out = append(out, Diagnostic{
+						Analyzer: "directive",
+						Pos:      c.Pos(),
+						Message:  fmt.Sprintf("ignore directive names unknown analyzer %q", d.analyzer),
+					})
+					continue
+				}
+				if d.reason == "" {
+					out = append(out, Diagnostic{
+						Analyzer: "directive",
+						Pos:      c.Pos(),
+						Message:  "ignore directive is missing a reason",
+					})
+					continue
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	for _, dg := range diags {
+		tf := pkg.Fset.File(dg.Pos)
+		line := tf.Line(dg.Pos)
+		suppressed := false
+		for _, d := range dirs {
+			if d.analyzer == dg.Analyzer && d.file == tf && (d.line == line || d.line == line-1) {
+				d.used = true
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, dg)
+		}
+	}
+	for _, d := range dirs {
+		if !d.used {
+			out = append(out, Diagnostic{
+				Analyzer: "directive",
+				Pos:      d.pos,
+				Message:  fmt.Sprintf("ignore directive for %q suppresses nothing", d.analyzer),
+			})
+		}
+	}
+	return out
+}
+
+// ReceiverTypeName returns the name of the (possibly pointer) named
+// receiver or operand type, or "".
+func ReceiverTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// MethodOf resolves call's callee as a method (or interface method) and
+// returns it, or nil when call is not a method call.
+func MethodOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := info.Selections[sel]; ok {
+		if fn, ok := s.Obj().(*types.Func); ok {
+			return fn
+		}
+		return nil
+	}
+	// Package-qualified call (pkg.F): not a method.
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Type().(*types.Signature).Recv() != nil {
+		return fn
+	}
+	return nil
+}
+
+// ErrNonNilBranch reports whether a CFG edge guarded by cond (negated when
+// neg) is only taken when errObj is non-nil: the true arm of `err != nil`
+// or the false arm of `err == nil`.
+func ErrNonNilBranch(info *types.Info, cond ast.Expr, neg bool, errObj types.Object) bool {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	var other ast.Expr
+	if id, ok := bin.X.(*ast.Ident); ok && info.Uses[id] == errObj {
+		other = bin.Y
+	} else if id, ok := bin.Y.(*ast.Ident); ok && info.Uses[id] == errObj {
+		other = bin.X
+	} else {
+		return false
+	}
+	if tv, ok := info.Types[other]; !ok || !tv.IsNil() {
+		return false
+	}
+	switch bin.Op {
+	case token.NEQ:
+		return !neg // err != nil, true arm
+	case token.EQL:
+		return neg // err == nil, false arm
+	}
+	return false
+}
+
+// FuncBodies yields every function body in f that should be analyzed as an
+// independent control-flow unit: each FuncDecl body and each FuncLit body.
+// fn receives the enclosing FuncDecl (nil for file-scope FuncLits — which
+// cannot occur in practice) and the body.
+func FuncBodies(f *ast.File, fn func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt)) {
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fn(fd, nil, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				fn(fd, fl, fl.Body)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,126 @@
+// Package analysistest runs a segdifflint analyzer over a source fixture
+// and checks its diagnostics against `// want "regexp"` comments, in the
+// spirit of golang.org/x/tools/go/analysis/analysistest but built on the
+// repo's own offline loader.
+//
+// A fixture is a directory testdata/src/<name>/ below the analyzer's
+// package; it is loaded under the import path "fixture/<name>" (which the
+// syncerr analyzer treats as in-module). Every line that should produce a
+// diagnostic carries a trailing comment:
+//
+//	p.Get(id) // want `leaked page handle`
+//
+// Multiple expectations on one line are written as successive quoted
+// regexps. The test fails on any diagnostic with no matching want and on
+// any want with no matching diagnostic — so a fixture with wants fails
+// loudly if its analyzer is disabled or broken.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"segdiff/internal/analysis"
+	"segdiff/internal/analysis/loader"
+)
+
+// wantRE extracts the quoted regexps of one want comment. Both Go string
+// syntaxes are accepted: "..." with escapes, or backquotes for regexps
+// that themselves contain quotes.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads testdata/src/<fixture> and reports, via t, every mismatch
+// between the analyzer's diagnostics and the fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := loader.LoadDir("", dir, "fixture/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, fixture, err)
+	}
+
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !claim(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// regexp matches the message, reporting whether one was found.
+func claim(wants []*want, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every want comment in the fixture.
+func collectWants(pkg *analysis.Package) ([]*want, error) {
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := wantRE.FindAllString(text, -1)
+				if len(quoted) == 0 {
+					return nil, fmt.Errorf("%s: malformed want comment %q", pos, c.Text)
+				}
+				for _, q := range quoted {
+					pattern, err := unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want string %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %s: %v", pos, q, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, raw: q})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func unquote(q string) (string, error) {
+	if strings.HasPrefix(q, "`") {
+		return strings.Trim(q, "`"), nil
+	}
+	return strconv.Unquote(q)
+}

@@ -1,0 +1,331 @@
+// Package batchabort implements the segdifflint analyzer that keeps error
+// paths from leaving a write batch open.
+//
+// After DB.BeginBatch (or a Stmt.ExecBatch inside an open batch) the engine
+// holds staged WAL pages and rejects further writers until CommitBatch or
+// AbortBatch runs. An error return that skips both leaves the database
+// wedged in batch mode and silently discards durability (DESIGN.md §6).
+//
+// The analyzer walks the CFG forward from every batch trigger:
+//
+//   - a call to a method named BeginBatch on a type named DB, or
+//   - a call to a method named ExecBatch on a type named Stmt, or
+//   - a call to a same-package function annotated "// batchabort: caller"
+//     in its doc comment, meaning "I may leave a batch that needs
+//     aborting — my caller owns the cleanup".
+//
+// Every reachable return that may carry a non-nil error must first pass a
+// call to AbortBatch, CommitBatch, or Abort (a call inside the return
+// expression counts). For BeginBatch only, the `err != nil` arm of the
+// begin itself is exempt: a failed begin opens nothing.
+//
+// A function annotated "batchabort: caller" is itself skipped; the
+// obligation transfers to its callers.
+package batchabort
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"segdiff/internal/analysis"
+	"segdiff/internal/analysis/cfg"
+)
+
+// Analyzer is the batchabort analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "batchabort",
+	Doc:  "check that every error path after BeginBatch/ExecBatch reaches AbortBatch/Abort",
+	Run:  run,
+}
+
+// killNames are calls that discharge the abort obligation.
+var killNames = map[string]bool{"AbortBatch": true, "CommitBatch": true, "Abort": true}
+
+const callerAnnotation = "batchabort: caller"
+
+func run(pass *analysis.Pass) error {
+	callerFuncs := collectCallerAnnotated(pass)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isCallerAnnotated(fd) {
+				continue
+			}
+			obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			var sig *types.Signature
+			if obj != nil {
+				sig = obj.Type().(*types.Signature)
+			}
+			checkBody(pass, fd.Body, sig, callerFuncs)
+			// Func literals get their own pass with their own signature.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				if tv, ok := pass.Info.Types[lit]; ok {
+					if ls, ok := tv.Type.(*types.Signature); ok {
+						checkBody(pass, lit.Body, ls, callerFuncs)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isCallerAnnotated(fd *ast.FuncDecl) bool {
+	return fd.Doc != nil && strings.Contains(fd.Doc.Text(), callerAnnotation)
+}
+
+// collectCallerAnnotated returns the *types.Func objects of functions in
+// this package carrying the caller annotation.
+func collectCallerAnnotated(pass *analysis.Pass) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !isCallerAnnotated(fd) {
+				continue
+			}
+			if obj := pass.Info.Defs[fd.Name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// hasErrorResult reports whether sig can return an error at all.
+func hasErrorResult(sig *types.Signature) bool {
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}
+
+// trigger is one batch-opening call site located in the CFG.
+type trigger struct {
+	block   *cfg.Block
+	idx     int
+	pos     token.Pos
+	name    string       // call name, for the diagnostic
+	isBegin bool         // BeginBatch: failed begin opens nothing
+	errObj  types.Object // error assigned from the trigger call, if any
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, sig *types.Signature, callerFuncs map[types.Object]bool) {
+	if !hasErrorResult(sig) {
+		return
+	}
+	g := cfg.New(body)
+	if g.HasGoto {
+		return
+	}
+	var triggers []trigger
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			if t := triggerAt(pass, blk, i, n, callerFuncs); t != nil {
+				triggers = append(triggers, *t)
+			}
+		}
+	}
+	reported := map[token.Pos]bool{}
+	for _, t := range triggers {
+		walk(pass, g, sig, t, reported)
+	}
+}
+
+// triggerAt inspects one CFG node for a batch trigger call.
+func triggerAt(pass *analysis.Pass, blk *cfg.Block, idx int, n ast.Stmt, callerFuncs map[types.Object]bool) *trigger {
+	var found *ast.CallExpr
+	var name string
+	isBegin := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false // literals are analyzed separately
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok || found != nil {
+			return true
+		}
+		if fn := analysis.MethodOf(pass.Info, call); fn != nil {
+			recv := analysis.ReceiverTypeName(fn.Type().(*types.Signature).Recv().Type())
+			switch {
+			case fn.Name() == "BeginBatch" && recv == "DB":
+				found, name, isBegin = call, "BeginBatch", true
+			case fn.Name() == "ExecBatch" && recv == "Stmt":
+				found, name = call, "ExecBatch"
+			}
+			return true
+		}
+		// Same-package call to a caller-annotated function or method.
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if callerFuncs[pass.Info.Uses[fun]] {
+				found, name = call, fun.Name
+			}
+		case *ast.SelectorExpr:
+			if s, ok := pass.Info.Selections[fun]; ok && callerFuncs[s.Obj()] {
+				found, name = call, fun.Sel.Name
+			}
+		}
+		return true
+	})
+	if found == nil {
+		return nil
+	}
+	t := &trigger{block: blk, idx: idx, pos: found.Pos(), name: name, isBegin: isBegin}
+	// `err := db.BeginBatch()` / `if err := ...;` — remember err so the
+	// failed-begin arm can be exempted.
+	if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 && as.Rhs[0] == found {
+		for _, l := range as.Lhs {
+			if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+				if obj := objOf(pass.Info, id); obj != nil && isErrorType(obj.Type()) {
+					t.errObj = obj
+				}
+			}
+		}
+	}
+	return t
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// walk explores paths from the trigger, reporting error returns that skip
+// every kill call.
+func walk(pass *analysis.Pass, g *cfg.Graph, sig *types.Signature, t trigger, reported map[token.Pos]bool) {
+	type state struct {
+		block    *cfg.Block
+		start    int
+		errValid bool
+	}
+	type key struct {
+		block    *cfg.Block
+		errValid bool
+	}
+	seen := map[key]bool{}
+	// Scanning starts at the trigger node itself: `return s.flushRows()`
+	// is both the trigger and an error return that leaves the batch open.
+	stack := []state{{t.block, t.idx, t.errObj != nil}}
+	for len(stack) > 0 {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		errValid := st.errValid
+		done := false
+		for i := st.start; i < len(st.block.Nodes) && !done; i++ {
+			n := st.block.Nodes[i]
+			if containsKill(pass.Info, n) {
+				done = true
+				continue
+			}
+			if t.errObj != nil && reassignsObj(pass.Info, n, t.errObj) {
+				errValid = false
+			}
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				if mayReturnError(pass, sig, ret) && !reported[ret.Pos()] {
+					reported[ret.Pos()] = true
+					pass.Reportf(ret.Pos(),
+						"error return may leave the batch from %s (at %s) open: call AbortBatch/Abort first",
+						t.name, pass.Fset.Position(t.pos))
+				}
+				done = true
+			}
+		}
+		if done {
+			continue
+		}
+		for _, e := range st.block.Succs {
+			if e.To == g.Exit {
+				continue
+			}
+			if t.isBegin && errValid && analysis.ErrNonNilBranch(pass.Info, e.Cond, e.Neg, t.errObj) {
+				continue // failed BeginBatch opens no batch
+			}
+			k := key{e.To, errValid}
+			if !seen[k] {
+				seen[k] = true
+				stack = append(stack, state{e.To, 0, errValid})
+			}
+		}
+	}
+}
+
+// containsKill reports whether n contains a call that discharges the abort
+// obligation. Calls inside func literals count: `defer func() { _ =
+// db.AbortBatch() }()` is a legitimate cleanup shape.
+func containsKill(info *types.Info, n ast.Stmt) bool {
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && killNames[sel.Sel.Name] {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func reassignsObj(info *types.Info, n ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		as, ok := node.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, l := range as.Lhs {
+			if id, ok := l.(*ast.Ident); ok && objOf(info, id) == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mayReturnError reports whether ret can carry a non-nil error: an explicit
+// non-nil expression in an error result slot, a call whose results feed the
+// return, or a bare return when the signature has a (named) error result.
+func mayReturnError(pass *analysis.Pass, sig *types.Signature, ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == 0 {
+		return hasErrorResult(sig) // named results: conservatively yes
+	}
+	if len(ret.Results) == 1 && sig.Results().Len() > 1 {
+		// `return f()` tuple form.
+		return hasErrorResult(sig)
+	}
+	for i, res := range ret.Results {
+		if i >= sig.Results().Len() || !isErrorType(sig.Results().At(i).Type()) {
+			continue
+		}
+		if tv, ok := pass.Info.Types[res]; ok && tv.IsNil() {
+			continue
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,24 @@
+package batchabort_test
+
+import (
+	"testing"
+
+	"segdiff/internal/analysis/analysistest"
+	"segdiff/internal/analysis/batchabort"
+	"segdiff/internal/analysis/suite"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, batchabort.Analyzer, "batchabort")
+}
+
+// TestInSuite fails if the analyzer is dropped from the segdifflint suite:
+// the fixture's defects would then ship unnoticed.
+func TestInSuite(t *testing.T) {
+	for _, a := range suite.Analyzers() {
+		if a == batchabort.Analyzer {
+			return
+		}
+	}
+	t.Fatal("batchabort analyzer is not registered in the segdifflint suite")
+}

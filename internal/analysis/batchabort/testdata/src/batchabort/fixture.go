@@ -1,0 +1,73 @@
+// Package batchabort is the analyzer fixture: local DB/Stmt types with the
+// engine's batch API shape, exercising leaked and properly aborted batches
+// plus the caller-annotation contract.
+package batchabort
+
+import "errors"
+
+// DB mirrors the engine's batch surface.
+type DB struct{}
+
+func (db *DB) BeginBatch()        {}
+func (db *DB) CommitBatch() error { return nil }
+func (db *DB) AbortBatch() error  { return nil }
+
+// Stmt mirrors a prepared statement.
+type Stmt struct{ db *DB }
+
+func (s *Stmt) ExecBatch(rows [][]int) (int, error) { return 0, nil }
+
+// clean aborts on the error path before returning: fine.
+func clean(db *DB, fill func() error) error {
+	db.BeginBatch()
+	if err := fill(); err != nil {
+		return errors.Join(err, db.AbortBatch())
+	}
+	return db.CommitBatch()
+}
+
+// leaky returns the fill error with the batch still open.
+func leaky(db *DB, fill func() error) error {
+	db.BeginBatch()
+	if err := fill(); err != nil {
+		return err // want `error return may leave the batch from BeginBatch .* open: call AbortBatch/Abort first`
+	}
+	return db.CommitBatch()
+}
+
+// stmtLeaky opens a batch implicitly through ExecBatch and bails out on
+// the later validation error without closing it.
+func stmtLeaky(s *Stmt, db *DB, check func() error) error {
+	if _, err := s.ExecBatch(nil); err != nil {
+		return errors.Join(err, db.AbortBatch())
+	}
+	if err := check(); err != nil {
+		return err // want `error return may leave the batch from ExecBatch .* open`
+	}
+	return db.CommitBatch()
+}
+
+// fill pushes rows for a batch its caller owns.
+//
+// batchabort: caller — the surrounding Sync owns the AbortBatch.
+func fill(s *Stmt) error {
+	_, err := s.ExecBatch(nil)
+	return err
+}
+
+// useFillClean propagates the helper's abort duty correctly.
+func useFillClean(db *DB, s *Stmt) error {
+	db.BeginBatch()
+	if err := fill(s); err != nil {
+		return errors.Join(err, db.AbortBatch())
+	}
+	return db.CommitBatch()
+}
+
+// useFillLeaky calls the caller-annotated helper and then leaks.
+func useFillLeaky(db *DB, s *Stmt) error {
+	if err := fill(s); err != nil {
+		return err // want `error return may leave the batch from fill .* open`
+	}
+	return db.CommitBatch()
+}

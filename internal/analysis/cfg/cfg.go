@@ -1,0 +1,324 @@
+// Package cfg builds a statement-level control-flow graph for one function
+// body. It is deliberately small: blocks hold the statements that execute
+// unconditionally together, and edges carry the branch condition (with a
+// negation flag) so that flow-sensitive analyzers such as pagehandle can
+// distinguish the err != nil arm of an if from the fallthrough arm.
+//
+// goto is not modelled; a body containing goto sets Graph.HasGoto and
+// callers are expected to skip it (the engine tree contains none).
+package cfg
+
+import "go/ast"
+
+// Edge is a directed edge to a successor block. When Cond is non-nil the
+// edge is taken iff Cond evaluates to true (Neg=false) or false (Neg=true).
+// A nil Cond means the edge may always be taken (unconditional jumps, range
+// loops, switch dispatch, select arms).
+type Edge struct {
+	To   *Block
+	Cond ast.Expr
+	Neg  bool
+}
+
+// Block is a maximal straight-line run of statements. Nodes contains the
+// statements in execution order; branch conditions live on the outgoing
+// Edges, not in Nodes.
+type Block struct {
+	Index int
+	Nodes []ast.Stmt
+	Succs []Edge
+}
+
+// Graph is the CFG of one function body.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block // synthetic; reached by returns and by falling off the end
+	Blocks []*Block
+	// HasGoto reports that the body contains a goto (or a label used by
+	// one); the graph is then incomplete and analyses should bail out.
+	HasGoto bool
+}
+
+// builder carries the loop/switch context stacks during construction.
+type builder struct {
+	g   *Graph
+	cur *Block
+	// breakTargets / continueTargets are stacks; entry 0 is outermost.
+	breaks    []target
+	continues []target
+}
+
+type target struct {
+	label string // "" for unlabeled
+	block *Block
+}
+
+// New builds the CFG for body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	b.stmts(body.List, "")
+	// Falling off the end of the body reaches Exit.
+	b.edge(b.cur, g.Exit, nil, false)
+	return g
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block, cond ast.Expr, neg bool) {
+	if from == nil {
+		return
+	}
+	from.Succs = append(from.Succs, Edge{To: to, Cond: cond, Neg: neg})
+}
+
+// startDangling replaces the current block with a fresh unreachable one,
+// used after terminators (return, break, continue).
+func (b *builder) startDangling() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) stmts(list []ast.Stmt, label string) {
+	for i, s := range list {
+		// Only the first statement can legitimately consume the label
+		// (labels attach to single statements), but passing it through
+		// is harmless: stmt ignores it for non-loop statements.
+		l := ""
+		if i == 0 {
+			l = label
+		}
+		b.stmt(s, l)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List, "")
+
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		head := b.cur
+		then := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, then, s.Cond, false)
+		b.cur = then
+		b.stmts(s.Body.List, "")
+		b.edge(b.cur, after, nil, false)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(head, els, s.Cond, true)
+			b.cur = els
+			b.stmt(s.Else, "")
+			b.edge(b.cur, after, nil, false)
+		} else {
+			b.edge(head, after, s.Cond, true)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(b.cur, head, nil, false)
+		if s.Cond != nil {
+			b.edge(head, body, s.Cond, false)
+			b.edge(head, after, s.Cond, true)
+		} else {
+			b.edge(head, body, nil, false)
+		}
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head, nil, false)
+		}
+		b.push(label, after, post)
+		b.cur = body
+		b.stmts(s.Body.List, "")
+		b.edge(b.cur, post, nil, false)
+		b.pop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		// The range statement itself (key/value assignment + iteration)
+		// lives in the head block so analyses see its identifiers.
+		head.Nodes = append(head.Nodes, s)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(b.cur, head, nil, false)
+		b.edge(head, body, nil, false)
+		b.edge(head, after, nil, false)
+		b.push(label, after, head)
+		b.cur = body
+		b.stmts(s.Body.List, "")
+		b.edge(b.cur, head, nil, false)
+		b.pop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, &ast.ExprStmt{X: s.Tag})
+		}
+		b.switchBody(s.Body, label, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+		b.switchBody(s.Body, label, false)
+
+	case *ast.SelectStmt:
+		head := b.cur
+		after := b.newBlock()
+		b.pushBreak(label, after)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			if cc.Comm != nil {
+				blk.Nodes = append(blk.Nodes, cc.Comm)
+			}
+			b.edge(head, blk, nil, false)
+			b.cur = blk
+			b.stmts(cc.Body, "")
+			b.edge(b.cur, after, nil, false)
+		}
+		b.popBreak()
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.edge(b.cur, b.g.Exit, nil, false)
+		b.startDangling()
+
+	case *ast.BranchStmt:
+		switch s.Tok.String() {
+		case "break":
+			if t := b.find(b.breaks, s.Label); t != nil {
+				b.edge(b.cur, t.block, nil, false)
+			}
+			b.startDangling()
+		case "continue":
+			if t := b.find(b.continues, s.Label); t != nil && t.block != nil {
+				b.edge(b.cur, t.block, nil, false)
+			}
+			b.startDangling()
+		case "goto":
+			b.g.HasGoto = true
+			b.startDangling()
+		case "fallthrough":
+			// Handled structurally in switchBody via clause ordering;
+			// record nothing here (the edge is added there).
+		}
+
+	default:
+		// Plain statement: declarations, assignments, expressions, defer,
+		// go, send, inc/dec, empty.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// switchBody lowers the clause list of a switch / type switch.
+// allowFallthrough is true for expression switches only.
+func (b *builder) switchBody(body *ast.BlockStmt, label string, allowFallthrough bool) {
+	head := b.cur
+	after := b.newBlock()
+	b.pushBreak(label, after)
+	var clauseBlocks []*Block
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		blk := b.newBlock()
+		clauseBlocks = append(clauseBlocks, blk)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			// Case expressions are evaluated in the head block.
+			head.Nodes = append(head.Nodes, &ast.ExprStmt{X: e})
+		}
+		b.edge(head, blk, nil, false)
+	}
+	if !hasDefault {
+		b.edge(head, after, nil, false)
+	}
+	for i, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		b.cur = clauseBlocks[i]
+		b.stmts(cc.Body, "")
+		if allowFallthrough && endsInFallthrough(cc.Body) && i+1 < len(clauseBlocks) {
+			b.edge(b.cur, clauseBlocks[i+1], nil, false)
+		} else {
+			b.edge(b.cur, after, nil, false)
+		}
+	}
+	b.popBreak()
+	b.cur = after
+}
+
+func endsInFallthrough(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	br, ok := list[len(list)-1].(*ast.BranchStmt)
+	return ok && br.Tok.String() == "fallthrough"
+}
+
+// push registers the break and continue targets of a loop.
+func (b *builder) push(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, target{label, brk})
+	b.continues = append(b.continues, target{label, cont})
+}
+
+func (b *builder) pop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// pushBreak registers only a break target (switch / select): continue
+// inside those still refers to the enclosing loop.
+func (b *builder) pushBreak(label string, brk *Block) {
+	b.breaks = append(b.breaks, target{label, brk})
+}
+
+func (b *builder) popBreak() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+}
+
+func (b *builder) find(stack []target, label *ast.Ident) *target {
+	if len(stack) == 0 {
+		return nil
+	}
+	if label == nil {
+		return &stack[len(stack)-1]
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label.Name {
+			return &stack[i]
+		}
+	}
+	// Label not found on the stack: it belongs to a goto-style construct
+	// we do not model.
+	b.g.HasGoto = true
+	return nil
+}

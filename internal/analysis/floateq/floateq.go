@@ -1,0 +1,98 @@
+// Package floateq implements the segdifflint analyzer forbidding exact
+// float comparison in the ε-geometry packages.
+//
+// The paper's no-false-negative guarantee (Theorem 1) rests on the ε-shift
+// of segment endpoints and the Table 2 slope case analysis; both are
+// computed in float64, where `==`/`!=` silently turns rounding noise into
+// wrong classifications. Inside segdiff/internal/feature and
+// segdiff/internal/segment any `==` or `!=` whose operands contain a
+// floating-point component (directly, or via struct fields / array
+// elements such as feature.Point) is reported. Compare against an explicit
+// tolerance, restructure to ordered comparisons, or — where bit-exact
+// identity is genuinely intended — isolate the comparison in a helper with
+// an ignore directive explaining why.
+//
+// Packages outside the segdiff module prefix (the analyzer's own test
+// fixtures) are always checked.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"segdiff/internal/analysis"
+)
+
+// Analyzer is the floateq analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!= on floating-point values in the ε-geometry packages",
+	Run:  run,
+}
+
+// checkedPkgs are the module packages in scope; everything else in the
+// module is exempt (benchmarks legitimately compare exact results).
+var checkedPkgs = map[string]bool{
+	"segdiff/internal/feature": true,
+	"segdiff/internal/segment": true,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if strings.HasPrefix(path, "segdiff") && !checkedPkgs[path] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			tv, ok := pass.Info.Types[bin.X]
+			if !ok {
+				return true
+			}
+			if part := floatPart(tv.Type, nil); part != "" {
+				pass.Reportf(bin.OpPos,
+					"exact %s on %s (%s): float comparison breaks the ε-shift guarantee; use a tolerance or an ordered comparison",
+					bin.Op, types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), part)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// floatPart returns a description of the floating-point component of t, or
+// "" when t contains none. seen guards against recursive types.
+func floatPart(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Float32, types.Float64, types.Complex64, types.Complex128,
+			types.UntypedFloat, types.UntypedComplex:
+			return u.Name()
+		}
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if part := floatPart(f.Type(), seen); part != "" {
+				return "field " + f.Name() + " is " + part
+			}
+		}
+	case *types.Array:
+		if part := floatPart(u.Elem(), seen); part != "" {
+			return "element is " + part
+		}
+	}
+	return ""
+}

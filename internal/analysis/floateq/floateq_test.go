@@ -1,0 +1,24 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"segdiff/internal/analysis/analysistest"
+	"segdiff/internal/analysis/floateq"
+	"segdiff/internal/analysis/suite"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, floateq.Analyzer, "floateq")
+}
+
+// TestInSuite fails if the analyzer is dropped from the segdifflint suite:
+// the fixture's defects would then ship unnoticed.
+func TestInSuite(t *testing.T) {
+	for _, a := range suite.Analyzers() {
+		if a == floateq.Analyzer {
+			return
+		}
+	}
+	t.Fatal("floateq analyzer is not registered in the segdifflint suite")
+}

@@ -1,0 +1,37 @@
+// Package floateq is the analyzer fixture: exact float comparisons, float
+// fields reached through structs and arrays, exempt integer comparisons,
+// and a justified ignore directive.
+package floateq
+
+// Point mirrors the feature-space points of internal/feature.
+type Point struct {
+	Dt int64
+	Dv float64
+}
+
+type pair [2]float64
+
+func eqScalar(x, y float64) bool {
+	return x == y // want `exact == on float64`
+}
+
+func neScalar(x, y float64) bool {
+	return x != y // want `exact != on float64`
+}
+
+func eqStruct(a, b Point) bool {
+	return a == b // want `exact == on Point .*Dv`
+}
+
+func eqArray(a, b pair) bool {
+	return a == b // want `exact == on pair`
+}
+
+func eqInt(a, b int64) bool { return a == b }
+
+func eqString(a, b string) bool { return a == b }
+
+func eqJustified(a, b Point) bool {
+	//segdifflint:ignore floateq fixture: bit-identical copies of one computation
+	return a == b
+}

@@ -1,0 +1,536 @@
+// Package lockcheck implements the segdifflint analyzer enforcing the
+// DESIGN.md §6 lock discipline through two machine-readable conventions:
+//
+//   - A struct field whose doc or line comment contains "guarded by <mu>"
+//     declares that <mu> (a sync.Mutex or sync.RWMutex field of the same
+//     struct) must be held to touch the field.
+//
+//   - A function doc comment line "locks: <recv>.<mu>" (optionally with a
+//     "(shared)" or "(any)" suffix) declares that the function must be
+//     called with that mutex already held. <recv> names the function's
+//     receiver or one of its parameters.
+//
+// With those declarations the analyzer reports:
+//
+//  1. self-deadlock: while a function holds a mutex — either via an
+//     explicit Lock/RLock statement or via a locks: annotation — it must
+//     not call a method of the same receiver that itself acquires that
+//     mutex (Go mutexes are not reentrant, and recursive RLock is
+//     forbidden while a writer is queued);
+//
+//  2. unguarded access: a function that touches a guarded field must
+//     either acquire the mutex in its own body or carry a locks:
+//     annotation;
+//
+//  3. malformed annotations: a locks: line naming an unknown receiver,
+//     parameter, or non-mutex field.
+//
+// Calls made inside func literals are skipped by check 1: a literal often
+// runs on another goroutine that does not inherit the caller's lock.
+// Guarded-field accesses inside literals do inherit the enclosing
+// function's context for check 2.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"segdiff/internal/analysis"
+)
+
+// Analyzer is the lockcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "enforce the guarded-field / locks:-annotation mutex discipline of DESIGN.md §6",
+	Run:  run,
+}
+
+var (
+	locksLine   = regexp.MustCompile(`^locks:\s+(\w+)\.(\w+)(?:\s+\((shared|any)\))?$`)
+	guardedLine = regexp.MustCompile(`guarded by (\w+)`)
+)
+
+// annotation is one parsed "locks: r.mu" declaration.
+type annotation struct {
+	base  string // receiver or parameter name
+	field string // mutex field name
+	mode  string // "", "shared", or "any"
+}
+
+// structFacts records the mutex and guarded fields of one named struct type.
+type structFacts struct {
+	mutexes map[string]bool   // mutex/RWMutex field name -> true
+	guarded map[string]string // guarded field name -> guarding mutex name
+}
+
+func run(pass *analysis.Pass) error {
+	facts := collectStructFacts(pass)
+	anns := collectAnnotations(pass, facts)
+	selfLocking := collectSelfLocking(pass, facts)
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSelfDeadlock(pass, fd, anns[fd], facts, selfLocking)
+			checkGuardedAccess(pass, fd, anns[fd], facts)
+		}
+	}
+	return nil
+}
+
+// namedStruct resolves t to (type name, struct facts) when t is a (pointer
+// to a) named struct type declared in this package with recorded facts.
+func namedStruct(facts map[string]*structFacts, t types.Type) (string, *structFacts) {
+	name := analysis.ReceiverTypeName(t)
+	if name == "" {
+		return "", nil
+	}
+	sf := facts[name]
+	if sf == nil {
+		return name, nil
+	}
+	return name, sf
+}
+
+// collectStructFacts scans struct declarations for mutex fields and
+// "guarded by" comments.
+func collectStructFacts(pass *analysis.Pass) map[string]*structFacts {
+	facts := map[string]*structFacts{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			sf := &structFacts{mutexes: map[string]bool{}, guarded: map[string]string{}}
+			for _, field := range st.Fields.List {
+				names := fieldNames(field)
+				if isMutexType(pass.Info, field.Type) {
+					for _, nm := range names {
+						sf.mutexes[nm] = true
+					}
+				}
+				if mu := guardComment(field); mu != "" {
+					for _, nm := range names {
+						sf.guarded[nm] = mu
+					}
+				}
+			}
+			if len(sf.mutexes) > 0 || len(sf.guarded) > 0 {
+				facts[ts.Name.Name] = sf
+			}
+			return true
+		})
+	}
+	// A "guarded by" comment naming a non-mutex field is a doc bug.
+	for name, sf := range facts {
+		for field, mu := range sf.guarded {
+			if !sf.mutexes[mu] {
+				pass.Reportf(structFieldPos(pass, name, field),
+					"field %s.%s is declared guarded by %q, which is not a mutex field of %s", name, field, mu, name)
+			}
+		}
+	}
+	return facts
+}
+
+func fieldNames(field *ast.Field) []string {
+	if len(field.Names) == 0 {
+		// Embedded field: named after its type.
+		t := field.Type
+		if se, ok := t.(*ast.SelectorExpr); ok {
+			return []string{se.Sel.Name}
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return []string{id.Name}
+		}
+		return nil
+	}
+	var out []string
+	for _, n := range field.Names {
+		out = append(out, n.Name)
+	}
+	return out
+}
+
+func isMutexType(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok {
+		return false
+	}
+	n, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+func guardComment(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedLine.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func structFieldPos(pass *analysis.Pass, typeName, fieldName string) token.Pos {
+	for _, f := range pass.Files {
+		var pos token.Pos
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != typeName {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, nm := range field.Names {
+					if nm.Name == fieldName {
+						pos = nm.Pos()
+					}
+				}
+			}
+			return false
+		})
+		if pos.IsValid() {
+			return pos
+		}
+	}
+	return token.NoPos
+}
+
+// collectAnnotations parses and validates locks: lines in function docs.
+func collectAnnotations(pass *analysis.Pass, facts map[string]*structFacts) map[*ast.FuncDecl]*annotation {
+	anns := map[*ast.FuncDecl]*annotation{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, line := range strings.Split(fd.Doc.Text(), "\n") {
+				m := locksLine.FindStringSubmatch(strings.TrimSpace(line))
+				if m == nil {
+					continue
+				}
+				ann := &annotation{base: m[1], field: m[2], mode: m[3]}
+				if !validAnnotation(pass, fd, ann, facts) {
+					pass.Reportf(fd.Pos(),
+						"locks: annotation %q does not name a mutex field of a receiver or parameter of %s",
+						strings.TrimSpace(line), fd.Name.Name)
+					continue
+				}
+				anns[fd] = ann
+			}
+		}
+	}
+	return anns
+}
+
+// validAnnotation checks that ann.base names the receiver or a parameter
+// whose struct type has mutex field ann.field.
+func validAnnotation(pass *analysis.Pass, fd *ast.FuncDecl, ann *annotation, facts map[string]*structFacts) bool {
+	check := func(name *ast.Ident) bool {
+		if name == nil || name.Name != ann.base {
+			return false
+		}
+		obj := pass.Info.Defs[name]
+		if obj == nil {
+			return false
+		}
+		_, sf := namedStruct(facts, obj.Type())
+		return sf != nil && sf.mutexes[ann.field]
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			for _, nm := range field.Names {
+				if check(nm) {
+					return true
+				}
+			}
+		}
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, nm := range field.Names {
+			if check(nm) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectSelfLocking maps type name -> method name for methods that acquire
+// a mutex of their own receiver directly in their body (outside literals).
+func collectSelfLocking(pass *analysis.Pass, facts map[string]*structFacts) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			recvName, recvObj, sf := receiverOf(pass, fd, facts)
+			if sf == nil {
+				continue
+			}
+			for _, acq := range lockOps(pass, fd.Body, recvObj, sf) {
+				if acq.acquire {
+					if out[recvName] == nil {
+						out[recvName] = map[string]bool{}
+					}
+					out[recvName][fd.Name.Name] = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+func receiverOf(pass *analysis.Pass, fd *ast.FuncDecl, facts map[string]*structFacts) (string, types.Object, *structFacts) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return "", nil, nil
+	}
+	id := fd.Recv.List[0].Names[0]
+	obj := pass.Info.Defs[id]
+	if obj == nil {
+		return "", nil, nil
+	}
+	name, sf := namedStruct(facts, obj.Type())
+	return name, obj, sf
+}
+
+// lockOp is one r.mu.Lock/RLock/Unlock/RUnlock statement on the receiver.
+type lockOp struct {
+	pos      token.Pos
+	acquire  bool
+	deferred bool
+}
+
+// lockOps finds direct lock operations on recvObj's mutex fields in body,
+// skipping func literals.
+func lockOps(pass *analysis.Pass, body *ast.BlockStmt, recvObj types.Object, sf *structFacts) []lockOp {
+	var ops []lockOp
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		var call *ast.CallExpr
+		deferred := false
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = s.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call, deferred = s.Call, true
+		}
+		if call == nil {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		op := sel.Sel.Name
+		if op != "Lock" && op != "RLock" && op != "Unlock" && op != "RUnlock" {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := muSel.X.(*ast.Ident)
+		if !ok || pass.Info.Uses[base] != recvObj || !sf.mutexes[muSel.Sel.Name] {
+			return true
+		}
+		ops = append(ops, lockOp{
+			pos:      call.Pos(),
+			acquire:  op == "Lock" || op == "RLock",
+			deferred: deferred,
+		})
+		return true
+	})
+	return ops
+}
+
+// holdIntervals derives the positional spans during which fd holds its
+// receiver's mutex: an annotation covers the whole body; each explicit
+// acquire extends to the next non-deferred release, or to the body end.
+func holdIntervals(pass *analysis.Pass, fd *ast.FuncDecl, ann *annotation,
+	recvObj types.Object, sf *structFacts) [][2]token.Pos {
+
+	var spans [][2]token.Pos
+	if ann != nil && recvObj != nil && fd.Recv != nil &&
+		len(fd.Recv.List[0].Names) > 0 && fd.Recv.List[0].Names[0].Name == ann.base {
+		spans = append(spans, [2]token.Pos{fd.Body.Pos(), fd.Body.End()})
+	}
+	ops := lockOps(pass, fd.Body, recvObj, sf)
+	for i, op := range ops {
+		if !op.acquire || op.deferred {
+			continue
+		}
+		end := fd.Body.End()
+		for _, rel := range ops[i+1:] {
+			if !rel.acquire && !rel.deferred {
+				end = rel.pos
+				break
+			}
+		}
+		spans = append(spans, [2]token.Pos{op.pos, end})
+	}
+	return spans
+}
+
+// checkSelfDeadlock flags calls to self-locking methods of the same
+// receiver made while the receiver's mutex is held.
+func checkSelfDeadlock(pass *analysis.Pass, fd *ast.FuncDecl, ann *annotation,
+	facts map[string]*structFacts, selfLocking map[string]map[string]bool) {
+
+	recvName, recvObj, sf := receiverOf(pass, fd, facts)
+	if sf == nil || len(selfLocking[recvName]) == 0 {
+		return
+	}
+	spans := holdIntervals(pass, fd, ann, recvObj, sf)
+	if len(spans) == 0 {
+		return
+	}
+	held := func(pos token.Pos) bool {
+		for _, s := range spans {
+			if s[0] <= pos && pos < s[1] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || pass.Info.Uses[base] != recvObj {
+			return true
+		}
+		m := sel.Sel.Name
+		if selfLocking[recvName][m] && held(call.Pos()) {
+			pass.Reportf(call.Pos(),
+				"self-deadlock: %s calls %s.%s, which acquires %s's mutex, while already holding it",
+				fd.Name.Name, base.Name, m, base.Name)
+		}
+		return true
+	})
+}
+
+// checkGuardedAccess flags guarded-field accesses in functions that neither
+// acquire the guarding mutex nor declare a locks: annotation for it.
+func checkGuardedAccess(pass *analysis.Pass, fd *ast.FuncDecl, ann *annotation,
+	facts map[string]*structFacts) {
+
+	// Types whose mutexes this function acquires anywhere in its body
+	// (including literals — conservative), plus the annotated type.
+	coveredType := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[muSel.X]
+		if !ok {
+			return true
+		}
+		if name, sf := namedStruct(facts, tv.Type); sf != nil && sf.mutexes[muSel.Sel.Name] {
+			coveredType[name] = true
+		}
+		return true
+	})
+	if ann != nil {
+		if obj := lookupBase(pass, fd, ann.base); obj != nil {
+			if name, sf := namedStruct(facts, obj.Type()); sf != nil {
+				coveredType[name] = true
+			}
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		tv, ok := pass.Info.Types[sel.X]
+		if !ok {
+			return true
+		}
+		name, sf := namedStruct(facts, tv.Type)
+		if sf == nil {
+			return true
+		}
+		mu, guarded := sf.guarded[sel.Sel.Name]
+		if !guarded || coveredType[name] {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"%s accesses %s.%s (guarded by %s.%s) without acquiring it or declaring a locks: annotation",
+			fd.Name.Name, name, sel.Sel.Name, name, mu)
+		return true
+	})
+}
+
+func lookupBase(pass *analysis.Pass, fd *ast.FuncDecl, base string) types.Object {
+	check := func(list *ast.FieldList) types.Object {
+		if list == nil {
+			return nil
+		}
+		for _, field := range list.List {
+			for _, nm := range field.Names {
+				if nm.Name == base {
+					return pass.Info.Defs[nm]
+				}
+			}
+		}
+		return nil
+	}
+	if obj := check(fd.Recv); obj != nil {
+		return obj
+	}
+	return check(fd.Type.Params)
+}

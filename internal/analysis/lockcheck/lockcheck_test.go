@@ -1,0 +1,24 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"segdiff/internal/analysis/analysistest"
+	"segdiff/internal/analysis/lockcheck"
+	"segdiff/internal/analysis/suite"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, lockcheck.Analyzer, "lockcheck")
+}
+
+// TestInSuite fails if the analyzer is dropped from the segdifflint suite:
+// the fixture's defects would then ship unnoticed.
+func TestInSuite(t *testing.T) {
+	for _, a := range suite.Analyzers() {
+		if a == lockcheck.Analyzer {
+			return
+		}
+	}
+	t.Fatal("lockcheck analyzer is not registered in the segdifflint suite")
+}

@@ -1,0 +1,65 @@
+// Package lockcheck is the analyzer fixture: a guarded counter exercising
+// the annotation grammar, unguarded access, self-deadlock and the two
+// annotation-hygiene diagnostics.
+package lockcheck
+
+import "sync"
+
+// Counter is the well-formed guarded type.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Inc acquires the mutex itself: fine.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// bump relies on the caller's lock and says so.
+//
+// locks: c.mu
+func (c *Counter) bump() { c.n++ }
+
+// Add holds the lock across a call to the annotated helper: fine.
+func (c *Counter) Add(k int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < k; i++ {
+		c.bump()
+	}
+}
+
+// Peek reads the guarded field with no lock and no annotation.
+func (c *Counter) Peek() int {
+	return c.n // want `Peek accesses Counter.n \(guarded by Counter.mu\) without acquiring`
+}
+
+// Double re-enters the self-locking Inc while already holding the mutex.
+func (c *Counter) Double() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Inc() // want `self-deadlock: Double calls c.Inc, which acquires c's mutex, while already holding it`
+	c.Inc() // want `self-deadlock: Double calls c.Inc, which acquires c's mutex, while already holding it`
+}
+
+// Reset unlocks before re-entering: fine.
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	c.n = 0
+	c.mu.Unlock()
+	c.Inc()
+}
+
+// phantom's annotation names a receiver that has no mutex field.
+//
+// locks: q.mu
+func phantom(q int) int { return q } // want `locks: annotation "locks: q.mu" does not name a mutex field`
+
+// Sloppy declares a guard that is not a mutex.
+type Sloppy struct {
+	state int
+	v     int // want `field Sloppy.v is declared guarded by "state", which is not a mutex field of Sloppy` // guarded by state
+}

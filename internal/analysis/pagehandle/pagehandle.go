@@ -1,0 +1,309 @@
+// Package pagehandle implements the segdifflint analyzer that proves every
+// pager page handle is released on all control-flow paths.
+//
+// A pager.Page pins a buffer-pool frame from pager.Get / pager.Allocate
+// until Release is called; a handle that goes out of scope still pinned
+// wedges clock eviction and eventually starves the pool (DESIGN.md §6).
+// The analyzer tracks each acquisition `h, err := p.Get(...)` through the
+// function's CFG and reports paths that reach a return (or the end of the
+// function) with the handle still live.
+//
+// The analysis is flow-sensitive about the acquisition error: on the
+// `err != nil` arm the handle is the zero Page and needs no release, so
+// that arm is not walked (as long as err has not been reassigned).
+//
+// A handle that escapes — passed to a call, stored, returned, captured by
+// address, or assigned to another variable — transfers the release
+// obligation elsewhere and ends local tracking (conservatively silent).
+package pagehandle
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"segdiff/internal/analysis"
+	"segdiff/internal/analysis/cfg"
+)
+
+// Analyzer is the pagehandle analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "pagehandle",
+	Doc:  "check that every pager.Get/Allocate page handle is Released on all paths",
+	Run:  run,
+}
+
+// benignMethods are Page methods that use the handle without consuming it.
+var benignMethods = map[string]bool{"ID": true, "Data": true, "MarkDirty": true}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		analysis.FuncBodies(f, func(_ *ast.FuncDecl, _ *ast.FuncLit, body *ast.BlockStmt) {
+			checkBody(pass, body)
+		})
+	}
+	return nil
+}
+
+// acquisition is one tracked `h, err := pager.Get/Allocate(...)` site.
+type acquisition struct {
+	handle types.Object // the Page variable
+	errObj types.Object // the error variable; nil when blank
+	block  *cfg.Block
+	idx    int // index of the acquiring statement in block.Nodes
+	pos    token.Pos
+	name   string // "Get" or "Allocate"
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	if g.HasGoto {
+		return
+	}
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			acq := acquisitionAt(pass, blk, i, n)
+			if acq == nil {
+				continue
+			}
+			if acq.handle == nil {
+				pass.Reportf(acq.pos, "page handle from %s is discarded and can never be Released", acq.name)
+				continue
+			}
+			walk(pass, g, acq)
+		}
+	}
+}
+
+// acquisitionAt recognises `h, err := X.Get(...)` / `X.Allocate()` where the
+// receiver's named type is Pager and the first result's named type is Page.
+// Matching is by type name, not import path, so analysistest fixtures can
+// declare local stand-ins.
+func acquisitionAt(pass *analysis.Pass, blk *cfg.Block, idx int, n ast.Stmt) *acquisition {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := analysis.MethodOf(pass.Info, call)
+	if fn == nil {
+		return nil
+	}
+	if fn.Name() != "Get" && fn.Name() != "Allocate" {
+		return nil
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil || analysis.ReceiverTypeName(sig.Recv().Type()) != "Pager" {
+		return nil
+	}
+	if sig.Results().Len() != 2 || analysis.ReceiverTypeName(sig.Results().At(0).Type()) != "Page" {
+		return nil
+	}
+	acq := &acquisition{block: blk, idx: idx, pos: as.Pos(), name: fn.Name()}
+	if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+		acq.handle = objOf(pass.Info, id)
+	}
+	if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+		acq.errObj = objOf(pass.Info, id)
+	}
+	return acq
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// nodeFate classifies what one statement does to the tracked handle.
+type nodeFate int
+
+const (
+	fateNone nodeFate = iota
+	fateReleased
+	fateEscaped
+)
+
+type visitKey struct {
+	block    *cfg.Block
+	errValid bool
+}
+
+// walk explores all paths from the acquisition; it reports at most one
+// diagnostic per acquisition.
+func walk(pass *analysis.Pass, g *cfg.Graph, acq *acquisition) {
+	type state struct {
+		block    *cfg.Block
+		start    int
+		errValid bool
+	}
+	seen := map[visitKey]bool{}
+	stack := []state{{acq.block, acq.idx + 1, acq.errObj != nil}}
+	for len(stack) > 0 {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		errValid := st.errValid
+		leaked := false
+		var leakPos token.Pos
+		done := false
+		for i := st.start; i < len(st.block.Nodes) && !done; i++ {
+			n := st.block.Nodes[i]
+			switch classify(pass.Info, n, acq.handle) {
+			case fateReleased, fateEscaped:
+				done = true
+				continue
+			}
+			if reassigns(pass.Info, n, acq.handle) {
+				done = true
+				continue
+			}
+			if acq.errObj != nil && reassigns(pass.Info, n, acq.errObj) {
+				errValid = false
+			}
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				leaked, leakPos = true, ret.Pos()
+				done = true
+			}
+		}
+		if leaked {
+			report(pass, acq, leakPos)
+			return
+		}
+		if done {
+			continue
+		}
+		for _, e := range st.block.Succs {
+			if e.To == g.Exit {
+				// Fell off the end of the function with a live handle.
+				report(pass, acq, token.NoPos)
+				return
+			}
+			if errValid && analysis.ErrNonNilBranch(pass.Info, e.Cond, e.Neg, acq.errObj) {
+				continue // handle is the zero Page on this arm
+			}
+			k := visitKey{e.To, errValid}
+			if !seen[k] {
+				seen[k] = true
+				stack = append(stack, state{e.To, 0, errValid})
+			}
+		}
+	}
+}
+
+func report(pass *analysis.Pass, acq *acquisition, at token.Pos) {
+	if at.IsValid() {
+		pass.Reportf(acq.pos, "page handle from %s may not be Released on the path to the return at %s",
+			acq.name, pass.Fset.Position(at))
+	} else {
+		pass.Reportf(acq.pos, "page handle from %s may not be Released before the function returns", acq.name)
+	}
+}
+
+// scanRoots returns the sub-nodes of n that execute as part of the CFG node
+// itself. A RangeStmt appears as a loop-head node whose AST still contains
+// the loop body; the body is lowered into separate blocks (and may run zero
+// times), so only the range operands belong to the head.
+func scanRoots(n ast.Stmt) []ast.Node {
+	rs, ok := n.(*ast.RangeStmt)
+	if !ok {
+		return []ast.Node{n}
+	}
+	roots := []ast.Node{rs.X}
+	if rs.Key != nil {
+		roots = append(roots, rs.Key)
+	}
+	if rs.Value != nil {
+		roots = append(roots, rs.Value)
+	}
+	return roots
+}
+
+// classify scans one statement for uses of the handle. Release (direct or
+// inside a defer/closure) wins over escape; any other use is an escape.
+func classify(info *types.Info, n ast.Stmt, handle types.Object) nodeFate {
+	fate := fateNone
+	for _, root := range scanRoots(n) {
+		fate = classifyNode(info, root, handle, fate)
+	}
+	return fate
+}
+
+func classifyNode(info *types.Info, n ast.Node, handle types.Object, fate nodeFate) nodeFate {
+	var stack []ast.Node
+	ast.Inspect(n, func(node ast.Node) bool {
+		if node == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, node)
+		id, ok := node.(*ast.Ident)
+		if !ok || info.Uses[id] != handle {
+			return true
+		}
+		switch useOf(info, stack, id) {
+		case fateReleased:
+			fate = fateReleased
+		case fateEscaped:
+			if fate != fateReleased {
+				fate = fateEscaped
+			}
+		}
+		return true
+	})
+	return fate
+}
+
+// useOf classifies a single identifier occurrence given the ancestor stack
+// (stack[len-1] == id).
+func useOf(info *types.Info, stack []ast.Node, id *ast.Ident) nodeFate {
+	if len(stack) < 2 {
+		return fateEscaped
+	}
+	sel, ok := stack[len(stack)-2].(*ast.SelectorExpr)
+	if !ok || sel.X != id {
+		// Any non-method use: argument, return value, assignment source,
+		// composite literal, address-of, comparison, ...
+		return fateEscaped
+	}
+	// h.M or h.M(...): a call to Release kills the obligation, the benign
+	// accessors are neutral, anything else (method values included) is an
+	// escape.
+	if len(stack) >= 3 {
+		if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == sel {
+			switch sel.Sel.Name {
+			case "Release":
+				return fateReleased
+			default:
+				if benignMethods[sel.Sel.Name] {
+					return fateNone
+				}
+				return fateEscaped
+			}
+		}
+	}
+	return fateEscaped
+}
+
+// reassigns reports whether n writes obj (ending the old value's tracking).
+func reassigns(info *types.Info, n ast.Stmt, obj types.Object) bool {
+	found := false
+	for _, root := range scanRoots(n) {
+		ast.Inspect(root, func(node ast.Node) bool {
+			as, ok := node.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, l := range as.Lhs {
+				if id, ok := l.(*ast.Ident); ok && objOf(info, id) == obj {
+					found = true
+				}
+			}
+			return true
+		})
+	}
+	return found
+}

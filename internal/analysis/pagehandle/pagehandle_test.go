@@ -1,0 +1,24 @@
+package pagehandle_test
+
+import (
+	"testing"
+
+	"segdiff/internal/analysis/analysistest"
+	"segdiff/internal/analysis/pagehandle"
+	"segdiff/internal/analysis/suite"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, pagehandle.Analyzer, "pagehandle")
+}
+
+// TestInSuite fails if the analyzer is dropped from the segdifflint suite:
+// the fixture's defects would then ship unnoticed.
+func TestInSuite(t *testing.T) {
+	for _, a := range suite.Analyzers() {
+		if a == pagehandle.Analyzer {
+			return
+		}
+	}
+	t.Fatal("pagehandle analyzer is not registered in the segdifflint suite")
+}

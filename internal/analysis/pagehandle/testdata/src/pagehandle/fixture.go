@@ -1,0 +1,89 @@
+// Package pagehandle is the analyzer fixture: local Pager/Page types with
+// the same shape as internal/storage/pager, exercising released, leaked,
+// escaped and discarded handles.
+package pagehandle
+
+import "errors"
+
+// Page mirrors the engine's pinned page handle.
+type Page struct{ id int }
+
+func (pg *Page) ID() int      { return pg.id }
+func (pg *Page) Data() []byte { return nil }
+func (pg *Page) MarkDirty()   {}
+func (pg *Page) Release()     {}
+
+// Pager mirrors the engine's buffer pool.
+type Pager struct{}
+
+func (p *Pager) Get(id int) (Page, error) { return Page{id: id}, nil }
+func (p *Pager) Allocate() (Page, error)  { return Page{}, nil }
+
+var errEmpty = errors.New("empty")
+
+// goodDefer releases on every path via defer.
+func goodDefer(p *Pager) error {
+	pg, err := p.Get(1)
+	if err != nil {
+		return err
+	}
+	defer pg.Release()
+	_ = pg.Data()
+	return nil
+}
+
+// goodStraight releases explicitly after use.
+func goodStraight(p *Pager) (int, error) {
+	pg, err := p.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	id := pg.ID()
+	pg.MarkDirty()
+	pg.Release()
+	return id, nil
+}
+
+// goodEscape hands the handle to another function, which takes over
+// ownership: the analyzer stops tracking it.
+func goodEscape(p *Pager) error {
+	pg, err := p.Get(1)
+	if err != nil {
+		return err
+	}
+	consume(pg)
+	return nil
+}
+
+func consume(pg Page) { pg.Release() }
+
+// leakOnError releases on the happy path but leaks when the mid-function
+// check bails out.
+func leakOnError(p *Pager) ([]byte, error) {
+	pg, err := p.Get(1) // want `page handle from Get may not be Released`
+	if err != nil {
+		return nil, err
+	}
+	data := pg.Data()
+	if len(data) == 0 {
+		return nil, errEmpty
+	}
+	pg.Release()
+	return data, nil
+}
+
+// leakEverywhere never releases at all.
+func leakEverywhere(p *Pager) error {
+	pg, err := p.Allocate() // want `page handle from Allocate may not be Released`
+	if err != nil {
+		return err
+	}
+	_ = pg.ID()
+	return nil
+}
+
+// discarded throws the handle away at the acquisition itself.
+func discarded(p *Pager) error {
+	_, err := p.Get(1) // want `page handle from Get is discarded and can never be Released`
+	return err
+}

@@ -1,0 +1,24 @@
+// Package suite enumerates the segdifflint analyzers. It exists so that
+// the cmd/segdifflint driver and the repo-wide self-check test run exactly
+// the same set.
+package suite
+
+import (
+	"segdiff/internal/analysis"
+	"segdiff/internal/analysis/batchabort"
+	"segdiff/internal/analysis/floateq"
+	"segdiff/internal/analysis/lockcheck"
+	"segdiff/internal/analysis/pagehandle"
+	"segdiff/internal/analysis/syncerr"
+)
+
+// Analyzers is the full suite, in diagnostic-priority order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		pagehandle.Analyzer,
+		lockcheck.Analyzer,
+		batchabort.Analyzer,
+		floateq.Analyzer,
+		syncerr.Analyzer,
+	}
+}

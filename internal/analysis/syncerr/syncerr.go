@@ -1,0 +1,99 @@
+// Package syncerr implements the segdifflint analyzer for discarded
+// durability errors.
+//
+// Sync, Flush, Commit, Close and their batch/WAL relatives are the calls
+// that make writes durable; an ignored error from them is silent data
+// loss. The analyzer reports any statement that evaluates such a call
+// purely for effect — a bare expression statement, `defer x.Close()`, or
+// `go x.Flush()` — when the callee returns exactly one error and is a
+// method of a type declared in this module (or *os.File).
+//
+// Consuming the error in any expression position (assignment, return,
+// argument, condition) counts as handled; so does an explicit `_ = ...`
+// discard, which at least documents the decision at the call site. The
+// usual fix for `defer f.Close()` on a write path is a named-return
+// helper that joins the close error into the function's error.
+package syncerr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"segdiff/internal/analysis"
+)
+
+// Analyzer is the syncerr analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "syncerr",
+	Doc:  "forbid discarding errors from Sync/Flush/Commit/Close on durability paths",
+	Run:  run,
+}
+
+// durabilityMethods are the method names whose errors must be consumed.
+var durabilityMethods = map[string]bool{
+	"Sync": true, "Flush": true, "Commit": true, "Close": true,
+	"CommitBatch": true, "AbortBatch": true, "Abort": true,
+	"Checkpoint": true, "Truncate": true, "Finish": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			kind := ""
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, kind = callOf(s.X), "discarded"
+			case *ast.DeferStmt:
+				call, kind = s.Call, "discarded by defer"
+			case *ast.GoStmt:
+				call, kind = s.Call, "discarded by go"
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			fn := analysis.MethodOf(pass.Info, call)
+			if fn == nil || !durabilityMethods[fn.Name()] {
+				return true
+			}
+			sig := fn.Type().(*types.Signature)
+			if sig.Results().Len() != 1 || !isErrorType(sig.Results().At(0).Type()) {
+				return true
+			}
+			if !moduleReceiver(fn) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"error from %s.%s %s: durability failures must be handled (or explicitly discarded with _ =)",
+				analysis.ReceiverTypeName(sig.Recv().Type()), fn.Name(), kind)
+			return true
+		})
+	}
+	return nil
+}
+
+func callOf(e ast.Expr) *ast.CallExpr {
+	call, _ := e.(*ast.CallExpr)
+	return call
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}
+
+// moduleReceiver reports whether fn is declared on a type we police:
+// anything in this module, *os.File (whose Close/Sync back every durable
+// write), and the analyzer's own fixture packages (loaded under the
+// "fixture/" path prefix by analysistest).
+func moduleReceiver(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return strings.HasPrefix(path, "segdiff") || path == "os" || strings.HasPrefix(path, "fixture/")
+}

@@ -1,0 +1,24 @@
+package syncerr_test
+
+import (
+	"testing"
+
+	"segdiff/internal/analysis/analysistest"
+	"segdiff/internal/analysis/suite"
+	"segdiff/internal/analysis/syncerr"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, syncerr.Analyzer, "syncerr")
+}
+
+// TestInSuite fails if the analyzer is dropped from the segdifflint suite:
+// the fixture's defects would then ship unnoticed.
+func TestInSuite(t *testing.T) {
+	for _, a := range suite.Analyzers() {
+		if a == syncerr.Analyzer {
+			return
+		}
+	}
+	t.Fatal("syncerr analyzer is not registered in the segdifflint suite")
+}

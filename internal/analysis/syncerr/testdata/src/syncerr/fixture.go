@@ -1,0 +1,44 @@
+// Package syncerr is the analyzer fixture: durability-method errors
+// discarded by expression statements, defer and go, versus handled,
+// acknowledged and out-of-scope calls.
+package syncerr
+
+// Log mirrors a durable resource with the policed method names.
+type Log struct{}
+
+func (l *Log) Sync() error   { return nil }
+func (l *Log) Flush() error  { return nil }
+func (l *Log) Commit() error { return nil }
+func (l *Log) Close() error  { return nil }
+func (l *Log) Len() int      { return 0 }
+func (l *Log) Rotate() error { return nil } // not a durability name: exempt
+func (l *Log) Discard() bool { return true }
+
+func dropExpr(l *Log) {
+	l.Sync() // want `error from Log.Sync discarded`
+}
+
+func dropDefer(l *Log) {
+	defer l.Close() // want `error from Log.Close discarded by defer`
+}
+
+func dropGo(l *Log) {
+	go l.Flush() // want `error from Log.Flush discarded by go`
+}
+
+func handled(l *Log) error {
+	if err := l.Commit(); err != nil {
+		return err
+	}
+	return l.Close()
+}
+
+func acknowledged(l *Log) {
+	_ = l.Sync() // explicit discard is a documented decision
+}
+
+func outOfScope(l *Log) {
+	l.Rotate() // not a durability method
+	_ = l.Len()
+	l.Discard() // no error result
+}

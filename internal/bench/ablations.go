@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"path/filepath"
 	"time"
@@ -15,7 +16,7 @@ import (
 // RunAblationCorners (A1) compares the Table-2 corner reduction against
 // storing the full parallelogram perimeter: feature size, query time, and
 // a cross-check that both answer the default query identically.
-func RunAblationCorners(cfg Config) (*Table, error) {
+func RunAblationCorners(cfg Config) (_ *Table, err error) {
 	series, err := Workload(cfg, cfg.Sensors, cfg.Days)
 	if err != nil {
 		return nil, err
@@ -27,7 +28,7 @@ func RunAblationCorners(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer set.Close()
+	defer joinClose(&err, set)
 	if err := set.Finish(); err != nil {
 		return nil, err
 	}
@@ -53,7 +54,7 @@ func RunAblationCorners(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer all.db.Close()
+	defer joinClose(&err, all.db)
 	allBytes, err := all.db.TableSizeBytes("allc")
 	if err != nil {
 		return nil, err
@@ -112,48 +113,57 @@ func buildAllCorners(cfg Config, series []*timeseries.Series, eps float64, w int
 		return err
 	}
 
-	db.BeginBatch()
-	for _, s := range series {
-		segs, err := segment.Series(s, eps)
-		if err != nil {
-			return nil, err
-		}
-		var window []segment.Segment
-		for _, ab := range segs {
-			self, err := feature.SelfPair(ab)
+	ingest := func() error {
+		for _, s := range series {
+			segs, err := segment.Series(s, eps)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if err := store(self); err != nil {
-				return nil, err
-			}
-			winStart := ab.Ts - w
-			keep := 0
-			for _, cd := range window {
-				if cd.Te > winStart {
-					window[keep] = cd
-					keep++
-				}
-			}
-			window = window[:keep]
-			for _, cd := range window {
-				use := cd
-				if use.Ts < winStart {
-					use = segment.Segment{Ts: winStart, Vs: cd.Value(winStart), Te: cd.Te, Ve: cd.Ve}
-				}
-				if use.Te == use.Ts {
-					continue
-				}
-				p, err := feature.NewParallelogram(use, ab)
+			var window []segment.Segment
+			for _, ab := range segs {
+				self, err := feature.SelfPair(ab)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				if err := store(p); err != nil {
-					return nil, err
+				if err := store(self); err != nil {
+					return err
 				}
+				winStart := ab.Ts - w
+				keep := 0
+				for _, cd := range window {
+					if cd.Te > winStart {
+						window[keep] = cd
+						keep++
+					}
+				}
+				window = window[:keep]
+				for _, cd := range window {
+					use := cd
+					if use.Ts < winStart {
+						use = segment.Segment{Ts: winStart, Vs: cd.Value(winStart), Te: cd.Te, Ve: cd.Ve}
+					}
+					if use.Te == use.Ts {
+						continue
+					}
+					p, err := feature.NewParallelogram(use, ab)
+					if err != nil {
+						return err
+					}
+					if err := store(p); err != nil {
+						return err
+					}
+				}
+				window = append(window, ab)
 			}
-			window = append(window, ab)
 		}
+		return nil
+	}
+
+	db.BeginBatch()
+	if err := ingest(); err != nil {
+		// Abort rather than leaving the engine wedged in batch mode with
+		// staged pages it would never commit or discard.
+		return nil, errors.Join(err, db.AbortBatch())
 	}
 	if err := db.CommitBatch(); err != nil {
 		return nil, err

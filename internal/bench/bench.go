@@ -8,6 +8,7 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"segdiff/internal/core"
@@ -395,4 +396,18 @@ func RandomQueries(cfg Config) []RandomQuery {
 		out = append(out, RandomQuery{T: T, V: V})
 	}
 	return out
+}
+
+// joinClose closes c when the surrounding function returns and folds a
+// close failure into the function's named error result unless one is
+// already set. A store Close commits pending state, so its error is a real
+// measurement-validity signal, not cleanup noise:
+//
+//	func run(...) (_ *Table, err error) {
+//		...
+//		defer joinClose(&err, set)
+func joinClose(err *error, c io.Closer) {
+	if cerr := c.Close(); cerr != nil && *err == nil {
+		*err = cerr
+	}
 }

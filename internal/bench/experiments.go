@@ -40,7 +40,7 @@ type EpsilonSweep struct {
 // RunEpsilonSweep builds SegDiff at every ε (and Exh once) over the
 // subset workload and measures size and the default query (T=1h, V=−3)
 // cold-cache under both plans.
-func RunEpsilonSweep(cfg Config) (*EpsilonSweep, error) {
+func RunEpsilonSweep(cfg Config) (_ *EpsilonSweep, err error) {
 	series, err := Workload(cfg, cfg.Sensors, cfg.Days)
 	if err != nil {
 		return nil, err
@@ -52,7 +52,7 @@ func RunEpsilonSweep(cfg Config) (*EpsilonSweep, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer ex.Close()
+	defer joinClose(&err, ex)
 	if out.ExhFeatBytes, err = ex.FeatureBytes(); err != nil {
 		return nil, err
 	}
@@ -300,7 +300,7 @@ type GrowthRow struct {
 // RunGrowth ingests the full workload in 5 incremental groups, measuring
 // SegDiff after each and Exh only for the first two groups (the paper
 // aborts Exh there too), extrapolating the rest linearly.
-func RunGrowth(cfg Config) ([]GrowthRow, error) {
+func RunGrowth(cfg Config) (_ []GrowthRow, err error) {
 	series, err := Workload(cfg, cfg.FullSensors, cfg.FullDays)
 	if err != nil {
 		return nil, err
@@ -323,12 +323,12 @@ func RunGrowth(cfg Config) ([]GrowthRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer set.Close()
+	defer joinClose(&err, set)
 	ex, err := BuildExh(cfg, first, w)
 	if err != nil {
 		return nil, err
 	}
-	defer ex.Close()
+	defer joinClose(&err, ex)
 
 	var out []GrowthRow
 	points := 0
@@ -416,7 +416,7 @@ type QueryRegionRow struct {
 
 // RunQueryRegions measures the random query set warm (Figures 17–22) and
 // cold (Figures 23, 24) under both plans.
-func RunQueryRegions(cfg Config) ([]QueryRegionRow, error) {
+func RunQueryRegions(cfg Config) (_ []QueryRegionRow, err error) {
 	series, err := Workload(cfg, cfg.Sensors, cfg.Days)
 	if err != nil {
 		return nil, err
@@ -426,7 +426,7 @@ func RunQueryRegions(cfg Config) ([]QueryRegionRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer set.Close()
+	defer joinClose(&err, set)
 	if err := set.Finish(); err != nil {
 		return nil, err
 	}
@@ -434,7 +434,7 @@ func RunQueryRegions(cfg Config) ([]QueryRegionRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer ex.Close()
+	defer joinClose(&err, ex)
 
 	var out []QueryRegionRow
 	for _, q := range RandomQueries(cfg) {
@@ -521,7 +521,7 @@ func QueryRegionTables(rows []QueryRegionRow) []*Table {
 
 // NaiveComparison (E00) reproduces the introduction's motivation: the
 // naive on-the-fly scan vs the two stores on the default query.
-func NaiveComparison(cfg Config) (*Table, error) {
+func NaiveComparison(cfg Config) (_ *Table, err error) {
 	series, err := Workload(cfg, cfg.Sensors, cfg.Days)
 	if err != nil {
 		return nil, err
@@ -531,7 +531,7 @@ func NaiveComparison(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer set.Close()
+	defer joinClose(&err, set)
 	if err := set.Finish(); err != nil {
 		return nil, err
 	}
@@ -539,7 +539,7 @@ func NaiveComparison(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer ex.Close()
+	defer joinClose(&err, ex)
 
 	start := time.Now()
 	naiveEvents := 0

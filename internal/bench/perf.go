@@ -12,6 +12,7 @@ package bench
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -117,18 +118,15 @@ func runIngestScenario(cfg Config, dir, name string, rowAtATime bool) (IngestSce
 	}
 	start := time.Now()
 	if err := st.AppendSeries(series[0]); err != nil {
-		st.Close()
-		return IngestScenario{}, nil, err
+		return IngestScenario{}, nil, errors.Join(err, st.Close())
 	}
 	if err := st.Finish(); err != nil {
-		st.Close()
-		return IngestScenario{}, nil, err
+		return IngestScenario{}, nil, errors.Join(err, st.Close())
 	}
 	wall := time.Since(start)
 	matches, err := st.SearchDrops(cfg.QueryT, cfg.QueryV)
 	if err != nil {
-		st.Close()
-		return IngestScenario{}, nil, err
+		return IngestScenario{}, nil, errors.Join(err, st.Close())
 	}
 	if err := st.Close(); err != nil {
 		return IngestScenario{}, nil, err
@@ -204,12 +202,10 @@ func perfStore(cfg Config, unionWorkers int) (*core.Store, error) {
 		return nil, err
 	}
 	if err := st.AppendSeries(series[0]); err != nil {
-		st.Close()
-		return nil, err
+		return nil, errors.Join(err, st.Close())
 	}
 	if err := st.Finish(); err != nil {
-		st.Close()
-		return nil, err
+		return nil, errors.Join(err, st.Close())
 	}
 	return st, nil
 }
@@ -268,7 +264,7 @@ func runScenario(st *core.Store, name string, clients, unionWorkers, iters int, 
 //     workload a single-lock engine serializes completely
 //
 // and checks all three return the same match set.
-func RunPerf(cfg Config, iters int) (*PerfReport, error) {
+func RunPerf(cfg Config, iters int) (_ *PerfReport, err error) {
 	if iters <= 0 {
 		iters = 20
 	}
@@ -284,12 +280,12 @@ func RunPerf(cfg Config, iters int) (*PerfReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer seqStore.Close()
+	defer joinClose(&err, seqStore)
 	parStore, err := perfStore(cfg, 0)
 	if err != nil {
 		return nil, err
 	}
-	defer parStore.Close()
+	defer joinClose(&err, parStore)
 
 	seqMatches, err := seqStore.SearchDrops(cfg.QueryT, cfg.QueryV)
 	if err != nil {

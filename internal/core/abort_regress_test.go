@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"segdiff/internal/timeseries"
+)
+
+// Regression for a defect found by the batchabort analyzer: Prune opened a
+// batch and returned on a DELETE error without AbortBatch, wedging the
+// engine in batch mode — every later commit was silently suspended until
+// Close. Now the error path rolls the batch back.
+func TestPruneAbortsBatchOnError(t *testing.T) {
+	st, err := OpenMemory(Options{Epsilon: 0.3, Window: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingest(t, st, randomSeries(7, 400))
+
+	// Close the engine underneath Prune: the very first DELETE fails.
+	if err := st.DB().Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Prune(st.Window()); err == nil {
+		t.Fatal("Prune on a closed engine succeeded")
+	}
+	if st.DB().InBatch() {
+		t.Fatal("Prune error path left the engine batch open")
+	}
+}
+
+// Regression companion: Sync's flush-failure path must also roll the batch
+// back (and drop its buffers) rather than leaving the engine in batch mode.
+func TestSyncAbortsBatchOnFlushError(t *testing.T) {
+	st, err := OpenMemory(Options{Epsilon: 0.3, Window: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := randomSeries(11, 400)
+	for _, p := range series.Points() {
+		if err := st.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.buffered() == 0 {
+		t.Fatal("test needs buffered feature rows; series too tame")
+	}
+	if err := st.DB().Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Sync(); err == nil {
+		t.Fatal("Sync on a closed engine succeeded")
+	}
+	if st.DB().InBatch() {
+		t.Fatal("Sync error path left the engine batch open")
+	}
+	if st.buffered() != 0 {
+		t.Fatal("Sync error path kept stale buffered rows")
+	}
+}
+
+// A non-monotonic append inside AppendSeries must roll back cleanly; the
+// stray point must not poison a later, valid ingest.
+func TestAppendSeriesRollbackKeepsStoreUsable(t *testing.T) {
+	st, err := OpenMemory(Options{Epsilon: 0.3, Window: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	good := randomSeries(13, 300)
+	if err := st.AppendSeries(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := timeseries.MustNew([]timeseries.Point{{T: good.End() - 500, V: 1}})
+	if err := st.AppendSeries(bad); err == nil {
+		t.Fatal("out-of-order series accepted")
+	}
+	if st.DB().InBatch() {
+		t.Fatal("failed AppendSeries left the engine batch open")
+	}
+	after := timeseries.MustNew([]timeseries.Point{{T: good.End() + 600, V: 2}})
+	if err := st.AppendSeries(after); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -125,8 +126,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s, err := initStore(db, opts)
 	if err != nil {
-		db.Close()
-		return nil, err
+		return nil, errors.Join(err, db.Close())
 	}
 	return s, nil
 }
@@ -390,6 +390,9 @@ func (s *Store) clearBuffers() {
 // flushRows drains the buffers through one ExecBatch per table. Within a
 // table, buffer order is emission order, so the heap receives rows exactly
 // as the row-at-a-time path would.
+//
+// batchabort: caller — an ExecBatch failure here leaves the engine batch
+// open; Sync owns the AbortBatch.
 func (s *Store) flushRows() error {
 	if len(s.segRows) > 0 {
 		if _, err := s.insSeg.ExecBatch(s.segRows); err != nil {
@@ -439,8 +442,9 @@ func (s *Store) Append(p timeseries.Point) error {
 func (s *Store) AppendSeries(series *timeseries.Series) error {
 	for _, p := range series.Points() {
 		if err := s.Append(p); err != nil {
-			s.Abort() // best effort; the append error is primary
-			return err
+			// The append error comes first; a failed rollback must
+			// surface too rather than being silently dropped.
+			return errors.Join(err, s.Abort())
 		}
 	}
 	return s.Sync()
@@ -468,11 +472,10 @@ func (s *Store) Sync() error {
 	if err := s.flushRows(); err != nil {
 		// Partial rows reached the engine: roll back to the last commit.
 		// AbortBatch cannot help an in-memory store (nothing durable to
-		// restore from), so the flush error stays primary either way.
+		// restore from); the flush error stays first, but rollback and
+		// pipeline-rebuild failures surface alongside it.
 		s.clearBuffers()
-		s.db.AbortBatch()
-		s.initPipeline()
-		return err
+		return errors.Join(err, s.db.AbortBatch(), s.initPipeline())
 	}
 	s.clearBuffers()
 	return s.db.CommitBatch()
@@ -508,8 +511,7 @@ func (s *Store) Finish() error {
 	s.finished = true
 	s.beginIngest()
 	if err := s.seg.Close(); err != nil {
-		s.Abort()
-		return err
+		return errors.Join(err, s.Abort())
 	}
 	return s.Sync()
 }
@@ -702,13 +704,15 @@ func (s *Store) Prune(before int64) (int, error) {
 				fmt.Sprintf("DELETE FROM %s WHERE ta <= ?", tableName(kind, nc)),
 				sqlmini.Int(before))
 			if err != nil {
-				return removed, err
+				// Leaving the batch open would wedge the engine in batch
+				// mode and silently drop every later commit.
+				return removed, errors.Join(err, s.db.AbortBatch())
 			}
 			removed += n
 		}
 	}
 	if _, err := s.db.Exec("DELETE FROM segs WHERE te <= ?", sqlmini.Int(before)); err != nil {
-		return removed, err
+		return removed, errors.Join(err, s.db.AbortBatch())
 	}
 	return removed, s.db.CommitBatch()
 }

@@ -14,6 +14,7 @@
 package exh
 
 import (
+	"errors"
 	"fmt"
 
 	"segdiff/internal/feature"
@@ -72,8 +73,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s, err := initStore(db, opts)
 	if err != nil {
-		db.Close()
-		return nil, err
+		return nil, errors.Join(err, db.Close())
 	}
 	return s, nil
 }
@@ -170,8 +170,8 @@ func (s *Store) Sync() error {
 	if _, err := s.ins.ExecBatch(s.rows); err != nil {
 		s.nRows -= len(s.rows)
 		s.rows = s.rows[:0]
-		s.db.AbortBatch() // best effort; the flush error is primary
-		return err
+		// The flush error stays first; a rollback failure surfaces too.
+		return errors.Join(err, s.db.AbortBatch())
 	}
 	s.rows = s.rows[:0]
 	return s.db.CommitBatch()

@@ -21,6 +21,18 @@ type Boundary struct {
 // shift returns p with Dv displaced by d.
 func shift(p Point, d float64) Point { return Point{Dt: p.Dt, Dv: p.Dv + d} }
 
+// identicalCorner reports whether two shifted corners are the same point.
+// Bit-exact equality is intended: consecutive duplicates arise only when a
+// degenerate parallelogram feeds the *same* corner through the *same*
+// shift, so both values come from one computation and no independently
+// rounded arithmetic is compared. Near-misses must NOT be merged — that
+// would drop a genuinely distinct boundary corner and break Lemma 4's
+// no-false-negative cover.
+func identicalCorner(a, b Point) bool {
+	//segdifflint:ignore floateq duplicate corners are bit-identical copies of one computation, not independently rounded values
+	return a == b
+}
+
 // ExtractBoundaries applies the case analysis of Section 4.3.1 (Table 2 and
 // the Appendix) to parallelogram p: it selects the necessary corner points
 // for drop and jump detection, applies the ε-shift of Lemma 4 (down for
@@ -39,7 +51,7 @@ func ExtractBoundaries(p Parallelogram, epsilon float64) ([]Boundary, error) {
 			sc := shift(c, d)
 			// Degenerate pairs (zero-length CD) repeat a corner; the
 			// duplicate adds nothing to point or line queries.
-			if n := len(b.Corners); n > 0 && b.Corners[n-1] == sc {
+			if n := len(b.Corners); n > 0 && identicalCorner(b.Corners[n-1], sc) {
 				continue
 			}
 			b.Corners = append(b.Corners, sc)

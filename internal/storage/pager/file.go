@@ -58,7 +58,7 @@ func (o *OSFile) Close() error { return o.f.Close() }
 // MemFile is an in-memory File. It is safe for concurrent use.
 type MemFile struct {
 	mu  sync.RWMutex
-	buf []byte
+	buf []byte // guarded by mu
 }
 
 // NewMemFile returns an empty in-memory file.

@@ -63,13 +63,13 @@ type Pager struct {
 	mu       sync.RWMutex
 	f        File
 	capacity int
-	frames   map[PageID]*frame
-	ring     []*frame // clock order; eviction candidates
-	hand     int      // clock hand index into ring
-	nPages   PageID
-	stats    Stats
-	closed   bool
-	noSteal  bool
+	frames   map[PageID]*frame // guarded by mu
+	ring     []*frame          // guarded by mu; clock order; eviction candidates
+	hand     int               // guarded by mu; clock hand index into ring
+	nPages   PageID            // guarded by mu
+	stats    Stats             // atomics only; never under mu
+	closed   bool              // guarded by mu
+	noSteal  bool              // guarded by mu
 }
 
 // DefaultCapacity is the default buffer pool size in frames (1024 pages =
@@ -159,6 +159,8 @@ func (fr *frame) pin() {
 }
 
 // checkGet validates a Get under mu.
+//
+// locks: p.mu (any)
 func (p *Pager) checkGet(id PageID) error {
 	if p.closed {
 		return fmt.Errorf("pager: use after close")
@@ -169,8 +171,9 @@ func (p *Pager) checkGet(id PageID) error {
 	return nil
 }
 
-// insertFrame adds fr to the map and the clock ring. The caller must hold
-// mu exclusively.
+// insertFrame adds fr to the map and the clock ring.
+//
+// locks: p.mu
 func (p *Pager) insertFrame(fr *frame) {
 	fr.ringIdx = len(p.ring)
 	p.ring = append(p.ring, fr)
@@ -178,7 +181,8 @@ func (p *Pager) insertFrame(fr *frame) {
 }
 
 // removeFrame deletes fr from the map and the clock ring (swap-remove).
-// The caller must hold mu exclusively.
+//
+// locks: p.mu
 func (p *Pager) removeFrame(fr *frame) {
 	last := p.ring[len(p.ring)-1]
 	p.ring[fr.ringIdx] = last
@@ -255,8 +259,10 @@ func (p *Pager) Get(id PageID) (Page, error) {
 // frame fits. Recently referenced frames get a second chance (their used
 // bit is cleared on the first pass). If every frame is pinned (or, under
 // no-steal, dirty and unlogged) the pool is allowed to grow past capacity.
-// The caller must hold mu exclusively, so a victim with zero pins cannot
-// be re-pinned while it is written out.
+// Holding mu exclusively means a victim with zero pins cannot be re-pinned
+// while it is written out.
+//
+// locks: p.mu
 func (p *Pager) makeRoom() error {
 	for len(p.frames) >= p.capacity && len(p.ring) > 0 {
 		var victim *frame
@@ -323,6 +329,11 @@ func (p *Pager) LogDirty(fn func(id PageID, data []byte) error) error {
 	return nil
 }
 
+// writeFrame writes fr's buffer back to the file and clears its dirty
+// flag; eviction and the flush paths call it with the frame unpinned or
+// the pool quiesced.
+//
+// locks: p.mu
 func (p *Pager) writeFrame(fr *frame) error {
 	if _, err := p.f.WriteAt(fr.data, int64(fr.id)*PageSize); err != nil {
 		return fmt.Errorf("pager: write page %d: %w", fr.id, err)
@@ -333,7 +344,8 @@ func (p *Pager) writeFrame(fr *frame) error {
 }
 
 // flushLocked writes every dirty cached page back to the file (no fsync).
-// The caller must hold mu exclusively.
+//
+// locks: p.mu
 func (p *Pager) flushLocked() error {
 	for _, fr := range p.frames {
 		if fr.dirty {
@@ -359,6 +371,9 @@ func (p *Pager) Sync() error {
 	return p.syncLocked()
 }
 
+// syncLocked flushes all dirty pages and fsyncs the file.
+//
+// locks: p.mu
 func (p *Pager) syncLocked() error {
 	if err := p.flushLocked(); err != nil {
 		return err

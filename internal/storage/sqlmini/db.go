@@ -75,15 +75,15 @@ type indexHandle struct {
 // fan out across a bounded worker pool (Options.UnionWorkers).
 type DB struct {
 	mu      sync.RWMutex
-	dir     string // "" = in-memory
+	dir     string // "" = in-memory; set once at open
 	opts    Options
-	catalog *catalog
-	tables  map[string]*tableHandle
-	indexes map[string]*indexHandle
-	files   map[uint16]pager.File // by catalog FileID, for WAL replay
-	log     *wal.Log              // nil in memory mode
-	inBatch bool
-	closed  bool
+	catalog *catalog                // guarded by mu (shared for reads)
+	tables  map[string]*tableHandle // guarded by mu
+	indexes map[string]*indexHandle // guarded by mu
+	files   map[uint16]pager.File   // guarded by mu; by catalog FileID, for WAL replay
+	log     *wal.Log                // nil in memory mode; set once at open
+	inBatch bool                    // guarded by mu
+	closed  bool                    // guarded by mu
 }
 
 // OpenMemory returns an in-memory database (no durability, no WAL).
@@ -201,6 +201,11 @@ func (db *DB) newPager(f pager.File) (*pager.Pager, error) {
 	return pg, nil
 }
 
+// mountTable opens a table's file, pager and heap and registers the
+// handle. Open calls it before the DB is published; afterwards only DDL
+// under the exclusive lock does.
+//
+// locks: db.mu
 func (db *DB) mountTable(t *tableSchema) error {
 	path := ""
 	if db.dir != "" {
@@ -223,6 +228,11 @@ func (db *DB) mountTable(t *tableSchema) error {
 	return nil
 }
 
+// mountIndex opens an index's file, pager and B+tree and registers the
+// handle. Open calls it before the DB is published; afterwards only DDL
+// under the exclusive lock does.
+//
+// locks: db.mu
 func (db *DB) mountIndex(ix *indexSchema) error {
 	path := ""
 	if db.dir != "" {
@@ -257,6 +267,9 @@ func (db *DB) Exec(sql string, args ...Value) (int, error) {
 	return db.execLocked(st, args)
 }
 
+// execLocked dispatches a parsed write statement.
+//
+// locks: db.mu
 func (db *DB) execLocked(st stmt, args []Value) (int, error) {
 	if db.closed {
 		return 0, fmt.Errorf("sqlmini: database is closed")
@@ -294,6 +307,10 @@ func (db *DB) execLocked(st stmt, args []Value) (int, error) {
 	}
 }
 
+// createTable registers the schema, persists the catalog and mounts the
+// new (empty) heap file.
+//
+// locks: db.mu
 func (db *DB) createTable(s createTableStmt) error {
 	if _, exists := db.catalog.Tables[s.name]; exists {
 		return fmt.Errorf("sqlmini: table %s already exists", s.name)
@@ -314,6 +331,10 @@ func (db *DB) createTable(s createTableStmt) error {
 	return db.mountTable(t)
 }
 
+// createIndex registers the schema, persists the catalog, mounts the tree
+// and backfills it from the table's existing rows.
+//
+// locks: db.mu
 func (db *DB) createIndex(s createIndexStmt) error {
 	if _, exists := db.catalog.Indexes[s.name]; exists {
 		return fmt.Errorf("sqlmini: index %s already exists", s.name)
@@ -354,6 +375,9 @@ func (db *DB) createIndex(s createIndexStmt) error {
 	})
 }
 
+// saveCatalog persists the catalog to disk (a no-op in memory mode).
+//
+// locks: db.mu
 func (db *DB) saveCatalog() error {
 	if db.dir == "" {
 		return nil
@@ -383,6 +407,8 @@ func (db *DB) QueryMode(mode PlanMode, sql string, args ...Value) (*Rows, error)
 // queryLocked executes a parsed read statement. Callers hold db.mu shared;
 // everything below (planning, heap scans, B+tree range reads) only reads
 // engine state, so any number of queries proceed in parallel.
+//
+// locks: db.mu (shared)
 func (db *DB) queryLocked(st stmt, args []Value, mode PlanMode) (*Rows, error) {
 	if db.closed {
 		return nil, fmt.Errorf("sqlmini: database is closed")
@@ -402,6 +428,9 @@ func (db *DB) queryLocked(st stmt, args []Value, mode PlanMode) (*Rows, error) {
 	}
 }
 
+// explain renders the chosen plan for each branch of the statement.
+//
+// locks: db.mu (shared)
 func (db *DB) explain(s explainStmt, args []Value, mode PlanMode) (*Rows, error) {
 	var schema *tableSchema
 	var where expr
@@ -531,6 +560,17 @@ func (db *DB) BeginBatch() {
 	db.inBatch = true
 }
 
+// InBatch reports whether a batch opened by BeginBatch (or left behind by
+// a failed write path) is still pending. Callers that hit an error while a
+// batch is open must AbortBatch before returning, or every later
+// per-statement commit is silently suspended; this accessor lets tests
+// pin that invariant down.
+func (db *DB) InBatch() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.inBatch
+}
+
 // CommitBatch commits everything written since BeginBatch.
 func (db *DB) CommitBatch() error {
 	db.mu.Lock()
@@ -599,6 +639,8 @@ func (db *DB) AbortBatch() error {
 }
 
 // maybeCommit commits unless a batch is open.
+//
+// locks: db.mu
 func (db *DB) maybeCommit() error {
 	if db.inBatch {
 		return nil
@@ -610,6 +652,8 @@ func (db *DB) maybeCommit() error {
 // them: the staging layer keeps only the last image per page, and Commit
 // writes the whole batch with a single flush and fsync. A commit with no
 // dirty pages is skipped entirely — no marker, no fsync.
+//
+// locks: db.mu
 func (db *DB) commitLocked() error {
 	if db.log == nil {
 		return nil
@@ -652,6 +696,10 @@ func (db *DB) Checkpoint() error {
 	return db.checkpointLocked()
 }
 
+// checkpointLocked syncs every data file and truncates the WAL. Open also
+// calls it once before the DB is published.
+//
+// locks: db.mu
 func (db *DB) checkpointLocked() error {
 	for _, th := range db.tables {
 		if err := th.pg.Sync(); err != nil {

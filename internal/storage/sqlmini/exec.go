@@ -64,6 +64,8 @@ func indexKey(schema *tableSchema, ix *indexSchema, vals []Value, rid heap.RID) 
 // passes the residual filter. fn returning false stops the scan. The vals
 // slice passed to fn is reused between calls: callbacks that retain rows
 // past their return must copy.
+//
+// locks: db.mu (any)
 func (db *DB) scanRows(p *scanPlan, args []Value, fn func(rid heap.RID, vals []Value) (bool, error)) error {
 	if p.empty {
 		return nil
@@ -152,6 +154,8 @@ func (db *DB) scanRows(p *scanPlan, args []Value, fn func(rid heap.RID, vals []V
 }
 
 // execSelect runs a SELECT.
+//
+// locks: db.mu (shared)
 func (db *DB) execSelect(st selectStmt, args []Value, mode PlanMode) (*Rows, error) {
 	schema, ok := db.catalog.Tables[st.table]
 	if !ok {
@@ -392,6 +396,8 @@ func evalInsertRow(schema *tableSchema, exprs []expr, b *binding) ([]Value, erro
 }
 
 // execInsert runs an INSERT and returns the number of rows inserted.
+//
+// locks: db.mu
 func (db *DB) execInsert(st insertStmt, args []Value) (int, error) {
 	schema, ok := db.catalog.Tables[st.table]
 	if !ok {
@@ -420,6 +426,8 @@ func (db *DB) execInsert(st insertStmt, args []Value) (int, error) {
 }
 
 // insertRow writes a typed row into the heap and all indexes.
+//
+// locks: db.mu
 func (db *DB) insertRow(schema *tableSchema, vals []Value) error {
 	rec, err := encodeRow(schema, vals)
 	if err != nil {
@@ -451,6 +459,8 @@ func (db *DB) insertRow(schema *tableSchema, vals []Value) error {
 // indexes live in distinct files with distinct pagers, so the workers share
 // no mutable state. Row order in the heap — and therefore the table file's
 // bytes — is identical to per-row insertion.
+//
+// locks: db.mu
 func (db *DB) insertRows(schema *tableSchema, rows [][]Value) error {
 	if len(rows) == 0 {
 		return nil
@@ -534,6 +544,8 @@ func (db *DB) insertRows(schema *tableSchema, rows [][]Value) error {
 }
 
 // execDelete runs a DELETE and returns the number of removed rows.
+//
+// locks: db.mu
 func (db *DB) execDelete(st deleteStmt, args []Value, mode PlanMode) (int, error) {
 	schema, ok := db.catalog.Tables[st.table]
 	if !ok {
@@ -587,6 +599,8 @@ func (db *DB) execDelete(st deleteStmt, args []Value, mode PlanMode) (int, error
 // bounded worker pool (Options.UnionWorkers goroutines; the caller already
 // holds db.mu shared). The merge happens afterwards in branch order, so
 // the result is byte-identical to sequential evaluation.
+//
+// locks: db.mu (shared)
 func (db *DB) execUnion(st unionStmt, args []Value, mode PlanMode) (*Rows, error) {
 	branchRows := make([]*Rows, len(st.branches))
 	workers := db.opts.UnionWorkers

@@ -1,0 +1,34 @@
+package sqlmini
+
+import "testing"
+
+// InBatch must track the batch window exactly, including the abort path on
+// engines that cannot restore state (in-memory): even when AbortBatch
+// reports an error, the batch flag clears so later writes commit again.
+func TestInBatchTracksBatchWindow(t *testing.T) {
+	db := OpenMemory(Options{})
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE kv (k INT, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if db.InBatch() {
+		t.Fatal("fresh database reports an open batch")
+	}
+	db.BeginBatch()
+	if !db.InBatch() {
+		t.Fatal("BeginBatch did not open a batch")
+	}
+	if err := db.CommitBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if db.InBatch() {
+		t.Fatal("CommitBatch left the batch open")
+	}
+	db.BeginBatch()
+	if err := db.AbortBatch(); err == nil {
+		t.Fatal("in-memory AbortBatch should report it cannot restore state")
+	}
+	if db.InBatch() {
+		t.Fatal("failed AbortBatch must still close the batch window")
+	}
+}

@@ -63,8 +63,7 @@ func Open(path string) (*Log, error) {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("wal: seek %s: %w", path, err)
+		return nil, errors.Join(fmt.Errorf("wal: seek %s: %w", path, err), f.Close())
 	}
 	return &Log{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path}, nil
 }
@@ -213,19 +212,25 @@ type PageImage struct {
 // torn or corrupt tail terminates replay silently (those records were
 // never acknowledged); corruption before the last commit marker is
 // reported as an error.
-func Replay(path string, apply func(PageImage) error) (int, error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
+func Replay(path string, apply func(PageImage) error) (batches int, err error) {
+	f, ferr := os.Open(path)
+	if os.IsNotExist(ferr) {
 		return 0, nil
 	}
-	if err != nil {
-		return 0, fmt.Errorf("wal: replay open: %w", err)
+	if ferr != nil {
+		return 0, fmt.Errorf("wal: replay open: %w", ferr)
 	}
-	defer f.Close()
+	// The file is read-only, but a close failure can still hide an I/O
+	// problem on the very log we are recovering from — surface it unless
+	// replay already failed for a better reason.
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("wal: replay close: %w", cerr)
+		}
+	}()
 	r := bufio.NewReaderSize(f, 1<<16)
 
 	var pending []PageImage
-	batches := 0
 	for {
 		rec, op, err := readRecord(r)
 		if err == io.EOF {

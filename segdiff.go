@@ -57,6 +57,7 @@
 package segdiff
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -170,8 +171,9 @@ func (ix *Index) Append(t int64, v float64) error {
 func (ix *Index) AppendPoints(pts []Point) error {
 	for _, p := range pts {
 		if err := ix.Append(p.Time, p.Value); err != nil {
-			ix.st.Abort() // best effort; the append error is primary
-			return err
+			// The append error comes first; a failed rollback is surfaced
+			// alongside it rather than dropped.
+			return errors.Join(err, ix.st.Abort())
 		}
 	}
 	return ix.Sync()
