@@ -1,0 +1,480 @@
+// Package faultfs is a deterministic fault-injection file layer for crash
+// testing the storage engine. A Registry hands out in-memory files
+// implementing pager.File (inject it via sqlmini.Options.FileFactory so
+// heap tables, B+tree indexes and the write-ahead log all route through
+// it) and executes one scripted fault:
+//
+//   - fail the Nth write-class operation (WriteAt, Sync, Truncate — one
+//     global counter across every file of the registry) either as a
+//     transient error the caller can recover from (ErrOnce) or as a
+//     simulated power cut (Crash);
+//   - a power cut freezes each file at its durable image: data synced at
+//     the last Sync barrier always survives, and the Survival policy
+//     decides the fate of unsynced writes (none / an RNG-chosen prefix in
+//     global issue order / all), optionally tearing the first lost write
+//     so a partial page hits the "disk";
+//   - fail the Nth ReadAt with a short read (transient, recovers);
+//   - everything is driven by a seeded RNG, so a (seed, script) pair
+//     reproduces the exact same post-crash state, byte for byte.
+//
+// After a crash every operation on every handle fails with ErrInjected,
+// like file descriptors of a dead process. Recovery is modeled by taking
+// Snapshot() — the durable images — and seeding a fresh Registry with
+// NewFromSnapshot, through which the engine is reopened and WAL replay
+// runs.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"segdiff/internal/storage/pager"
+)
+
+// ErrInjected is the root of every injected failure; test code can
+// errors.Is against it to tell scripted faults from genuine bugs.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Mode selects what happens at the scripted fault point.
+type Mode int
+
+const (
+	// Crash simulates a power cut: the scripted operation fails, the
+	// durable images are frozen per the Survival policy, and every later
+	// operation on the registry fails.
+	Crash Mode = iota
+	// ErrOnce fails the scripted operation with a transient error and
+	// recovers: later operations succeed. The failed write is not applied
+	// (a failed WriteAt writes nothing).
+	ErrOnce
+)
+
+// Survival selects how much unsynced data a power cut preserves.
+type Survival int
+
+const (
+	// SurviveNone is the strict sync-barrier model: only data durably
+	// synced before the cut survives.
+	SurviveNone Survival = iota
+	// SurvivePrefix keeps an RNG-chosen prefix of the unsynced writes in
+	// global issue order — the realistic model where the OS had written
+	// back part of its dirty buffers.
+	SurvivePrefix
+	// SurviveAll keeps every issued write (the cache made it to disk, only
+	// the fsync acknowledgement was lost).
+	SurviveAll
+)
+
+// Script is one scripted fault. The zero Script injects nothing.
+type Script struct {
+	// FailOp fires the fault when the registry's global write-class
+	// operation counter (WriteAt, Sync, Truncate across all files) reaches
+	// this 1-based value; 0 never fires.
+	FailOp int64
+	// Mode is what happens at FailOp.
+	Mode Mode
+	// Survival applies in Crash mode.
+	Survival Survival
+	// Torn, in Crash mode, applies an RNG-chosen strict prefix of the
+	// first lost write to the durable image — a torn page.
+	Torn bool
+	// FailReadOp fails the Nth ReadAt (1-based, global) with a short
+	// read, once; 0 never fires.
+	FailReadOp int64
+}
+
+type writeOp struct {
+	seq   int64
+	off   int64 // write offset, or new size for a truncate
+	data  []byte
+	trunc bool
+}
+
+type state struct {
+	name     string
+	durable  []byte
+	volatile []byte
+	pending  []writeOp // unsynced writes in issue order
+}
+
+// Registry owns a set of fault-injected in-memory files and the script.
+// It is safe for concurrent use (the engine syncs many files under one
+// commit and the pager may fault pages from reader goroutines).
+type Registry struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	script  Script
+	ops     int64
+	readOps int64
+	seq     int64
+	crashed bool
+	files   map[string]*state
+	handles int
+}
+
+// New returns a registry with no faults scripted; SetScript arms it.
+func New(seed int64) *Registry {
+	return &Registry{
+		rng:   rand.New(rand.NewSource(seed)),
+		files: map[string]*state{},
+	}
+}
+
+// NewFromSnapshot returns a registry whose files start at the given
+// contents — the post-crash disk handed to recovery.
+func NewFromSnapshot(seed int64, snap map[string][]byte) *Registry {
+	r := New(seed)
+	for name, data := range snap {
+		r.files[name] = &state{
+			name:     name,
+			durable:  append([]byte(nil), data...),
+			volatile: append([]byte(nil), data...),
+		}
+	}
+	return r
+}
+
+// SetScript arms (or replaces) the fault script. Counters are not reset:
+// scripting FailOp below the current op count never fires.
+func (r *Registry) SetScript(s Script) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.script = s
+}
+
+// Ops returns the number of write-class operations (WriteAt, Sync,
+// Truncate) issued so far; a clean run's total is the fault-point space
+// the crash harness enumerates.
+func (r *Registry) Ops() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ops
+}
+
+// Reads returns the number of ReadAt operations issued so far.
+func (r *Registry) Reads() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.readOps
+}
+
+// Crashed reports whether the scripted power cut has fired.
+func (r *Registry) Crashed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.crashed
+}
+
+// OpenHandles returns the number of handles opened and not yet closed —
+// the harness's fd-leak check.
+func (r *Registry) OpenHandles() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.handles
+}
+
+// Snapshot deep-copies the durable image of every file: exactly what a
+// machine reboot would find on disk.
+func (r *Registry) Snapshot() map[string][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string][]byte, len(r.files))
+	for name, st := range r.files {
+		out[name] = append([]byte(nil), st.durable...)
+	}
+	return out
+}
+
+// Open opens (creating if absent) the named file. It matches the
+// sqlmini.Options.FileFactory signature. Handles of the same name share
+// one backing file, like paths on a real filesystem.
+func (r *Registry) Open(path string) (pager.File, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.crashed {
+		return nil, fmt.Errorf("%w: open %s after power cut", ErrInjected, path)
+	}
+	st, ok := r.files[path]
+	if !ok {
+		st = &state{name: path}
+		r.files[path] = st
+	}
+	r.handles++
+	return &File{r: r, st: st}, nil
+}
+
+// hit reports whether the current (just-incremented) write-class op is the
+// scripted fault point.
+//
+// locks: r.mu
+func (r *Registry) hit() bool {
+	return r.script.FailOp != 0 && r.ops == r.script.FailOp
+}
+
+// powerCut freezes every file at its durable image per the Survival
+// policy and marks the registry crashed.
+//
+// locks: r.mu
+func (r *Registry) powerCut() {
+	var lost []struct {
+		st *state
+		op writeOp
+	}
+	for _, st := range r.files {
+		for _, op := range st.pending {
+			lost = append(lost, struct {
+				st *state
+				op writeOp
+			}{st, op})
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i].op.seq < lost[j].op.seq })
+
+	keep := 0
+	switch r.script.Survival {
+	case SurviveNone:
+		keep = 0
+	case SurviveAll:
+		keep = len(lost)
+	case SurvivePrefix:
+		if len(lost) > 0 {
+			keep = r.rng.Intn(len(lost) + 1)
+		}
+	}
+	for i := 0; i < keep; i++ {
+		lost[i].st.durable = applyOp(lost[i].st.durable, lost[i].op, -1)
+	}
+	if r.script.Torn && keep < len(lost) {
+		// The first write that didn't fully make it is torn: a strict
+		// prefix of its bytes reaches the durable image.
+		op := lost[keep].op
+		if !op.trunc && len(op.data) > 0 {
+			lost[keep].st.durable = applyOp(lost[keep].st.durable, op, r.rng.Intn(len(op.data)))
+		}
+	}
+	for _, st := range r.files {
+		st.volatile = nil
+		st.pending = nil
+	}
+	r.crashed = true
+}
+
+// applyOp applies one write to a durable image; tornLen >= 0 limits the
+// write to its first tornLen bytes.
+func applyOp(buf []byte, op writeOp, tornLen int) []byte {
+	if op.trunc {
+		if op.off <= int64(len(buf)) {
+			return buf[:op.off]
+		}
+		grown := make([]byte, op.off)
+		copy(grown, buf)
+		return grown
+	}
+	data := op.data
+	if tornLen >= 0 && tornLen < len(data) {
+		data = data[:tornLen]
+	}
+	end := op.off + int64(len(data))
+	if end > int64(len(buf)) {
+		oldLen := int64(len(buf))
+		if end <= int64(cap(buf)) {
+			buf = buf[:end]
+		} else {
+			// Amortize append-style growth (the WAL and heap files grow one
+			// write at a time): without doubling, every extension copies the
+			// whole image and the workload turns quadratic.
+			newCap := 2 * cap(buf)
+			if int64(newCap) < end {
+				newCap = int(end)
+			}
+			grown := make([]byte, end, newCap)
+			copy(grown, buf)
+			buf = grown
+		}
+		// A hole between the old end and the write offset reads as zeros,
+		// even when the resliced capacity holds stale bytes from before a
+		// truncate.
+		for i := oldLen; i < op.off; i++ {
+			buf[i] = 0
+		}
+	}
+	copy(buf[op.off:end], data)
+	return buf
+}
+
+// File is one fault-injected handle; all handles of a name share content.
+type File struct {
+	r      *Registry
+	st     *state
+	closed bool
+}
+
+var _ pager.File = (*File)(nil)
+
+// ReadAt implements io.ReaderAt with MemFile semantics plus the scripted
+// short read.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	r := f.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := f.usable("read"); err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("faultfs: read %s at negative offset %d", f.st.name, off)
+	}
+	r.readOps++
+	if r.script.FailReadOp != 0 && r.readOps == r.script.FailReadOp {
+		n := 0
+		if len(p) > 0 {
+			n = r.rng.Intn(len(p)) // strict short read
+			if off < int64(len(f.st.volatile)) {
+				n = copy(p[:n], f.st.volatile[off:])
+			} else {
+				n = 0
+			}
+		}
+		return n, fmt.Errorf("%w: short read of %s at op %d", ErrInjected, f.st.name, r.readOps)
+	}
+	if off >= int64(len(f.st.volatile)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.st.volatile[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt and is a scripted fault point.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	r := f.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := f.usable("write"); err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("faultfs: write %s at negative offset %d", f.st.name, off)
+	}
+	r.ops++
+	if r.hit() {
+		if r.script.Mode == ErrOnce {
+			return 0, fmt.Errorf("%w: transient write error on %s (op %d)", ErrInjected, f.st.name, r.ops)
+		}
+		// The crashing write was in flight: Survival (and Torn) decide how
+		// much of it the durable image keeps.
+		f.st.addPending(r, p, off)
+		r.powerCut()
+		return 0, fmt.Errorf("%w: power cut at write op %d (%s)", ErrInjected, r.ops, f.st.name)
+	}
+	f.st.addPending(r, p, off)
+	f.st.volatile = applyOp(f.st.volatile, f.st.pending[len(f.st.pending)-1], -1)
+	return len(p), nil
+}
+
+// addPending records an unsynced write.
+//
+// locks: r.mu
+func (st *state) addPending(r *Registry, p []byte, off int64) {
+	r.seq++
+	st.pending = append(st.pending, writeOp{
+		seq: r.seq, off: off, data: append([]byte(nil), p...),
+	})
+}
+
+// Size returns the current (volatile) length.
+func (f *File) Size() (int64, error) {
+	r := f.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := f.usable("size"); err != nil {
+		return 0, err
+	}
+	return int64(len(f.st.volatile)), nil
+}
+
+// Truncate resizes the file and is a scripted (write-class) fault point.
+func (f *File) Truncate(size int64) error {
+	r := f.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := f.usable("truncate"); err != nil {
+		return err
+	}
+	if size < 0 {
+		return fmt.Errorf("faultfs: truncate %s to negative size %d", f.st.name, size)
+	}
+	r.ops++
+	op := writeOp{off: size, trunc: true}
+	if r.hit() {
+		if r.script.Mode == ErrOnce {
+			return fmt.Errorf("%w: transient truncate error on %s (op %d)", ErrInjected, f.st.name, r.ops)
+		}
+		r.seq++
+		op.seq = r.seq
+		f.st.pending = append(f.st.pending, op)
+		r.powerCut()
+		return fmt.Errorf("%w: power cut at truncate op %d (%s)", ErrInjected, r.ops, f.st.name)
+	}
+	r.seq++
+	op.seq = r.seq
+	f.st.pending = append(f.st.pending, op)
+	f.st.volatile = applyOp(f.st.volatile, op, -1)
+	return nil
+}
+
+// Sync is the durability barrier and a scripted fault point: on success
+// the durable image catches up with every write issued so far on this
+// file.
+func (f *File) Sync() error {
+	r := f.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := f.usable("sync"); err != nil {
+		return err
+	}
+	r.ops++
+	if r.hit() {
+		if r.script.Mode == ErrOnce {
+			// A failed fsync leaves the data unsynced: pending stays.
+			return fmt.Errorf("%w: transient sync error on %s (op %d)", ErrInjected, f.st.name, r.ops)
+		}
+		r.powerCut()
+		return fmt.Errorf("%w: power cut at sync op %d (%s)", ErrInjected, r.ops, f.st.name)
+	}
+	f.st.durable = append(f.st.durable[:0], f.st.volatile...)
+	f.st.pending = nil
+	return nil
+}
+
+// Close releases the handle. Closing is never a fault point (a dying
+// process cannot fail to close a descriptor) and is idempotent.
+func (f *File) Close() error {
+	r := f.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	r.handles--
+	return nil
+}
+
+// usable rejects operations on closed handles or after the power cut.
+//
+// locks: f.r.mu
+func (f *File) usable(what string) error {
+	if f.closed {
+		return fmt.Errorf("faultfs: %s on closed handle %s", what, f.st.name)
+	}
+	if f.r.crashed {
+		return fmt.Errorf("%w: %s %s after power cut", ErrInjected, what, f.st.name)
+	}
+	return nil
+}

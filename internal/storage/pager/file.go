@@ -9,12 +9,17 @@ import (
 
 // File is the backing store abstraction for a Pager: a flat, random-access
 // byte array. *OSFile backs a Pager with a real file; *MemFile backs it
-// with memory (used by the in-memory database mode and by tests).
+// with memory (used by the in-memory database mode and by tests); the
+// faultfs package wraps either with scripted fault injection for the crash
+// harness. The engine also uses File for its write-ahead log, which is why
+// the interface carries Truncate.
 type File interface {
 	io.ReaderAt
 	io.WriterAt
 	// Size returns the current length in bytes.
 	Size() (int64, error)
+	// Truncate changes the length to size bytes (growing with zeros).
+	Truncate(size int64) error
 	// Sync durably flushes written data where applicable.
 	Sync() error
 	Close() error
@@ -49,6 +54,9 @@ func (o *OSFile) Size() (int64, error) {
 	return st.Size(), nil
 }
 
+// Truncate changes the file length.
+func (o *OSFile) Truncate(size int64) error { return o.f.Truncate(size) }
+
 // Sync fsyncs the file.
 func (o *OSFile) Sync() error { return o.f.Sync() }
 
@@ -66,6 +74,9 @@ func NewMemFile() *MemFile { return &MemFile{} }
 
 // ReadAt implements io.ReaderAt.
 func (m *MemFile) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("pager: memfile read at negative offset %d", off)
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if off >= int64(len(m.buf)) {
@@ -78,8 +89,14 @@ func (m *MemFile) ReadAt(p []byte, off int64) (int, error) {
 	return n, nil
 }
 
-// WriteAt implements io.WriterAt, growing the buffer as needed.
+// WriteAt implements io.WriterAt, growing the buffer as needed. Negative
+// offsets are rejected with an error, matching *os.File (the crash harness
+// replays arbitrary offsets into MemFile snapshots, so this must not
+// panic).
 func (m *MemFile) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("pager: memfile write at negative offset %d", off)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	end := off + int64(len(p))
@@ -90,6 +107,23 @@ func (m *MemFile) WriteAt(p []byte, off int64) (int, error) {
 	}
 	copy(m.buf[off:end], p)
 	return len(p), nil
+}
+
+// Truncate resizes the buffer, growing with zeros.
+func (m *MemFile) Truncate(size int64) error {
+	if size < 0 {
+		return fmt.Errorf("pager: memfile truncate to negative size %d", size)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if size <= int64(len(m.buf)) {
+		m.buf = m.buf[:size]
+		return nil
+	}
+	grown := make([]byte, size)
+	copy(grown, m.buf)
+	m.buf = grown
+	return nil
 }
 
 // Size returns the buffer length.

@@ -1,0 +1,67 @@
+package pager
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The crash harness (internal/storage/faultfs) replays arbitrary offsets
+// into MemFile-backed snapshots; a hostile or corrupted offset must come
+// back as an error, never a slice-bounds panic.
+func TestMemFileNegativeOffsetRejected(t *testing.T) {
+	m := NewMemFile()
+	if _, err := m.WriteAt([]byte("abc"), -1); err == nil {
+		t.Fatal("WriteAt(-1) succeeded, want error")
+	}
+	if _, err := m.ReadAt(make([]byte, 3), -7); err == nil {
+		t.Fatal("ReadAt(-7) succeeded, want error")
+	}
+	// The file must be untouched by the rejected write.
+	if sz, err := m.Size(); err != nil || sz != 0 {
+		t.Fatalf("size after rejected write = %d, %v; want 0, nil", sz, err)
+	}
+}
+
+func TestMemFileTruncate(t *testing.T) {
+	m := NewMemFile()
+	if _, err := m.WriteAt([]byte("hello world"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := m.Size(); sz != 5 {
+		t.Fatalf("size after shrink = %d, want 5", sz)
+	}
+	// Growing truncate zero-fills.
+	if err := m.Truncate(8); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, err := m.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte("hello\x00\x00\x00")) {
+		t.Fatalf("content after grow = %q", buf)
+	}
+	if err := m.Truncate(-1); err == nil {
+		t.Fatal("Truncate(-1) succeeded, want error")
+	}
+}
+
+func TestOSFileTruncate(t *testing.T) {
+	f, err := OpenOSFile(t.TempDir() + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt([]byte("0123456789"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := f.Size(); sz != 4 {
+		t.Fatalf("size after truncate = %d, want 4", sz)
+	}
+}

@@ -22,6 +22,7 @@ package pager
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -311,20 +312,37 @@ func (p *Pager) SetNoSteal(on bool) {
 	p.noSteal = on
 }
 
+// sortedFrames returns the cached frames matching keep in ascending page
+// order. The checkpoint paths iterate in this order so the engine's
+// file-operation sequence — and hence the WAL's byte layout — never
+// depends on map iteration order: the crash harness (internal/crashtest)
+// requires that a given (seed, fault script) reproduces the exact same
+// operation stream byte for byte.
+//
+// locks: p.mu
+func (p *Pager) sortedFrames(keep func(*frame) bool) []*frame {
+	var out []*frame
+	for _, fr := range p.frames {
+		if keep(fr) {
+			out = append(out, fr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
 // LogDirty invokes fn for every dirty frame whose content has not yet been
-// logged, in unspecified order, and marks those frames logged (making them
-// evictable again under no-steal). The data slice passed to fn is only
-// valid during the call.
+// logged, in ascending page order, and marks those frames logged (making
+// them evictable again under no-steal). The data slice passed to fn is
+// only valid during the call.
 func (p *Pager) LogDirty(fn func(id PageID, data []byte) error) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, fr := range p.frames {
-		if fr.dirty && !fr.logged {
-			if err := fn(fr.id, fr.data); err != nil {
-				return err
-			}
-			fr.logged = true
+	for _, fr := range p.sortedFrames(func(fr *frame) bool { return fr.dirty && !fr.logged }) {
+		if err := fn(fr.id, fr.data); err != nil {
+			return err
 		}
+		fr.logged = true
 	}
 	return nil
 }
@@ -343,15 +361,14 @@ func (p *Pager) writeFrame(fr *frame) error {
 	return nil
 }
 
-// flushLocked writes every dirty cached page back to the file (no fsync).
+// flushLocked writes every dirty cached page back to the file in
+// ascending page order (no fsync).
 //
 // locks: p.mu
 func (p *Pager) flushLocked() error {
-	for _, fr := range p.frames {
-		if fr.dirty {
-			if err := p.writeFrame(fr); err != nil {
-				return err
-			}
+	for _, fr := range p.sortedFrames(func(fr *frame) bool { return fr.dirty }) {
+		if err := p.writeFrame(fr); err != nil {
+			return err
 		}
 	}
 	return nil

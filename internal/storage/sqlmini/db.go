@@ -1,6 +1,7 @@
 package sqlmini
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -34,6 +35,12 @@ type Options struct {
 	// table carries one index per parallelogram corner, so this is the
 	// write path's counterpart to UnionWorkers.
 	WriteWorkers int
+	// FileFactory, when non-nil, opens every backing file of an on-disk
+	// database — heap tables, B+tree indexes, and the write-ahead log —
+	// in place of the default OS file. The crash harness injects
+	// faultfs here so scripted write/sync failures and power cuts cover
+	// the entire durability path. Ignored by in-memory databases.
+	FileFactory func(path string) (pager.File, error)
 }
 
 func (o Options) normalize() Options {
@@ -99,7 +106,9 @@ func OpenMemory(opts Options) *DB {
 }
 
 // Open opens (creating if needed) the database stored in dir, replaying
-// the write-ahead log if the previous process crashed.
+// the write-ahead log if the previous process crashed. All backing files
+// (tables, indexes, and the WAL — including the recovery replay itself)
+// are opened through Options.FileFactory when one is set.
 func Open(dir string, opts Options) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sqlmini: create dir: %w", err)
@@ -120,9 +129,17 @@ func Open(dir string, opts Options) (*DB, error) {
 	// Recovery: replay committed page images straight into the data files
 	// before any pager caches them.
 	walPath := filepath.Join(dir, "wal.log")
-	replayFiles := map[uint16]*pager.OSFile{}
+	replayFiles := map[uint16]pager.File{}
+	closeReplay := func() error {
+		var errs []error
+		for _, f := range replayFiles {
+			errs = append(errs, f.Close())
+		}
+		replayFiles = nil
+		return errors.Join(errs...)
+	}
 	openReplay := func(id uint16, path string) error {
-		f, err := pager.OpenOSFile(path)
+		f, err := db.newFile(path)
 		if err != nil {
 			return err
 		}
@@ -131,15 +148,19 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	for _, t := range cat.Tables {
 		if err := openReplay(t.FileID, db.tablePath(t.Name)); err != nil {
-			return nil, err
+			return nil, errors.Join(err, closeReplay())
 		}
 	}
 	for _, ix := range cat.Indexes {
 		if err := openReplay(ix.FileID, db.indexPath(ix.Name)); err != nil {
-			return nil, err
+			return nil, errors.Join(err, closeReplay())
 		}
 	}
-	if _, err := wal.Replay(walPath, func(img wal.PageImage) error {
+	walFile, err := db.newFile(walPath)
+	if err != nil {
+		return nil, errors.Join(err, closeReplay())
+	}
+	if _, err := wal.ReplayFile(walFile, func(img wal.PageImage) error {
 		f, ok := replayFiles[img.File]
 		if !ok {
 			return fmt.Errorf("unknown file %d in WAL", img.File)
@@ -147,35 +168,69 @@ func Open(dir string, opts Options) (*DB, error) {
 		_, werr := f.WriteAt(img.Data, int64(img.Page)*pager.PageSize)
 		return werr
 	}); err != nil {
-		return nil, fmt.Errorf("sqlmini: recovery: %w", err)
+		return nil, errors.Join(fmt.Errorf("sqlmini: recovery: %w", err), walFile.Close(), closeReplay())
 	}
-	for _, f := range replayFiles {
+	replayIDs := make([]int, 0, len(replayFiles))
+	for id := range replayFiles {
+		replayIDs = append(replayIDs, int(id))
+	}
+	sort.Ints(replayIDs) // deterministic sync order for the crash harness
+	for _, id := range replayIDs {
+		f := replayFiles[uint16(id)]
+		// A power cut can leave a torn partial page at a data file's tail.
+		// Such a fragment was never committed: committed content reaches
+		// data files only as checkpoint-synced whole pages, and any page
+		// still covered by the WAL was rewritten in full just above. Drop
+		// it to restore the page-multiple invariant the pager enforces.
+		size, err := f.Size()
+		if err != nil {
+			return nil, errors.Join(err, walFile.Close(), closeReplay())
+		}
+		if rem := size % pager.PageSize; rem != 0 {
+			if err := f.Truncate(size - rem); err != nil {
+				return nil, errors.Join(err, walFile.Close(), closeReplay())
+			}
+		}
 		if err := f.Sync(); err != nil {
-			return nil, err
+			return nil, errors.Join(err, walFile.Close(), closeReplay())
 		}
-		if err := f.Close(); err != nil {
-			return nil, err
-		}
+	}
+	if err := closeReplay(); err != nil {
+		return nil, errors.Join(err, walFile.Close())
 	}
 
-	// Open the log for appending, then mount all files.
-	db.log, err = wal.Open(walPath)
+	// Open the log for appending over the same (already replayed) file,
+	// then mount all files. From here on the log owns walFile.
+	db.log, err = wal.OpenFile(walFile)
 	if err != nil {
-		return nil, err
+		return nil, errors.Join(err, walFile.Close())
+	}
+	closeMounted := func() error {
+		var errs []error
+		//segdifflint:ignore lockcheck db is still being constructed inside Open and not yet shared
+		for _, th := range db.tables {
+			errs = append(errs, th.pg.Close())
+		}
+		//segdifflint:ignore lockcheck db is still being constructed inside Open and not yet shared
+		for _, ih := range db.indexes {
+			errs = append(errs, ih.pg.Close())
+		}
+		errs = append(errs, db.log.Close())
+		return errors.Join(errs...)
 	}
 	for _, t := range cat.Tables {
 		if err := db.mountTable(t); err != nil {
-			return nil, err
+			return nil, errors.Join(err, closeMounted())
 		}
 	}
 	for _, ix := range cat.Indexes {
 		if err := db.mountIndex(ix); err != nil {
-			return nil, err
+			return nil, errors.Join(err, closeMounted())
 		}
 	}
 	// Recovery is complete: persist the replayed state and clear the log.
 	if err := db.checkpointLocked(); err != nil {
-		return nil, err
+		return nil, errors.Join(err, closeMounted())
 	}
 	return db, nil
 }
@@ -183,9 +238,38 @@ func Open(dir string, opts Options) (*DB, error) {
 func (db *DB) tablePath(name string) string { return filepath.Join(db.dir, "t_"+name+".tbl") }
 func (db *DB) indexPath(name string) string { return filepath.Join(db.dir, "i_"+name+".idx") }
 
+// sortedTableNames and sortedIndexNames give every multi-file engine path
+// (commit staging, checkpoint, close, cache drop, batch abort) a
+// deterministic file order. The crash harness requires the engine's
+// file-operation sequence — and the WAL's byte layout — to be a pure
+// function of the workload, never of map iteration order.
+//
+// locks: db.mu (any)
+func (db *DB) sortedTableNames() []string {
+	out := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// locks: db.mu (any)
+func (db *DB) sortedIndexNames() []string {
+	out := make([]string, 0, len(db.indexes))
+	for name := range db.indexes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 func (db *DB) newFile(path string) (pager.File, error) {
 	if db.dir == "" {
 		return pager.NewMemFile(), nil
+	}
+	if db.opts.FileFactory != nil {
+		return db.opts.FileFactory(path)
 	}
 	return pager.OpenOSFile(path)
 }
@@ -598,14 +682,13 @@ func (db *DB) AbortBatch() error {
 		return fmt.Errorf("sqlmini: cannot abort a batch on an in-memory database")
 	}
 	db.log.DiscardStaged()
-	if err := db.log.Flush(); err != nil {
-		return err
-	}
 	// Replay before discarding the caches: a committed page image may exist
 	// only in the WAL and a dirty frame, and replay may extend a data file
 	// whose committed tail was never checkpointed. Discard re-derives the
-	// page count from the (now restored) file size.
-	if _, err := wal.Replay(filepath.Join(db.dir, "wal.log"), func(img wal.PageImage) error {
+	// page count from the (now restored) file size. Replaying through the
+	// log's own handle keeps the abort path inside the injectable file
+	// layer (Options.FileFactory).
+	if _, err := db.log.Replay(func(img wal.PageImage) error {
 		f, ok := db.files[img.File]
 		if !ok {
 			return fmt.Errorf("unknown file %d in WAL", img.File)
@@ -615,7 +698,8 @@ func (db *DB) AbortBatch() error {
 	}); err != nil {
 		return fmt.Errorf("sqlmini: abort: %w", err)
 	}
-	for _, th := range db.tables {
+	for _, name := range db.sortedTableNames() {
+		th := db.tables[name]
 		if err := th.pg.Discard(); err != nil {
 			return err
 		}
@@ -625,7 +709,8 @@ func (db *DB) AbortBatch() error {
 		}
 		th.h = h
 	}
-	for _, ih := range db.indexes {
+	for _, name := range db.sortedIndexNames() {
+		ih := db.indexes[name]
 		if err := ih.pg.Discard(); err != nil {
 			return err
 		}
@@ -663,13 +748,13 @@ func (db *DB) commitLocked() error {
 			return db.log.Stage(id, uint32(p), data)
 		})
 	}
-	for name, th := range db.tables {
-		if err := logPages(db.catalog.Tables[name].FileID, th.pg); err != nil {
+	for _, name := range db.sortedTableNames() {
+		if err := logPages(db.catalog.Tables[name].FileID, db.tables[name].pg); err != nil {
 			return err
 		}
 	}
-	for name, ih := range db.indexes {
-		if err := logPages(db.catalog.Indexes[name].FileID, ih.pg); err != nil {
+	for _, name := range db.sortedIndexNames() {
+		if err := logPages(db.catalog.Indexes[name].FileID, db.indexes[name].pg); err != nil {
 			return err
 		}
 	}
@@ -701,13 +786,13 @@ func (db *DB) Checkpoint() error {
 //
 // locks: db.mu
 func (db *DB) checkpointLocked() error {
-	for _, th := range db.tables {
-		if err := th.pg.Sync(); err != nil {
+	for _, name := range db.sortedTableNames() {
+		if err := db.tables[name].pg.Sync(); err != nil {
 			return err
 		}
 	}
-	for _, ih := range db.indexes {
-		if err := ih.pg.Sync(); err != nil {
+	for _, name := range db.sortedIndexNames() {
+		if err := db.indexes[name].pg.Sync(); err != nil {
 			return err
 		}
 	}
@@ -722,13 +807,13 @@ func (db *DB) checkpointLocked() error {
 func (db *DB) DropCache() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for _, th := range db.tables {
-		if err := th.pg.DropCache(); err != nil {
+	for _, name := range db.sortedTableNames() {
+		if err := db.tables[name].pg.DropCache(); err != nil {
 			return err
 		}
 	}
-	for _, ih := range db.indexes {
-		if err := ih.pg.DropCache(); err != nil {
+	for _, name := range db.sortedIndexNames() {
+		if err := db.indexes[name].pg.DropCache(); err != nil {
 			return err
 		}
 	}
@@ -820,13 +905,13 @@ func (db *DB) Close() error {
 	if err := db.checkpointLocked(); err != nil {
 		return err
 	}
-	for _, th := range db.tables {
-		if err := th.pg.Close(); err != nil {
+	for _, name := range db.sortedTableNames() {
+		if err := db.tables[name].pg.Close(); err != nil {
 			return err
 		}
 	}
-	for _, ih := range db.indexes {
-		if err := ih.pg.Close(); err != nil {
+	for _, name := range db.sortedIndexNames() {
+		if err := db.indexes[name].pg.Close(); err != nil {
 			return err
 		}
 	}

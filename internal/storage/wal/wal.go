@@ -11,12 +11,19 @@
 //     commit marker with a single flush and fsync (group commit);
 //   - recovery replays the page images of every complete batch in log
 //     order, which is idempotent; a torn tail (missing commit marker or bad
-//     checksum) is discarded;
+//     checksum) is discarded, while a genuine read error during replay is
+//     reported — silently treating a transient I/O fault as a torn tail
+//     would drop committed batches;
 //   - Checkpoint (performed by the engine) flushes all pagers to the data
 //     files and truncates the log.
 //
 // Pages from multiple files share one log; records carry a small file
 // number assigned by the engine's catalog.
+//
+// The log is written through the pager.File abstraction, so the engine can
+// route it through the same injectable file layer as the data files (see
+// sqlmini.Options.FileFactory and internal/storage/faultfs): crash
+// simulation covers WAL writes and fsyncs exactly like page writes.
 package wal
 
 import (
@@ -27,6 +34,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+
+	"segdiff/internal/storage/pager"
 )
 
 // Record types.
@@ -37,11 +46,15 @@ const (
 
 const headerLen = 1 + 2 + 4 + 4 + 4 // op, file, page, len, crc
 
+// flushThreshold is the write-buffer size above which appends spill to the
+// file (without committing them).
+const flushThreshold = 1 << 16
+
 // Log is an append-only write-ahead log. Not safe for concurrent use.
 type Log struct {
-	f      *os.File
-	w      *bufio.Writer
-	path   string
+	f      pager.File
+	buf    []byte // appended records not yet written to f
+	off    int64  // file offset where buf will be written
 	closed bool
 
 	// Group-commit staging area: page images buffered for the next Commit,
@@ -58,14 +71,38 @@ type stagedPage struct {
 
 // Open opens (creating if absent) the log at path, positioned for append.
 func Open(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := pager.OpenOSFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		return nil, errors.Join(fmt.Errorf("wal: seek %s: %w", path, err), f.Close())
+	l, err := OpenFile(f)
+	if err != nil {
+		return nil, errors.Join(err, f.Close())
 	}
-	return &Log{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path}, nil
+	return l, nil
+}
+
+// OpenFile wraps an already-open file as a log positioned for append. The
+// log takes ownership of f (Close closes it).
+func OpenFile(f pager.File) (*Log, error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, fmt.Errorf("wal: size: %w", err)
+	}
+	return &Log{f: f, off: size}, nil
+}
+
+// spill writes the buffered records to the file without fsync.
+func (l *Log) spill() error {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	if _, err := l.f.WriteAt(l.buf, l.off); err != nil {
+		return fmt.Errorf("wal: write: %w", err)
+	}
+	l.off += int64(len(l.buf))
+	l.buf = l.buf[:0]
+	return nil
 }
 
 func (l *Log) appendRecord(op byte, file uint16, page uint32, data []byte) error {
@@ -81,11 +118,12 @@ func (l *Log) appendRecord(op byte, file uint16, page uint32, data []byte) error
 	crc.Write(hdr[:11])
 	crc.Write(data)
 	binary.LittleEndian.PutUint32(hdr[11:15], crc.Sum32())
-	if _, err := l.w.Write(hdr[:]); err != nil {
-		return err
+	l.buf = append(l.buf, hdr[:]...)
+	l.buf = append(l.buf, data...)
+	if len(l.buf) >= flushThreshold {
+		return l.spill()
 	}
-	_, err := l.w.Write(data)
-	return err
+	return nil
 }
 
 // AppendPage logs the after-image of one page immediately. Most writers
@@ -143,7 +181,7 @@ func (l *Log) Commit() error {
 	if err := l.appendRecord(opCommit, 0, 0, nil); err != nil {
 		return err
 	}
-	if err := l.w.Flush(); err != nil {
+	if err := l.spill(); err != nil {
 		return err
 	}
 	return l.f.Sync()
@@ -155,34 +193,25 @@ func (l *Log) Flush() error {
 	if l.closed {
 		return nil
 	}
-	return l.w.Flush()
+	return l.spill()
 }
 
 // Size returns the current log length in bytes (including buffered data).
 func (l *Log) Size() (int64, error) {
-	if err := l.w.Flush(); err != nil {
+	if err := l.spill(); err != nil {
 		return 0, err
 	}
-	st, err := l.f.Stat()
-	if err != nil {
-		return 0, err
-	}
-	return st.Size(), nil
+	return l.off, nil
 }
 
 // Truncate discards the whole log; the engine calls it after a checkpoint
 // has flushed all data files.
 func (l *Log) Truncate() error {
-	if err := l.w.Flush(); err != nil {
-		return err
-	}
+	l.buf = l.buf[:0] // buffered records are part of the discarded log
 	if err := l.f.Truncate(0); err != nil {
 		return err
 	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
-	l.w.Reset(l.f)
+	l.off = 0
 	return l.f.Sync()
 }
 
@@ -193,7 +222,7 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
-	if err := l.w.Flush(); err != nil {
+	if err := l.spill(); err != nil {
 		return err
 	}
 	return l.f.Close()
@@ -206,12 +235,19 @@ type PageImage struct {
 	Data []byte
 }
 
+// errTorn marks record-read failures that recovery treats as a torn tail:
+// the record was never acknowledged, so replay stops cleanly before it.
+var errTorn = errors.New("wal: torn record")
+
+// tornErr wraps a reason into a torn-tail error.
+func tornErr(reason string) error { return fmt.Errorf("%w: %s", errTorn, reason) }
+
 // Replay reads the log at path and calls apply for every page image that
 // belongs to a complete (committed) batch, in log order. It returns the
 // number of committed batches replayed. A missing file is zero batches. A
 // torn or corrupt tail terminates replay silently (those records were
-// never acknowledged); corruption before the last commit marker is
-// reported as an error.
+// never acknowledged); a genuine read error is reported — treating it as a
+// torn tail would silently drop committed batches.
 func Replay(path string, apply func(PageImage) error) (batches int, err error) {
 	f, ferr := os.Open(path)
 	if os.IsNotExist(ferr) {
@@ -228,17 +264,52 @@ func Replay(path string, apply func(PageImage) error) (batches int, err error) {
 			err = fmt.Errorf("wal: replay close: %w", cerr)
 		}
 	}()
-	r := bufio.NewReaderSize(f, 1<<16)
+	st, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("wal: replay stat: %w", err)
+	}
+	return replay(io.NewSectionReader(f, 0, st.Size()), apply)
+}
 
+// ReplayFile replays the log stored in f (see Replay). It does not close
+// f; an empty file is zero batches.
+func ReplayFile(f pager.File, apply func(PageImage) error) (int, error) {
+	size, err := f.Size()
+	if err != nil {
+		return 0, fmt.Errorf("wal: replay size: %w", err)
+	}
+	return replay(io.NewSectionReader(f, 0, size), apply)
+}
+
+// Replay re-reads this log's own file and applies every committed batch —
+// the engine's batch-abort path, which restores committed page content
+// after the buffer pools are discarded. Appended-but-uncommitted records
+// are flushed first so the committed prefix on disk is complete; they are
+// ignored by replay (no commit marker follows them).
+func (l *Log) Replay(apply func(PageImage) error) (int, error) {
+	if l.closed {
+		return 0, errors.New("wal: use after close")
+	}
+	if err := l.spill(); err != nil {
+		return 0, err
+	}
+	return ReplayFile(l.f, apply)
+}
+
+func replay(src io.Reader, apply func(PageImage) error) (batches int, err error) {
+	r := bufio.NewReaderSize(src, 1<<16)
 	var pending []PageImage
 	for {
 		rec, op, err := readRecord(r)
 		if err == io.EOF {
 			return batches, nil
 		}
-		if err != nil {
+		if errors.Is(err, errTorn) {
 			// Torn tail: the batch it belongs to was never committed.
 			return batches, nil
+		}
+		if err != nil {
+			return batches, fmt.Errorf("wal: replay read: %w", err)
 		}
 		switch op {
 		case opPageImage:
@@ -260,10 +331,14 @@ func Replay(path string, apply func(PageImage) error) (batches int, err error) {
 func readRecord(r *bufio.Reader) (PageImage, byte, error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.ErrUnexpectedEOF {
-			return PageImage{}, 0, errors.New("wal: torn header")
+		switch {
+		case err == io.EOF:
+			return PageImage{}, 0, io.EOF
+		case err == io.ErrUnexpectedEOF:
+			return PageImage{}, 0, tornErr("short header")
+		default:
+			return PageImage{}, 0, err
 		}
-		return PageImage{}, 0, err
 	}
 	op := hdr[0]
 	file := binary.LittleEndian.Uint16(hdr[1:3])
@@ -271,17 +346,20 @@ func readRecord(r *bufio.Reader) (PageImage, byte, error) {
 	n := binary.LittleEndian.Uint32(hdr[7:11])
 	want := binary.LittleEndian.Uint32(hdr[11:15])
 	if n > 1<<20 {
-		return PageImage{}, 0, errors.New("wal: implausible record length")
+		return PageImage{}, 0, tornErr("implausible record length")
 	}
 	data := make([]byte, n)
 	if _, err := io.ReadFull(r, data); err != nil {
-		return PageImage{}, 0, errors.New("wal: torn payload")
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return PageImage{}, 0, tornErr("short payload")
+		}
+		return PageImage{}, 0, err
 	}
 	crc := crc32.NewIEEE()
 	crc.Write(hdr[:11])
 	crc.Write(data)
 	if crc.Sum32() != want {
-		return PageImage{}, 0, errors.New("wal: checksum mismatch")
+		return PageImage{}, 0, tornErr("checksum mismatch")
 	}
 	return PageImage{File: file, Page: page, Data: data}, op, nil
 }

@@ -1,0 +1,114 @@
+package segdiff
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"segdiff/internal/crashtest"
+	"segdiff/internal/feature"
+	"segdiff/internal/synth"
+)
+
+// TestPropertyDifferentialOracle is the property-based differential test
+// of the whole public stack: N seeded synthetic series are indexed under
+// randomized (ε, w) and queried with randomized (T, V) drop AND jump
+// searches, and every answer is checked against the naive
+// quadratic-scan oracle for both halves of Theorem 1 —
+//
+//   - completeness: SegDiff's matches cover every oracle event
+//     (no false negatives, the paper's hard guarantee);
+//   - precision: every match contains an event with Δv beyond V ∓ 2ε
+//     within a span in (0, T], exactly evaluated on the
+//     linear-interpolation model.
+//
+// All randomness is seeded, so a failure reproduces deterministically.
+func TestPropertyDifferentialOracle(t *testing.T) {
+	nSeries, nQueries := 8, 6
+	if testing.Short() {
+		nSeries, nQueries = 3, 4
+	}
+	for i := 0; i < nSeries; i++ {
+		seed := int64(100 + i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			eps := 0.05 + rng.Float64()*0.55              // ε ∈ [0.05, 0.6)
+			w := time.Duration(1+rng.Intn(4)) * time.Hour // w ∈ {1h..4h}
+			cadPerWeek := 20 + rng.Float64()*30           // event density
+			series, _, err := synth.Generate(synth.Config{
+				Seed:       seed,
+				Duration:   43200,
+				CADPerWeek: cadPerWeek,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ix, err := NewMemory(Options{Epsilon: eps, Window: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ix.Close()
+			for _, p := range series.Points() {
+				if err := ix.Append(p.T, p.V); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := ix.Finish(); err != nil {
+				t.Fatal(err)
+			}
+			segs, err := ix.Segments()
+			if err != nil {
+				t.Fatal(err)
+			}
+			maxSlope := 0.0
+			for _, g := range segs {
+				if g.End.Time == g.Start.Time {
+					continue
+				}
+				s := (g.End.Value - g.Start.Value) / float64(g.End.Time-g.Start.Time)
+				if s < 0 {
+					s = -s
+				}
+				if s > maxSlope {
+					maxSlope = s
+				}
+			}
+
+			wSec := int64(w / time.Second)
+			for q := 0; q < nQueries; q++ {
+				T := 600 + rng.Int63n(wSec-599) // T ∈ [600, w] seconds
+				mag := 1 + rng.Float64()*5      // |V| ∈ [1, 6)
+				span := time.Duration(T) * time.Second
+
+				drops, err := ix.Drops(span, -mag)
+				if err != nil {
+					t.Fatalf("query %d: drops(T=%d, V=%.3f): %v", q, T, -mag, err)
+				}
+				if err := crashtest.VerifyTheorem1(
+					series, feature.Drop, T, -mag, periods(drops), maxSlope, eps); err != nil {
+					t.Fatalf("query %d: drops(T=%d, V=%.3f): %v", q, T, -mag, err)
+				}
+
+				jumps, err := ix.Jumps(span, mag)
+				if err != nil {
+					t.Fatalf("query %d: jumps(T=%d, V=%.3f): %v", q, T, mag, err)
+				}
+				if err := crashtest.VerifyTheorem1(
+					series, feature.Jump, T, mag, periods(jumps), maxSlope, eps); err != nil {
+					t.Fatalf("query %d: jumps(T=%d, V=%.3f): %v", q, T, mag, err)
+				}
+			}
+		})
+	}
+}
+
+func periods(ms []Match) []crashtest.Period {
+	out := make([]crashtest.Period, len(ms))
+	for i, m := range ms {
+		out[i] = crashtest.Period{TD: m.From.Start, TC: m.From.End, TB: m.To.Start, TA: m.To.End}
+	}
+	return out
+}
