@@ -34,6 +34,7 @@ func main() {
 		skipAbl = flag.Bool("skip-ablations", false, "skip the ablation experiments")
 		perf    = flag.String("perf", "", "run only the sequential-vs-parallel read-path comparison and write JSON to this file")
 		iters   = flag.Int("perf-iters", 20, "queries per client in the -perf comparison")
+		smoke   = flag.Bool("fusion-smoke", false, "run only the fused-vs-branch comparison; exit nonzero unless results are identical and fusion is not slower")
 
 		// Cross-commit go test -bench numbers (ms/op) to embed in the -perf
 		// report; the single-lock baseline cannot be linked into this build,
@@ -54,6 +55,11 @@ func main() {
 	cfg.Repeats = *repeats
 	cfg.RandomQs = *queries
 	cfg.Seed = *seed
+
+	if *smoke {
+		runFusionSmoke(cfg, *iters)
+		return
+	}
 
 	if *perf != "" {
 		var gb *bench.GoBench
@@ -221,6 +227,15 @@ func runPerf(cfg bench.Config, path string, iters int, gb *bench.GoBench) {
 	}
 	fmt.Fprintf(os.Stderr, " done in %v\n", time.Since(start).Round(time.Millisecond))
 
+	start = time.Now()
+	fmt.Fprintf(os.Stderr, "running fused-vs-branch comparison...")
+	rep.Fusion, err = bench.RunFusionPerf(cfg, iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr)
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, " done in %v\n", time.Since(start).Round(time.Millisecond))
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -245,6 +260,35 @@ func runPerf(cfg bench.Config, path string, iters int, gb *bench.GoBench) {
 		}
 		fmt.Fprintf(os.Stderr, "  ingest speedup %.2fx, search identical: %v, tables identical: %v\n",
 			ing.Speedup, ing.SearchIdentical, ing.TablesIdentical)
+	}
+	if fu := rep.Fusion; fu != nil {
+		for _, sc := range []bench.PerfScenario{fu.Fused, fu.Unfused} {
+			fmt.Fprintf(os.Stderr, "  %-17s clients=%d  mean %.1f ms/query  %.1f queries/s\n",
+				sc.Name, sc.Clients, sc.MeanLatMS, sc.Throughput)
+		}
+		fmt.Fprintf(os.Stderr, "  fusion speedup %.2fx, results identical: %v\n", fu.Speedup, fu.Identical)
+	}
+}
+
+// runFusionSmoke is the CI gate: fused and branch-at-a-time execution must
+// return identical matches, and the fused path must not be slower.
+func runFusionSmoke(cfg bench.Config, iters int) {
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "running fusion smoke (%d iters/client, GOMAXPROCS=%d)...",
+		iters, runtime.GOMAXPROCS(0))
+	rep, err := bench.RunFusionPerf(cfg, iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr)
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, " done in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "  fused   %.1f queries/s\n  unfused %.1f queries/s\n  speedup %.2fx, results identical: %v\n",
+		rep.Fused.Throughput, rep.Unfused.Throughput, rep.Speedup, rep.Identical)
+	if !rep.Identical {
+		fatal(fmt.Errorf("fusion smoke: fused and branch-at-a-time results differ"))
+	}
+	if rep.Speedup < 1.0 {
+		fatal(fmt.Errorf("fusion smoke: fused path is slower than branch-at-a-time (%.2fx)", rep.Speedup))
 	}
 }
 

@@ -63,3 +63,41 @@ type Sloppy struct {
 	state int
 	v     int // want `field Sloppy.v is declared guarded by "state", which is not a mutex field of Sloppy` // guarded by state
 }
+
+// Engine mirrors sqlmini.DB's planner-statistics state: a guarded
+// reference-typed catalog map plus a guarded dirty flag, written by the
+// ingest path and read by a parameter-annotated planner function.
+type Engine struct {
+	mu    sync.RWMutex
+	stats map[string]int // guarded by mu
+	// dirty marks stats changed since the last save.
+	dirty bool // guarded by mu
+}
+
+// note writes both guarded fields under the caller's exclusive lock.
+//
+// locks: e.mu
+func (e *Engine) note(k string) {
+	e.stats[k]++
+	e.dirty = true
+}
+
+// plan is a free function reading guarded state through an annotated
+// parameter, the shape of buildPlan(db, ...).
+//
+// locks: e.mu (any)
+func plan(e *Engine, k string) int {
+	return e.stats[k]
+}
+
+// flush resets the dirty flag under its own lock: fine.
+func (e *Engine) flush() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.dirty = false
+}
+
+// estimate reads the stats map with no lock and no annotation.
+func (e *Engine) estimate(k string) int {
+	return e.stats[k] // want `estimate accesses Engine.stats \(guarded by Engine.mu\) without acquiring`
+}

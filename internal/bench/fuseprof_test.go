@@ -1,0 +1,25 @@
+package bench
+
+import (
+	"testing"
+
+	"segdiff/internal/storage/sqlmini"
+)
+
+// BenchmarkFusedDropSearch times the paper's 9-branch drop search through
+// the fused shared-scan path on the default workload; pair with
+// -cpuprofile to see where fused query time goes.
+func BenchmarkFusedDropSearch(b *testing.B) {
+	cfg := DefaultConfig()
+	st, err := perfStoreDB(cfg, sqlmini.Options{PoolPages: cfg.PoolPages})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.SearchDrops(cfg.QueryT, cfg.QueryV); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -65,6 +65,74 @@ type PerfReport struct {
 	Scenarios []PerfScenario `json:"scenarios"`
 	Bench     *GoBench       `json:"go_bench,omitempty"`
 	Ingest    *IngestReport  `json:"ingest,omitempty"`
+	Fusion    *FusionReport  `json:"fusion,omitempty"`
+}
+
+// FusionReport is the fused-vs-branch-at-a-time comparison: the same
+// multi-client drop-search workload against one store running the fused
+// shared-scan path (default) and one with Options.DisableFusion set —
+// the branch-at-a-time execution of the PR 2 engine. Both must return
+// identical matches; the speedup is what plan-level fusion plus the
+// allocation-light union merge buy on the paper's 9-branch search.
+type FusionReport struct {
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Days       int64        `json:"days"`
+	QueryT     int64        `json:"query_t_seconds"`
+	QueryV     float64      `json:"query_v"`
+	Fused      PerfScenario `json:"fused"`
+	Unfused    PerfScenario `json:"unfused"`
+	Speedup    float64      `json:"throughput_speedup"`
+	Identical  bool         `json:"results_identical"`
+}
+
+// RunFusionPerf measures the default multi-client workload (GOMAXPROCS
+// clients sharing one index) with fusion on and off and verifies the two
+// executions return the same match set.
+func RunFusionPerf(cfg Config, iters int) (_ *FusionReport, err error) {
+	if iters <= 0 {
+		iters = 20
+	}
+	procs := runtime.GOMAXPROCS(0)
+	fusedStore, err := perfStoreDB(cfg, sqlmini.Options{PoolPages: cfg.PoolPages})
+	if err != nil {
+		return nil, err
+	}
+	defer joinClose(&err, fusedStore)
+	unfusedStore, err := perfStoreDB(cfg, sqlmini.Options{PoolPages: cfg.PoolPages, DisableFusion: true})
+	if err != nil {
+		return nil, err
+	}
+	defer joinClose(&err, unfusedStore)
+
+	fusedMatches, err := fusedStore.SearchDrops(cfg.QueryT, cfg.QueryV)
+	if err != nil {
+		return nil, err
+	}
+	unfusedMatches, err := unfusedStore.SearchDrops(cfg.QueryT, cfg.QueryV)
+	if err != nil {
+		return nil, err
+	}
+	rep := &FusionReport{
+		GOMAXPROCS: procs,
+		Days:       cfg.Days,
+		QueryT:     cfg.QueryT,
+		QueryV:     cfg.QueryV,
+		Identical:  reflect.DeepEqual(fusedMatches, unfusedMatches),
+	}
+	if !rep.Identical {
+		return nil, fmt.Errorf("bench: fused found %d matches, branch-at-a-time %d — execution paths diverge",
+			len(fusedMatches), len(unfusedMatches))
+	}
+	rep.Fused, err = runScenario(fusedStore, "fused", procs, procs, iters, cfg.QueryT, cfg.QueryV)
+	if err != nil {
+		return nil, err
+	}
+	rep.Unfused, err = runScenario(unfusedStore, "unfused", procs, procs, iters, cfg.QueryT, cfg.QueryV)
+	if err != nil {
+		return nil, err
+	}
+	rep.Speedup = rep.Fused.Throughput / rep.Unfused.Throughput
+	return rep, nil
 }
 
 // IngestScenario is one measured configuration of the durable write path.
@@ -189,6 +257,12 @@ func RunIngestPerf(cfg Config, dir string) (*IngestReport, error) {
 // perfStore opens a single-sensor store with an explicit union pool size
 // (0 = engine default, GOMAXPROCS) and ingests the workload.
 func perfStore(cfg Config, unionWorkers int) (*core.Store, error) {
+	return perfStoreDB(cfg, sqlmini.Options{PoolPages: cfg.PoolPages, UnionWorkers: unionWorkers})
+}
+
+// perfStoreDB is perfStore with full control over the engine options, for
+// configurations beyond the pool size (DisableFusion, plan modes).
+func perfStoreDB(cfg Config, dbo sqlmini.Options) (*core.Store, error) {
 	series, err := Workload(cfg, 1, cfg.Days)
 	if err != nil {
 		return nil, err
@@ -196,7 +270,7 @@ func perfStore(cfg Config, unionWorkers int) (*core.Store, error) {
 	st, err := core.OpenMemory(core.Options{
 		Epsilon: cfg.DefaultEps,
 		Window:  cfg.DefaultWH * 3600,
-		DB:      sqlmini.Options{PoolPages: cfg.PoolPages, UnionWorkers: unionWorkers},
+		DB:      dbo,
 	})
 	if err != nil {
 		return nil, err

@@ -2,7 +2,9 @@ package core
 
 // EXPLAIN-based guard for the access-path claim of Section 5.2: every
 // branch of the search union must execute as a B-tree index scan over the
-// intended corner index under PlanAuto, never a sequential scan.
+// intended corner index under PlanAuto, never a sequential scan — and the
+// fusion pass must group the branches that share a corner index into one
+// fused scan unit.
 
 import (
 	"fmt"
@@ -13,7 +15,7 @@ import (
 	"segdiff/internal/storage/sqlmini"
 )
 
-// branchPlan is the plan one union branch is required to pick.
+// branchPlan is the index one union branch is required to pick.
 type branchPlan struct {
 	table string
 	index string
@@ -42,6 +44,87 @@ func expectedBranchPlans(kind feature.Kind) []branchPlan {
 	return out
 }
 
+// explainSearch runs EXPLAIN over the full search union for kind and
+// returns the plan rows.
+func explainSearch(t *testing.T, s *Store, kind feature.Kind, v float64) []string {
+	t.Helper()
+	qs := searchQueries(kind)
+	parts := make([]string, len(qs))
+	var args []sqlmini.Value
+	for i, q := range qs {
+		parts[i] = q.sql
+		args = append(args, q.args(3600, v)...)
+	}
+	rows, err := s.db.Query("EXPLAIN "+strings.Join(parts, " UNION "), args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, rows.Len())
+	for i, row := range rows.Data {
+		out[i] = row[0].S
+	}
+	return out
+}
+
+// parseBranchPlans reconstructs the per-branch plan lines from fused
+// EXPLAIN output: singleton units print one "INDEX SCAN ix ON t ..." line
+// that covers their only branch, fused units print a "FUSED INDEX SCAN ix
+// ON t BRANCHES k" header followed by k indented "  BRANCH <i>: ..."
+// lines. The result maps absolute branch position to (index, table,
+// plan-detail line).
+func parseBranchPlans(t *testing.T, lines []string, nBranches int) []branchPlan {
+	t.Helper()
+	plans := make([]branchPlan, nBranches)
+	seen := make([]bool, nBranches)
+	next := 0 // next unassigned branch for singleton lines, in unit order
+	assign := func(pos int, ix, table, rest string) {
+		if pos < 0 || pos >= nBranches || seen[pos] {
+			t.Fatalf("EXPLAIN assigned branch %d twice or out of range:\n%s", pos, strings.Join(lines, "\n"))
+		}
+		plans[pos] = branchPlan{table: table, index: ix, bound: rest}
+		seen[pos] = true
+	}
+	i := 0
+	for i < len(lines) {
+		line := lines[i]
+		switch {
+		case strings.HasPrefix(line, "FUSED INDEX SCAN "):
+			var ix, table string
+			var k int
+			if _, err := fmt.Sscanf(line, "FUSED INDEX SCAN %s ON %s BRANCHES %d", &ix, &table, &k); err != nil {
+				t.Fatalf("unparseable fused header %q: %v", line, err)
+			}
+			for j := 0; j < k; j++ {
+				i++
+				var pos int
+				if _, err := fmt.Sscanf(lines[i], "  BRANCH %d:", &pos); err != nil {
+					t.Fatalf("unparseable branch line %q under %q: %v", lines[i], line, err)
+				}
+				assign(pos, ix, table, lines[i])
+			}
+			i++
+		case strings.HasPrefix(line, "INDEX SCAN "):
+			var ix, table string
+			if _, err := fmt.Sscanf(line, "INDEX SCAN %s ON %s", &ix, &table); err != nil {
+				t.Fatalf("unparseable plan line %q: %v", line, err)
+			}
+			for next < nBranches && seen[next] {
+				next++
+			}
+			assign(next, ix, table, line)
+			i++
+		default:
+			t.Fatalf("unexpected EXPLAIN line %q (sequential scan or unknown format)", line)
+		}
+	}
+	for pos, ok := range seen {
+		if !ok {
+			t.Fatalf("EXPLAIN output covers no plan for branch %d:\n%s", pos, strings.Join(lines, "\n"))
+		}
+	}
+	return plans
+}
+
 func TestSearchUnionBranchPlans(t *testing.T) {
 	s, err := OpenMemory(Options{})
 	if err != nil {
@@ -56,35 +139,57 @@ func TestSearchUnionBranchPlans(t *testing.T) {
 		{feature.Drop, -3},
 		{feature.Jump, 3},
 	} {
-		qs := searchQueries(tc.kind)
-		parts := make([]string, len(qs))
-		var args []sqlmini.Value
-		for i, q := range qs {
-			parts[i] = q.sql
-			args = append(args, q.args(3600, tc.v)...)
-		}
-		rows, err := s.db.Query("EXPLAIN "+strings.Join(parts, " UNION "), args...)
-		if err != nil {
-			t.Fatal(err)
-		}
+		lines := explainSearch(t, s, tc.kind, tc.v)
 		want := expectedBranchPlans(tc.kind)
-		if rows.Len() != len(want) {
-			t.Fatalf("kind %v: EXPLAIN returned %d plan rows for %d branches", tc.kind, rows.Len(), len(want))
-		}
-		for i, row := range rows.Data {
-			plan := row[0].S
-			if strings.Contains(plan, "SEQ SCAN") {
-				t.Errorf("kind %v branch %d fell back to a table scan: %q", tc.kind, i, plan)
+		got := parseBranchPlans(t, lines, len(want))
+		for i := range want {
+			if got[i].index != want[i].index || got[i].table != want[i].table {
+				t.Errorf("kind %v branch %d picked the wrong path:\n  got  %s ON %s (%q)\n  want %s ON %s",
+					tc.kind, i, got[i].index, got[i].table, got[i].bound, want[i].index, want[i].table)
 				continue
 			}
-			prefix := fmt.Sprintf("INDEX SCAN %s ON %s ", want[i].index, want[i].table)
-			if !strings.HasPrefix(plan, prefix) {
-				t.Errorf("kind %v branch %d picked the wrong path:\n  got  %q\n  want prefix %q", tc.kind, i, plan, prefix)
-				continue
-			}
-			if !strings.Contains(plan, "BOUNDS("+want[i].bound+"<~") {
-				t.Errorf("kind %v branch %d has no range bound on %s: %q", tc.kind, i, want[i].bound, plan)
+			if !strings.Contains(got[i].bound, "BOUNDS("+want[i].bound+"<~") {
+				t.Errorf("kind %v branch %d has no range bound on %s: %q", tc.kind, i, want[i].bound, got[i].bound)
 			}
 		}
+	}
+}
+
+// TestSearchUnionFusion pins the fusion shape itself: branches sharing a
+// corner index collapse into one fused scan unit, so a drop search runs 6
+// scan units for its 9 branches (dropf2's and dropf3's c1/c2 point+line
+// pairs fuse), and disabling fusion restores one unit per branch.
+func TestSearchUnionFusion(t *testing.T) {
+	s, err := OpenMemory(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	lines := explainSearch(t, s, feature.Drop, -3)
+	fused, singleton := 0, 0
+	for _, l := range lines {
+		switch {
+		case strings.HasPrefix(l, "FUSED INDEX SCAN "):
+			fused++
+		case strings.HasPrefix(l, "INDEX SCAN "):
+			singleton++
+		}
+	}
+	if fused != 3 || singleton != 3 {
+		t.Errorf("drop search fusion shape: got %d fused units + %d singletons, want 3 + 3:\n%s",
+			fused, singleton, strings.Join(lines, "\n"))
+	}
+
+	s2, err := OpenMemory(Options{DB: sqlmini.Options{DisableFusion: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	lines2 := explainSearch(t, s2, feature.Drop, -3)
+	want := len(expectedBranchPlans(feature.Drop))
+	if len(lines2) != want {
+		t.Errorf("DisableFusion: got %d plan rows, want %d (one per branch):\n%s",
+			len(lines2), want, strings.Join(lines2, "\n"))
 	}
 }

@@ -282,12 +282,7 @@ func (s *Store) prepareStatements() error {
 	// one line query", here across the three corner-count tables).
 	s.searchStmt = map[feature.Kind]*sqlmini.Stmt{}
 	for _, kind := range []feature.Kind{feature.Drop, feature.Jump} {
-		qs := searchQueries(kind)
-		parts := make([]string, len(qs))
-		for i, q := range qs {
-			parts[i] = q.sql
-		}
-		stmt, err := s.db.Prepare(strings.Join(parts, " UNION "))
+		stmt, err := s.db.Prepare(searchUnionSQL[kind])
 		if err != nil {
 			return err
 		}
@@ -586,10 +581,42 @@ func (q searchQuery) args(T int64, V float64) []sqlmini.Value {
 	return out
 }
 
-// searchQueries builds the union of queries for a search kind
+// The search statement sets are pure functions of the (fixed) schema, so
+// they are derived once at package initialization and shared by every
+// store: each open used to re-derive every branch's SQL text through
+// fmt.Sprintf, and each search re-derived it again to count arguments.
+var (
+	searchQuerySets = map[feature.Kind][]searchQuery{
+		feature.Drop: buildSearchQueries(feature.Drop),
+		feature.Jump: buildSearchQueries(feature.Jump),
+	}
+	// searchUnionSQL is the joined UNION text per kind. All branches are
+	// plain SELECTs over a corner table (no aggregates, ORDER BY, or
+	// LIMIT), so the engine's fusion pass shares one scan across the
+	// branches that plan to the same corner index.
+	searchUnionSQL = map[feature.Kind]string{
+		feature.Drop: joinUnion(searchQuerySets[feature.Drop]),
+		feature.Jump: joinUnion(searchQuerySets[feature.Jump]),
+	}
+)
+
+// searchQueries returns the precomputed union branches for a search kind.
+func searchQueries(kind feature.Kind) []searchQuery {
+	return searchQuerySets[kind]
+}
+
+func joinUnion(qs []searchQuery) string {
+	parts := make([]string, len(qs))
+	for i, q := range qs {
+		parts[i] = q.sql
+	}
+	return strings.Join(parts, " UNION ")
+}
+
+// buildSearchQueries derives the union of queries for a search kind
 // (Section 4.4): one point query per stored corner and one line query per
 // stored boundary edge, across the three corner-count tables.
-func searchQueries(kind feature.Kind) []searchQuery {
+func buildSearchQueries(kind feature.Kind) []searchQuery {
 	cmp, inv := "<=", ">"
 	if kind == feature.Jump {
 		cmp, inv = ">=", "<"

@@ -661,19 +661,32 @@ type Iterator struct {
 // Seek positions an iterator at the first entry with key >= lo.
 func (t *Tree) Seek(lo []byte) *Iterator {
 	it := &Iterator{t: t}
+	t.SeekInto(it, lo)
+	return it
+}
+
+// SeekInto repositions an existing iterator at the first entry with
+// key >= lo, reusing its allocation. Callers that scan several disjoint
+// ranges in one pass (the fused union executor) reposition one iterator
+// per range instead of allocating a fresh one per descent.
+func (t *Tree) SeekInto(it *Iterator, lo []byte) {
+	it.t = t
+	it.nd = nil
+	it.err = nil
+	it.done = false
 	id := t.root
 	for {
 		nd, err := t.readNode(id)
 		if err != nil {
 			it.err = err
 			it.done = true
-			return it
+			return
 		}
 		if nd.leaf {
 			it.nd = nd
 			it.i = lowerBound(nd.keys, lo)
 			it.skipEmptyLeaves()
-			return it
+			return
 		}
 		id = nd.children[childIndex(nd, lo)]
 	}

@@ -33,13 +33,33 @@ const PageSize = 4096
 // PageID identifies a page within one file; pages are numbered from 0.
 type PageID uint32
 
-// Stats are cumulative buffer pool counters.
+// Stats are cumulative buffer pool counters (a snapshot; see
+// Pager.Stats).
 type Stats struct {
 	Hits      uint64 // Get served from cache
 	Misses    uint64 // Get required a file read
 	Reads     uint64 // pages read from the file
 	Writes    uint64 // pages written to the file
 	Evictions uint64 // frames evicted to make room
+}
+
+// padUint64 is an atomic counter padded to its own cache line. Parallel
+// readers increment Hits on every page Get; packing the counters into
+// adjacent words would make each increment invalidate the line holding
+// all of them in every other core's cache (false sharing). 64-byte lines
+// cover x86-64 and most arm64 parts.
+type padUint64 struct {
+	v uint64
+	_ [56]byte
+}
+
+// statCounters are the live counters behind Stats, one cache line each.
+type statCounters struct {
+	hits      padUint64
+	misses    padUint64
+	reads     padUint64
+	writes    padUint64
+	evictions padUint64
 }
 
 type frame struct {
@@ -68,7 +88,7 @@ type Pager struct {
 	ring     []*frame          // guarded by mu; clock order; eviction candidates
 	hand     int               // guarded by mu; clock hand index into ring
 	nPages   PageID            // guarded by mu
-	stats    Stats             // atomics only; never under mu
+	stats    statCounters      // atomics only; never under mu
 	closed   bool              // guarded by mu
 	noSteal  bool              // guarded by mu
 }
@@ -113,11 +133,11 @@ func (p *Pager) Capacity() int { return p.capacity }
 // Stats returns a copy of the cumulative counters.
 func (p *Pager) Stats() Stats {
 	return Stats{
-		Hits:      atomic.LoadUint64(&p.stats.Hits),
-		Misses:    atomic.LoadUint64(&p.stats.Misses),
-		Reads:     atomic.LoadUint64(&p.stats.Reads),
-		Writes:    atomic.LoadUint64(&p.stats.Writes),
-		Evictions: atomic.LoadUint64(&p.stats.Evictions),
+		Hits:      atomic.LoadUint64(&p.stats.hits.v),
+		Misses:    atomic.LoadUint64(&p.stats.misses.v),
+		Reads:     atomic.LoadUint64(&p.stats.reads.v),
+		Writes:    atomic.LoadUint64(&p.stats.writes.v),
+		Evictions: atomic.LoadUint64(&p.stats.evictions.v),
 	}
 }
 
@@ -225,7 +245,7 @@ func (p *Pager) Get(id PageID) (Page, error) {
 	if fr, ok := p.frames[id]; ok {
 		fr.pin()
 		p.mu.RUnlock()
-		atomic.AddUint64(&p.stats.Hits, 1)
+		atomic.AddUint64(&p.stats.hits.v, 1)
 		return Page{p: p, fr: fr}, nil
 	}
 	p.mu.RUnlock()
@@ -238,10 +258,10 @@ func (p *Pager) Get(id PageID) (Page, error) {
 	if fr, ok := p.frames[id]; ok {
 		// A concurrent miss loaded the page between our two lookups.
 		fr.pin()
-		atomic.AddUint64(&p.stats.Hits, 1)
+		atomic.AddUint64(&p.stats.hits.v, 1)
 		return Page{p: p, fr: fr}, nil
 	}
-	atomic.AddUint64(&p.stats.Misses, 1)
+	atomic.AddUint64(&p.stats.misses.v, 1)
 	if err := p.makeRoom(); err != nil {
 		return Page{}, err
 	}
@@ -249,7 +269,7 @@ func (p *Pager) Get(id PageID) (Page, error) {
 	if _, err := p.f.ReadAt(data, int64(id)*PageSize); err != nil {
 		return Page{}, fmt.Errorf("pager: read page %d: %w", id, err)
 	}
-	atomic.AddUint64(&p.stats.Reads, 1)
+	atomic.AddUint64(&p.stats.reads.v, 1)
 	fr := &frame{id: id, data: data}
 	fr.pins.Store(1)
 	p.insertFrame(fr)
@@ -296,7 +316,7 @@ func (p *Pager) makeRoom() error {
 			}
 		}
 		p.removeFrame(victim)
-		atomic.AddUint64(&p.stats.Evictions, 1)
+		atomic.AddUint64(&p.stats.evictions.v, 1)
 	}
 	return nil
 }
@@ -357,7 +377,7 @@ func (p *Pager) writeFrame(fr *frame) error {
 		return fmt.Errorf("pager: write page %d: %w", fr.id, err)
 	}
 	fr.dirty = false
-	atomic.AddUint64(&p.stats.Writes, 1)
+	atomic.AddUint64(&p.stats.writes.v, 1)
 	return nil
 }
 
@@ -414,7 +434,7 @@ func (p *Pager) DropCache() error {
 			continue
 		}
 		p.removeFrame(fr) // swap-remove: re-examine index i
-		atomic.AddUint64(&p.stats.Evictions, 1)
+		atomic.AddUint64(&p.stats.evictions.v, 1)
 	}
 	p.hand = 0
 	return nil
@@ -449,11 +469,11 @@ func (p *Pager) Discard() error {
 
 // ResetStats zeroes the counters (used between experiment runs).
 func (p *Pager) ResetStats() {
-	atomic.StoreUint64(&p.stats.Hits, 0)
-	atomic.StoreUint64(&p.stats.Misses, 0)
-	atomic.StoreUint64(&p.stats.Reads, 0)
-	atomic.StoreUint64(&p.stats.Writes, 0)
-	atomic.StoreUint64(&p.stats.Evictions, 0)
+	atomic.StoreUint64(&p.stats.hits.v, 0)
+	atomic.StoreUint64(&p.stats.misses.v, 0)
+	atomic.StoreUint64(&p.stats.reads.v, 0)
+	atomic.StoreUint64(&p.stats.writes.v, 0)
+	atomic.StoreUint64(&p.stats.evictions.v, 0)
 }
 
 // SizeBytes returns the file size implied by the allocated page count.

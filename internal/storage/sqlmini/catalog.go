@@ -33,10 +33,15 @@ type indexSchema struct {
 }
 
 // catalog is the schema registry, persisted as JSON in on-disk databases.
+// Stats carries the planner statistics (see stats.go): maintained
+// incrementally by the write path under the engine's writer lock and
+// persisted alongside the schema at batch commit. Advisory only — a stale
+// or missing entry degrades plan quality, never correctness.
 type catalog struct {
 	Tables     map[string]*tableSchema `json:"tables"`
 	Indexes    map[string]*indexSchema `json:"indexes"`
 	NextFileID uint16                  `json:"next_file_id"`
+	Stats      map[string]*tableStats  `json:"stats,omitempty"`
 }
 
 func newCatalog() *catalog {

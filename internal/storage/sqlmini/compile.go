@@ -1,0 +1,325 @@
+package sqlmini
+
+import "fmt"
+
+// Predicate compilation for the fused execution path. A fused scan unit
+// evaluates every member branch's residual predicate against every
+// visited row; walking the expression tree through evalExpr per row per
+// branch dominates query time on the paper's 9-branch search. Because a
+// unit executes with its arguments already bound, each branch's filter
+// and projection compile once per execution into a closure chain:
+// parameter references and constant subtrees (the search predicates'
+// `?V + 2ε`-style arithmetic) fold to values at compile time, column
+// references become direct row-slot reads, and the per-row cost reduces
+// to the comparisons themselves.
+//
+// Compilation is semantics-preserving by construction — every closure
+// mirrors the corresponding evalExpr case, including error behavior — so
+// fused results stay byte-identical to the interpreted branch-at-a-time
+// path, which TestFusedUnionIdentity and the property suite pin.
+
+// valFn evaluates a compiled expression against the current row.
+type valFn func(row []Value) (Value, error)
+
+// compileVal compiles e into a closure. The schema must already have
+// passed validateExpr; args are the statement arguments the closure is
+// specialized to.
+func compileVal(e expr, schema *tableSchema, args []Value) valFn {
+	// Row-independent subtrees evaluate once, now. This folds literal
+	// arithmetic and parameter references into plain values.
+	if isConst(e) {
+		v, err := evalExpr(e, &binding{args: args})
+		return func([]Value) (Value, error) { return v, err }
+	}
+	switch x := e.(type) {
+	case columnRef:
+		i := schema.colIndex(x.name)
+		if i < 0 {
+			err := fmt.Errorf("sqlmini: unknown column %s in table %s", x.name, schema.Name)
+			return func([]Value) (Value, error) { return Value{}, err }
+		}
+		return func(row []Value) (Value, error) { return row[i], nil }
+	case unary:
+		inner := compileVal(x.x, schema, args)
+		switch x.op {
+		case "-":
+			return func(row []Value) (Value, error) {
+				v, err := inner(row)
+				if err != nil {
+					return Value{}, err
+				}
+				switch v.T {
+				case IntType:
+					return Int(-v.I), nil
+				case RealType:
+					return Real(-v.R), nil
+				default:
+					return Value{}, fmt.Errorf("sqlmini: unary minus on TEXT")
+				}
+			}
+		case "NOT":
+			return func(row []Value) (Value, error) {
+				v, err := inner(row)
+				if err != nil {
+					return Value{}, err
+				}
+				return Bool(!v.IsTrue()), nil
+			}
+		}
+	case binExpr:
+		switch x.op {
+		case "AND":
+			l, r := compileVal(x.l, schema, args), compileVal(x.r, schema, args)
+			return func(row []Value) (Value, error) {
+				lv, err := l(row)
+				if err != nil {
+					return Value{}, err
+				}
+				if !lv.IsTrue() {
+					return Bool(false), nil
+				}
+				rv, err := r(row)
+				if err != nil {
+					return Value{}, err
+				}
+				return Bool(rv.IsTrue()), nil
+			}
+		case "OR":
+			l, r := compileVal(x.l, schema, args), compileVal(x.r, schema, args)
+			return func(row []Value) (Value, error) {
+				lv, err := l(row)
+				if err != nil {
+					return Value{}, err
+				}
+				if lv.IsTrue() {
+					return Bool(true), nil
+				}
+				rv, err := r(row)
+				if err != nil {
+					return Value{}, err
+				}
+				return Bool(rv.IsTrue()), nil
+			}
+		case "=", "!=", "<", "<=", ">", ">=":
+			l, r := compileVal(x.l, schema, args), compileVal(x.r, schema, args)
+			op := x.op
+			return func(row []Value) (Value, error) {
+				lv, err := l(row)
+				if err != nil {
+					return Value{}, err
+				}
+				rv, err := r(row)
+				if err != nil {
+					return Value{}, err
+				}
+				c, err := Compare(lv, rv)
+				if err != nil {
+					return Value{}, err
+				}
+				switch op {
+				case "=":
+					return Bool(c == 0), nil
+				case "!=":
+					return Bool(c != 0), nil
+				case "<":
+					return Bool(c < 0), nil
+				case "<=":
+					return Bool(c <= 0), nil
+				case ">":
+					return Bool(c > 0), nil
+				default:
+					return Bool(c >= 0), nil
+				}
+			}
+		case "+", "-", "*", "/":
+			l, r := compileVal(x.l, schema, args), compileVal(x.r, schema, args)
+			op := x.op
+			return func(row []Value) (Value, error) {
+				lv, err := l(row)
+				if err != nil {
+					return Value{}, err
+				}
+				rv, err := r(row)
+				if err != nil {
+					return Value{}, err
+				}
+				return arith(op, lv, rv)
+			}
+		}
+	}
+	// Anything unexpected (aggregates are rejected upstream) falls back to
+	// the interpreter, preserving its exact error.
+	b := &binding{schema: schema, args: args}
+	return func(row []Value) (Value, error) {
+		b.row = row
+		return evalExpr(e, b)
+	}
+}
+
+// boolFn evaluates a compiled boolean term against the current row.
+type boolFn func(row []Value) (bool, error)
+
+// compilePred compiles a predicate; nil input means "always true" and
+// compiles to nil for a cheap caller-side check. The top-level AND chain
+// flattens into a conjunct loop with the interpreter's left-to-right
+// short-circuit order.
+func compilePred(e expr, schema *tableSchema, args []Value) boolFn {
+	if e == nil {
+		return nil
+	}
+	conjs := splitConjuncts(e)
+	fns := make([]boolFn, len(conjs))
+	for i, c := range conjs {
+		fns[i] = compileBool(c, schema, args)
+	}
+	if len(fns) == 1 {
+		return fns[0]
+	}
+	return func(row []Value) (bool, error) {
+		for _, f := range fns {
+			ok, err := f(row)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	}
+}
+
+// compileBool compiles one boolean term. Comparisons of a column against
+// a row-independent operand — the shape of every search-predicate
+// conjunct — specialize to direct reads of the row slot with the operand
+// folded to a typed constant; everything else goes through compileVal.
+func compileBool(e expr, schema *tableSchema, args []Value) boolFn {
+	if isConst(e) {
+		v, err := evalExpr(e, &binding{args: args})
+		ok := err == nil && v.IsTrue()
+		return func([]Value) (bool, error) { return ok, err }
+	}
+	if x, ok := e.(binExpr); ok {
+		switch x.op {
+		case "=", "!=", "<", "<=", ">", ">=":
+			if f := compileCmp(x, schema, args); f != nil {
+				return f
+			}
+		}
+	}
+	f := compileVal(e, schema, args)
+	return func(row []Value) (bool, error) {
+		v, err := f(row)
+		if err != nil {
+			return false, err
+		}
+		return v.IsTrue(), nil
+	}
+}
+
+// opOK maps a comparison operator to its acceptance of cmp < 0, == 0, > 0.
+func opOK(op string) (lt, eq, gt bool) {
+	switch op {
+	case "=":
+		return false, true, false
+	case "!=":
+		return true, false, true
+	case "<":
+		return true, false, false
+	case "<=":
+		return true, true, false
+	case ">":
+		return false, false, true
+	default: // ">="
+		return false, true, true
+	}
+}
+
+// compileCmp specializes `col OP const` (either operand order), or
+// returns nil when the shape doesn't match. The constant folds now; the
+// per-row work is one slot read and one typed comparison, with the same
+// mixed INT/REAL widening and TEXT rules as Compare.
+func compileCmp(x binExpr, schema *tableSchema, args []Value) boolFn {
+	col, constSide := x.l, x.r
+	op := x.op
+	cr, ok := col.(columnRef)
+	if !ok || !isConst(constSide) {
+		cr, ok = constSide.(columnRef)
+		if !ok || !isConst(col) {
+			return nil
+		}
+		col, constSide = constSide, col
+		// Flip the operator: c OP col  ≡  col flip(OP) c.
+		switch op {
+		case "<":
+			op = ">"
+		case "<=":
+			op = ">="
+		case ">":
+			op = "<"
+		case ">=":
+			op = "<="
+		}
+	}
+	i := schema.colIndex(cr.name)
+	if i < 0 {
+		return nil
+	}
+	c, err := evalExpr(constSide, &binding{args: args})
+	if err != nil {
+		return func([]Value) (bool, error) { return false, err }
+	}
+	lt, eq, gt := opOK(op)
+	colType := schema.Cols[i].Type
+	switch {
+	case colType == TextType && c.T == TextType:
+		cs := c.S
+		return func(row []Value) (bool, error) {
+			s := row[i].S
+			if s < cs {
+				return lt, nil
+			}
+			if s > cs {
+				return gt, nil
+			}
+			return eq, nil
+		}
+	case colType == TextType || c.T == TextType:
+		// Mixed TEXT/numeric errors at evaluation time, like Compare.
+		cmpErr := fmt.Errorf("sqlmini: cannot compare %v with %v", colType, c.T)
+		return func([]Value) (bool, error) { return false, cmpErr }
+	case colType == IntType && c.T == IntType:
+		ci := c.I
+		return func(row []Value) (bool, error) {
+			v := row[i].I
+			if v < ci {
+				return lt, nil
+			}
+			if v > ci {
+				return gt, nil
+			}
+			return eq, nil
+		}
+	default:
+		cf, _ := c.AsReal()
+		if colType == IntType {
+			return func(row []Value) (bool, error) {
+				v := float64(row[i].I)
+				if v < cf {
+					return lt, nil
+				}
+				if v > cf {
+					return gt, nil
+				}
+				return eq, nil
+			}
+		}
+		return func(row []Value) (bool, error) {
+			v := row[i].R
+			if v < cf {
+				return lt, nil
+			}
+			if v > cf {
+				return gt, nil
+			}
+			return eq, nil
+		}
+	}
+}

@@ -35,6 +35,12 @@ type Options struct {
 	// table carries one index per parallelogram corner, so this is the
 	// write path's counterpart to UnionWorkers.
 	WriteWorkers int
+	// DisableFusion turns off the fused shared-scan union executor: every
+	// UNION branch runs its own index descent or heap pass, as before the
+	// fusion pass existed. Results are identical either way; the knob
+	// exists for A/B benchmarking (internal/bench compares both paths)
+	// and as an escape hatch.
+	DisableFusion bool
 	// FileFactory, when non-nil, opens every backing file of an on-disk
 	// database — heap tables, B+tree indexes, and the write-ahead log —
 	// in place of the default OS file. The crash harness injects
@@ -91,6 +97,9 @@ type DB struct {
 	log     *wal.Log                // nil in memory mode; set once at open
 	inBatch bool                    // guarded by mu
 	closed  bool                    // guarded by mu
+	// statsDirty marks planner statistics (catalog.Stats) changed since
+	// the last catalog save; the next commit persists them.
+	statsDirty bool // guarded by mu
 }
 
 // OpenMemory returns an in-memory database (no durability, no WAL).
@@ -523,14 +532,30 @@ func (db *DB) explain(s explainStmt, args []Value, mode PlanMode) (*Rows, error)
 		schema = db.catalog.Tables[inner.table]
 		where = inner.where
 	case unionStmt:
-		// Explain every branch on its own line.
+		// Explain the fused plan: one line per scan unit, with member
+		// branches of a fused unit indented beneath their shared scan.
+		units, err := db.buildUnionUnits(inner, args, mode)
+		if err != nil {
+			return nil, err
+		}
 		out := &Rows{Columns: []string{"plan"}}
-		for _, b := range inner.branches {
-			r, err := db.explain(explainStmt{inner: b}, args, mode)
-			if err != nil {
-				return nil, err
+		for _, u := range units {
+			if u.solo {
+				r, err := db.explain(explainStmt{inner: u.stmts[0]}, args, mode)
+				if err != nil {
+					return nil, err
+				}
+				out.Data = append(out.Data, r.Data...)
+				continue
 			}
-			out.Data = append(out.Data, r.Data...)
+			if len(u.idxs) == 1 {
+				out.Data = append(out.Data, []Value{Text(u.plans[0].explain())})
+				continue
+			}
+			out.Data = append(out.Data, []Value{Text(u.explainHeader())})
+			for j := range u.idxs {
+				out.Data = append(out.Data, []Value{Text(fmt.Sprintf("  BRANCH %d: %s", u.idxs[j], u.plans[j].explain()))})
+			}
 		}
 		return out, nil
 	case deleteStmt:
@@ -545,7 +570,7 @@ func (db *DB) explain(s explainStmt, args []Value, mode PlanMode) (*Rows, error)
 			return nil, err
 		}
 	}
-	p, err := buildPlan(db.catalog, schema, where, args, mode)
+	p, err := buildPlan(db, schema, where, args, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -720,6 +745,14 @@ func (db *DB) AbortBatch() error {
 		}
 		ih.tree = tr
 	}
+	// Planner statistics for the aborted rows were folded in eagerly;
+	// restore the last persisted snapshot so estimates match the data.
+	cat, err := loadCatalog(db.dir)
+	if err != nil {
+		return err
+	}
+	db.catalog.Stats = cat.Stats
+	db.statsDirty = false
 	return nil
 }
 
@@ -740,6 +773,15 @@ func (db *DB) maybeCommit() error {
 //
 // locks: db.mu
 func (db *DB) commitLocked() error {
+	// Persist planner statistics alongside the commit. The catalog write
+	// is atomic (write + rename) and advisory: statistics that are ahead
+	// of or behind the replayed data after a crash only skew estimates.
+	if db.statsDirty {
+		db.statsDirty = false
+		if err := db.saveCatalog(); err != nil {
+			return err
+		}
+	}
 	if db.log == nil {
 		return nil
 	}

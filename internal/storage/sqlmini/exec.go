@@ -4,8 +4,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
-	"strings"
 	"sync"
 
 	"segdiff/internal/storage/btree"
@@ -180,7 +180,7 @@ func (db *DB) execSelect(st selectStmt, args []Value, mode PlanMode) (*Rows, err
 			aggMode = true
 		}
 	}
-	plan, err := buildPlan(db.catalog, schema, st.where, args, mode)
+	plan, err := buildPlan(db, schema, st.where, args, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -449,7 +449,18 @@ func (db *DB) insertRow(schema *tableSchema, vals []Value) error {
 			return fmt.Errorf("sqlmini: index %s: %w", ix.Name, err)
 		}
 	}
+	oneRow := [1][]Value{vals}
+	db.noteInserted(schema, oneRow[:])
 	return nil
+}
+
+// noteInserted folds freshly written rows into the planner statistics and
+// marks them for persistence at the next commit.
+//
+// locks: db.mu
+func (db *DB) noteInserted(schema *tableSchema, rows [][]Value) {
+	db.catalog.noteInsert(schema, rows)
+	db.statsDirty = true
 }
 
 // insertRows writes many typed rows at once: one heap batch under a single
@@ -478,6 +489,10 @@ func (db *DB) insertRows(schema *tableSchema, rows [][]Value) error {
 	if err != nil {
 		return err
 	}
+	// The rows are in the heap; account for them now. If an index apply
+	// below fails, the caller aborts the batch, which restores the
+	// statistics from the last persisted catalog.
+	db.noteInserted(schema, rows)
 	idxs := db.catalog.indexesOn(schema.Name)
 	if len(idxs) == 0 {
 		return nil
@@ -556,7 +571,7 @@ func (db *DB) execDelete(st deleteStmt, args []Value, mode PlanMode) (int, error
 			return 0, err
 		}
 	}
-	plan, err := buildPlan(db.catalog, schema, st.where, args, mode)
+	plan, err := buildPlan(db, schema, st.where, args, mode)
 	if err != nil {
 		return 0, err
 	}
@@ -588,38 +603,61 @@ func (db *DB) execDelete(st deleteStmt, args []Value, mode PlanMode) (int, error
 			}
 		}
 	}
+	if len(victims) > 0 {
+		db.catalog.noteDelete(schema.Name, len(victims))
+		db.statsDirty = true
+	}
 	return len(victims), nil
 }
 
-// execUnion runs each branch and merges the results with set semantics
-// (duplicate rows removed), as the paper's search requires: "the union of
-// the results of two point queries and one line query".
+// execUnion runs the UNION's scan units and merges the results with set
+// semantics (duplicate rows removed), as the paper's search requires:
+// "the union of the results of two point queries and one line query".
 //
-// Branches are independent read-only scans, so they are evaluated on a
-// bounded worker pool (Options.UnionWorkers goroutines; the caller already
-// holds db.mu shared). The merge happens afterwards in branch order, so
-// the result is byte-identical to sequential evaluation.
+// The fusion pass (fuse.go) groups branches that target the same
+// (table, index) into shared scan units, so a search that used to run ten
+// index descents runs six or fewer. Units are independent read-only
+// scans writing to disjoint branch slots, so they are evaluated on a
+// bounded worker pool (Options.UnionWorkers goroutines; the caller
+// already holds db.mu shared). The merge happens afterwards in branch
+// order, so the result is byte-identical to sequential branch-at-a-time
+// evaluation.
 //
 // locks: db.mu (shared)
 func (db *DB) execUnion(st unionStmt, args []Value, mode PlanMode) (*Rows, error) {
 	branchRows := make([]*Rows, len(st.branches))
-	workers := db.opts.UnionWorkers
-	if workers > len(st.branches) {
-		workers = len(st.branches)
+	units, err := db.buildUnionUnits(st, args, mode)
+	if err != nil {
+		return nil, err
 	}
-	if workers <= 1 {
-		for i, b := range st.branches {
+
+	runUnit := func(u *scanUnit) error {
+		if u.solo {
 			// Placeholder indices are assigned left to right across the
 			// whole statement, so every branch evaluates against the full
 			// args.
-			rows, err := db.execSelect(b, args, mode)
+			rows, err := db.execSelect(u.stmts[0], args, mode)
 			if err != nil {
+				return err
+			}
+			branchRows[u.idxs[0]] = rows
+			return nil
+		}
+		return db.execFusedUnit(u, args, branchRows)
+	}
+
+	workers := db.opts.UnionWorkers
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers <= 1 {
+		for _, u := range units {
+			if err := runUnit(u); err != nil {
 				return nil, err
 			}
-			branchRows[i] = rows
 		}
 	} else {
-		errs := make([]error, len(st.branches))
+		errs := make([]error, len(units))
 		jobs := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -627,11 +665,11 @@ func (db *DB) execUnion(st unionStmt, args []Value, mode PlanMode) (*Rows, error
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					branchRows[i], errs[i] = db.execSelect(st.branches[i], args, mode)
+					errs[i] = runUnit(units[i])
 				}
 			}()
 		}
-		for i := range st.branches {
+		for i := range units {
 			jobs <- i
 		}
 		close(jobs)
@@ -642,9 +680,23 @@ func (db *DB) execUnion(st unionStmt, args []Value, mode PlanMode) (*Rows, error
 			}
 		}
 	}
+	return mergeUnion(branchRows)
+}
 
+// mergeUnion concatenates branch results in branch order, removing
+// duplicates. The dedup key is an encoded byte string built in a reused
+// buffer; the map lookup on a []byte-to-string conversion does not
+// allocate, so only the first occurrence of each distinct row pays for a
+// key allocation (the old implementation built a fresh string key per
+// row via fmt-style formatting).
+func mergeUnion(branchRows []*Rows) (*Rows, error) {
 	out := &Rows{}
-	seen := map[string]bool{}
+	total := 0
+	for _, r := range branchRows {
+		total += r.Len()
+	}
+	seen := make(map[string]struct{}, total)
+	var keyBuf []byte
 	for i, rows := range branchRows {
 		if i == 0 {
 			out.Columns = rows.Columns
@@ -653,23 +705,36 @@ func (db *DB) execUnion(st unionStmt, args []Value, mode PlanMode) (*Rows, error
 				len(out.Columns), len(rows.Columns))
 		}
 		for _, row := range rows.Data {
-			key := rowKey(row)
-			if !seen[key] {
-				seen[key] = true
-				out.Data = append(out.Data, row)
+			keyBuf = appendRowKey(keyBuf[:0], row)
+			if _, dup := seen[string(keyBuf)]; dup {
+				continue
 			}
+			seen[string(keyBuf)] = struct{}{}
+			out.Data = append(out.Data, row)
 		}
 	}
 	return out, nil
 }
 
-// rowKey builds a deduplication key for UNION set semantics.
-func rowKey(row []Value) string {
-	var sb strings.Builder
+// appendRowKey appends a row's deduplication key: a type tag per value
+// followed by its fixed-width binary encoding (length-prefixed bytes for
+// TEXT). Values compare equal under UNION semantics iff their keys match.
+func appendRowKey(dst []byte, row []Value) []byte {
+	var b [8]byte
 	for _, v := range row {
-		sb.WriteByte(byte(v.T))
-		sb.WriteString(v.String())
-		sb.WriteByte(0)
+		dst = append(dst, byte(v.T))
+		switch v.T {
+		case IntType:
+			binary.LittleEndian.PutUint64(b[:], uint64(v.I))
+			dst = append(dst, b[:]...)
+		case RealType:
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.R))
+			dst = append(dst, b[:]...)
+		default:
+			binary.LittleEndian.PutUint32(b[:4], uint32(len(v.S)))
+			dst = append(dst, b[:4]...)
+			dst = append(dst, v.S...)
+		}
 	}
-	return sb.String()
+	return dst
 }

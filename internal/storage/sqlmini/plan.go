@@ -36,8 +36,23 @@ type scanPlan struct {
 	// the search workload most scanned entries fail the value predicate,
 	// so this avoids the dominant per-row cost.
 	keyFilter expr
-	empty     bool   // statically impossible predicate (e.g. int col = 1.5)
-	detail    string // human-readable bound description for EXPLAIN
+	empty     bool          // statically impossible predicate (e.g. int col = 1.5)
+	detail    string        // human-readable bound description for EXPLAIN
+	est       *planEstimate // statistics-based estimates; nil without stats
+}
+
+// planEstimate is the statistics-based costing of one access path,
+// computed from the catalog's table statistics (stats.go) when available.
+type planEstimate struct {
+	rows    int64   // table row count at plan time
+	scanSel float64 // est. fraction of entries/rows visited by the scan
+	outSel  float64 // est. fraction of rows passing all estimable conjuncts
+	cost    float64 // abstract page-oriented cost
+}
+
+func (e *planEstimate) String() string {
+	return fmt.Sprintf("EST sel=%.4f rows~%d cost=%.1f",
+		e.scanSel, int64(e.outSel*float64(e.rows)+0.5), e.cost)
 }
 
 func (p *scanPlan) explain() string {
@@ -52,19 +67,71 @@ func (p *scanPlan) explain() string {
 	if p.filter != nil {
 		fmt.Fprintf(&sb, " FILTER %s", p.filter.String())
 	}
+	if p.est != nil && !p.empty {
+		sb.WriteByte(' ')
+		sb.WriteString(p.est.String())
+	}
 	return sb.String()
 }
 
+// Cost model constants. Costs are in abstract page units: a sequential
+// page read costs 1, visiting one row or index entry costs cpuPerRow, a
+// heap fetch through the index costs heapFetchCost (cheaper than a random
+// page read because consecutive matches cluster), and an index descent
+// costs descentCost. The absolute values only matter relative to each
+// other; they were calibrated on the search workload so the seq/index
+// crossover tracks the paper's Figures 17–24.
+const (
+	cpuPerRow     = 0.01
+	heapFetchCost = 0.5
+	descentCost   = 3.0
+)
+
 // buildPlan selects the access path for (table, where) under mode. The
 // statement arguments are available, so placeholder bounds participate in
-// planning (plans are built per execution).
-func buildPlan(c *catalog, schema *tableSchema, where expr, args []Value, mode PlanMode) (*scanPlan, error) {
+// planning (plans are built per execution). When the catalog carries
+// statistics for the table, PlanAuto costs the sequential scan against the
+// best index scan and picks the cheaper one; without statistics it falls
+// back to the structural heuristic (use an index whenever a range bound
+// exists).
+//
+// locks: db.mu (any)
+func buildPlan(db *DB, schema *tableSchema, where expr, args []Value, mode PlanMode) (*scanPlan, error) {
+	c := db.catalog
 	plan := &scanPlan{schema: schema, filter: where}
-	if mode == PlanForceScan {
-		return plan, nil
-	}
 	conjs := splitConjuncts(where)
 	b := &binding{args: args}
+
+	ts := c.Stats[schema.Name]
+	var tableRows int64
+	var heapPages float64
+	if th := db.tables[schema.Name]; th != nil {
+		tableRows = int64(th.h.Len())
+		heapPages = float64(th.pg.NumPages())
+	}
+	ranges, err := conjunctRanges(schema, conjs, b)
+	if err != nil {
+		return nil, err
+	}
+	// outSel: product of per-column histogram selectivities over every
+	// estimable conjunct (independence assumed).
+	outSel := combinedSel(ts, ranges, nil)
+
+	seqEst := func() *planEstimate {
+		if ts == nil || tableRows == 0 {
+			return nil
+		}
+		return &planEstimate{
+			rows:    tableRows,
+			scanSel: 1,
+			outSel:  outSel,
+			cost:    heapPages + cpuPerRow*float64(tableRows),
+		}
+	}
+	if mode == PlanForceScan {
+		plan.est = seqEst()
+		return plan, nil
+	}
 
 	type cand struct {
 		ix     *indexSchema
@@ -72,6 +139,30 @@ func buildPlan(c *catalog, schema *tableSchema, where expr, args []Value, mode P
 		score  int
 		empty  bool
 		detail string
+		est    *planEstimate
+	}
+	mkEst := func(ix *indexSchema, m matched) *planEstimate {
+		if ts == nil || tableRows == 0 {
+			return nil
+		}
+		scanSel := boundSel(ts, m.selCols)
+		if scanSel < 0 {
+			return nil
+		}
+		// Heap fetches: entries surviving the covered-conjunct prefilter.
+		fetchSel := combinedSel(ts, ranges, ix)
+		idxPages := float64(0)
+		if ih := db.indexes[ix.Name]; ih != nil {
+			idxPages = float64(ih.pg.NumPages())
+		}
+		return &planEstimate{
+			rows:    tableRows,
+			scanSel: scanSel,
+			outSel:  outSel,
+			cost: descentCost + scanSel*idxPages +
+				cpuPerRow*scanSel*float64(tableRows) +
+				heapFetchCost*fetchSel*float64(tableRows),
+		}
 	}
 	var best *cand
 	for _, ix := range c.indexesOn(schema.Name) {
@@ -80,7 +171,14 @@ func buildPlan(c *catalog, schema *tableSchema, where expr, args []Value, mode P
 			return nil, err
 		}
 		c := cand{ix: ix, lo: cd.lo, hi: cd.hi, score: cd.score, empty: cd.empty, detail: cd.detail}
-		if best == nil || c.score > best.score {
+		if !c.empty {
+			c.est = mkEst(ix, cd)
+		}
+		better := best == nil || c.score > best.score
+		if !better && best != nil && c.score == best.score && c.est != nil && best.est != nil {
+			better = c.est.cost < best.est.cost
+		}
+		if better {
 			best = &c
 		}
 	}
@@ -91,6 +189,13 @@ func buildPlan(c *catalog, schema *tableSchema, where expr, args []Value, mode P
 		}
 	default: // PlanAuto
 		if best == nil || best.score == 0 {
+			plan.est = seqEst()
+			return plan, nil
+		}
+		// Statistics-driven crossover: with estimates on both sides, pick
+		// the cheaper path instead of always preferring the index.
+		if se := seqEst(); se != nil && best.est != nil && !best.empty && se.cost < best.est.cost {
+			plan.est = se
 			return plan, nil
 		}
 	}
@@ -98,10 +203,126 @@ func buildPlan(c *catalog, schema *tableSchema, where expr, args []Value, mode P
 	plan.lo, plan.hi = best.lo, best.hi
 	plan.empty = best.empty
 	plan.detail = best.detail
+	plan.est = best.est
 	if !plan.empty {
 		plan.keyFilter = coveredFilter(conjs, best.ix)
 	}
 	return plan, nil
+}
+
+// colRange is the numeric range a set of conjuncts pins one column to.
+type colRange struct {
+	col    string
+	lo, hi float64 // ±Inf = open end
+}
+
+// conjunctRanges extracts, per referenced column, the intersected numeric
+// range implied by the simple comparison conjuncts (col OP const). Only
+// estimable conjuncts contribute; anything else (the line-query slope
+// expression, TEXT comparisons) is ignored.
+func conjunctRanges(schema *tableSchema, conjs []expr, b *binding) ([]colRange, error) {
+	byCol := map[string]int{}
+	var out []colRange
+	for _, cj := range conjs {
+		bx, ok := cj.(binExpr)
+		if !ok {
+			continue
+		}
+		var col, op string
+		var rhs expr
+		switch {
+		case isColConst(bx.l, bx.r):
+			col, op, rhs = bx.l.(columnRef).name, bx.op, bx.r
+		case isColConst(bx.r, bx.l):
+			col, op, rhs = bx.r.(columnRef).name, flipOp(bx.op), bx.l
+		default:
+			continue
+		}
+		switch op {
+		case "=", "<", "<=", ">", ">=":
+		default:
+			continue
+		}
+		v, err := evalExpr(rhs, b)
+		if err != nil {
+			return nil, err
+		}
+		f, err := v.AsReal()
+		if err != nil {
+			continue // TEXT comparison: not estimable
+		}
+		i, ok := byCol[col]
+		if !ok {
+			i = len(out)
+			byCol[col] = i
+			out = append(out, colRange{col: col, lo: math.Inf(-1), hi: math.Inf(1)})
+		}
+		switch op {
+		case "=":
+			out[i].lo = math.Max(out[i].lo, f)
+			out[i].hi = math.Min(out[i].hi, f)
+		case "<", "<=":
+			out[i].hi = math.Min(out[i].hi, f)
+		default:
+			out[i].lo = math.Max(out[i].lo, f)
+		}
+	}
+	_ = schema
+	return out, nil
+}
+
+func isColConst(l, r expr) bool {
+	_, isCol := l.(columnRef)
+	return isCol && isConst(r)
+}
+
+// combinedSel multiplies the histogram selectivities of the given column
+// ranges. When onlyIx is non-nil, only columns covered by that index
+// contribute (the heap-fetch prefilter estimate); columns without
+// statistics contribute factor 1 (conservative).
+func combinedSel(ts *tableStats, ranges []colRange, onlyIx *indexSchema) float64 {
+	sel := 1.0
+	for _, r := range ranges {
+		if onlyIx != nil {
+			covered := false
+			for _, c := range onlyIx.Cols {
+				if c == r.col {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				continue
+			}
+		}
+		if s := ts.colSel(r.col, r.lo, r.hi); s >= 0 {
+			sel *= s
+		}
+	}
+	return sel
+}
+
+// boundSel estimates the fraction of index entries inside the scan bounds
+// from the histograms of the bound columns, or -1 when the decisive
+// column has no statistics.
+func boundSel(ts *tableStats, specs []colRange) float64 {
+	if len(specs) == 0 {
+		return 1 // whole-index scan
+	}
+	sel := 1.0
+	known := false
+	for _, sp := range specs {
+		s := ts.colSel(sp.col, sp.lo, sp.hi)
+		if s < 0 {
+			continue
+		}
+		known = true
+		sel *= s
+	}
+	if !known {
+		return -1
+	}
+	return sel
 }
 
 // coveredFilter returns the AND of the conjuncts whose column references
@@ -143,6 +364,30 @@ type matched struct {
 	score  int
 	empty  bool
 	detail string
+	// selCols are the numeric ranges the scan bounds pin index columns to,
+	// used for histogram-based selectivity estimation of the scan itself.
+	selCols []colRange
+}
+
+// noteSelCol appends a selectivity range for one bound column when the
+// bound value is numeric (TEXT bounds are not estimable).
+func (m *matched) noteSelCol(col string, lo, hi Value, loSet, hiSet bool) {
+	r := colRange{col: col, lo: math.Inf(-1), hi: math.Inf(1)}
+	if loSet {
+		if f, err := lo.AsReal(); err == nil {
+			r.lo = f
+		} else {
+			return
+		}
+	}
+	if hiSet {
+		if f, err := hi.AsReal(); err == nil {
+			r.hi = f
+		} else {
+			return
+		}
+	}
+	m.selCols = append(m.selCols, r)
 }
 
 // matchIndex derives scan bounds for one index: a run of equality
@@ -201,6 +446,7 @@ func matchIndex(schema *tableSchema, ix *indexSchema, conjs []expr, b *binding) 
 			}
 			eqVals = append(eqVals, kv)
 			m.score += 2
+			m.noteSelCol(colName, eq.v, eq.v, true, true)
 			details = append(details, fmt.Sprintf("%s=%s", colName, eq.v))
 			continue
 		}
@@ -228,6 +474,9 @@ func matchIndex(schema *tableSchema, ix *indexSchema, conjs []expr, b *binding) 
 			m.hi = append(append([]byte{}, prefix...), kv...)
 			m.score++
 			details = append(details, fmt.Sprintf("%s<~%s", colName, hi.v))
+		}
+		if lo.set || hi.set {
+			m.noteSelCol(colName, lo.v, hi.v, lo.set, hi.set)
 		}
 		_ = pos
 		m.detail = "BOUNDS(" + strings.Join(details, ", ") + ")"

@@ -3,11 +3,14 @@ package segdiff
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
+	"segdiff/internal/core"
 	"segdiff/internal/crashtest"
 	"segdiff/internal/feature"
+	"segdiff/internal/storage/sqlmini"
 	"segdiff/internal/synth"
 )
 
@@ -99,6 +102,96 @@ func TestPropertyDifferentialOracle(t *testing.T) {
 				if err := crashtest.VerifyTheorem1(
 					series, feature.Jump, T, mag, periods(jumps), maxSlope, eps); err != nil {
 					t.Fatalf("query %d: jumps(T=%d, V=%.3f): %v", q, T, mag, err)
+				}
+			}
+		})
+	}
+}
+
+// TestPropertyFusedScanIdentity is the property-based identity test for
+// the fused shared-scan execution path: the same randomized workload and
+// queries, answered by every engine configuration the planner can take —
+// fusion on/off × every PlanMode × union pool sizes 1 and GOMAXPROCS —
+// must produce identical matches. Fusion is a pure execution-strategy
+// change; any divergence here is a correctness bug, so the reference
+// configuration is the unfused branch-at-a-time path.
+func TestPropertyFusedScanIdentity(t *testing.T) {
+	nSeries, nQueries := 6, 5
+	if testing.Short() {
+		nSeries, nQueries = 2, 3
+	}
+	for i := 0; i < nSeries; i++ {
+		seed := int64(900 + i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			eps := 0.05 + rng.Float64()*0.55
+			w := time.Duration(1+rng.Intn(4)) * time.Hour
+			series, _, err := synth.Generate(synth.Config{
+				Seed:       seed,
+				Duration:   43200,
+				CADPerWeek: 20 + rng.Float64()*30,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			type config struct {
+				name string
+				opts core.Options
+			}
+			base := core.Options{Epsilon: eps, Window: int64(w / time.Second)}
+			configs := []config{
+				{"branch-serial", base}, {"branch-pool", base},
+				{"fused-serial", base}, {"fused-pool", base},
+			}
+			configs[0].opts.DB = sqlmini.Options{DisableFusion: true, UnionWorkers: 1}
+			configs[1].opts.DB = sqlmini.Options{DisableFusion: true}
+			configs[2].opts.DB = sqlmini.Options{UnionWorkers: 1}
+			configs[3].opts.DB = sqlmini.Options{}
+
+			stores := make([]*core.Store, len(configs))
+			for ci, c := range configs {
+				st, err := core.OpenMemory(c.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer st.Close()
+				if err := st.AppendSeries(series); err != nil {
+					t.Fatal(err)
+				}
+				if err := st.Finish(); err != nil {
+					t.Fatal(err)
+				}
+				stores[ci] = st
+			}
+
+			wSec := int64(w / time.Second)
+			modes := []sqlmini.PlanMode{sqlmini.PlanAuto, sqlmini.PlanForceScan, sqlmini.PlanForceIndex}
+			for q := 0; q < nQueries; q++ {
+				T := 600 + rng.Int63n(wSec-599)
+				mag := 1 + rng.Float64()*5
+				for _, kind := range []feature.Kind{feature.Drop, feature.Jump} {
+					V := mag
+					if kind == feature.Drop {
+						V = -mag
+					}
+					for _, mode := range modes {
+						ref, err := stores[0].SearchMode(kind, T, V, mode)
+						if err != nil {
+							t.Fatalf("%s %v T=%d V=%.3f mode=%v: %v", configs[0].name, kind, T, V, mode, err)
+						}
+						for ci := 1; ci < len(stores); ci++ {
+							got, err := stores[ci].SearchMode(kind, T, V, mode)
+							if err != nil {
+								t.Fatalf("%s %v T=%d V=%.3f mode=%v: %v", configs[ci].name, kind, T, V, mode, err)
+							}
+							if !reflect.DeepEqual(ref, got) {
+								t.Errorf("%v T=%d V=%.3f mode=%v: %s returned %d matches, %s returned %d\nref: %v\ngot: %v",
+									kind, T, V, mode, configs[0].name, len(ref), configs[ci].name, len(got), ref, got)
+							}
+						}
+					}
 				}
 			}
 		})
