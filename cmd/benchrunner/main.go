@@ -35,6 +35,8 @@ func main() {
 		perf    = flag.String("perf", "", "run only the sequential-vs-parallel read-path comparison and write JSON to this file")
 		iters   = flag.Int("perf-iters", 20, "queries per client in the -perf comparison")
 		smoke   = flag.Bool("fusion-smoke", false, "run only the fused-vs-branch comparison; exit nonzero unless results are identical and fusion is not slower")
+		ccSmoke = flag.Bool("coldcache-smoke", false, "run only the cold-cache comparison; exit nonzero unless results are identical and readahead+zone maps are not slower")
+		ccRA    = flag.Int("coldcache-readahead", 16, "readahead depth for the cold-cache comparison")
 
 		// Cross-commit go test -bench numbers (ms/op) to embed in the -perf
 		// report; the single-lock baseline cannot be linked into this build,
@@ -61,6 +63,11 @@ func main() {
 		return
 	}
 
+	if *ccSmoke {
+		runColdCacheSmoke(cfg, *iters, *ccRA)
+		return
+	}
+
 	if *perf != "" {
 		var gb *bench.GoBench
 		if *benchBaseParallel > 0 && *benchCurParallel > 0 {
@@ -73,7 +80,7 @@ func main() {
 				ParallelSpeedup:    *benchBaseParallel / *benchCurParallel,
 			}
 		}
-		runPerf(cfg, *perf, *iters, gb)
+		runPerf(cfg, *perf, *iters, *ccRA, gb)
 		return
 	}
 
@@ -201,7 +208,7 @@ func main() {
 // runPerf runs the sequential-vs-parallel read-path comparison plus the
 // row-at-a-time-vs-batched durable-ingest comparison and writes the
 // report as indented JSON (the BENCH_PR1.json / BENCH_PR2.json artifacts).
-func runPerf(cfg bench.Config, path string, iters int, gb *bench.GoBench) {
+func runPerf(cfg bench.Config, path string, iters, readAhead int, gb *bench.GoBench) {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "running read-path perf comparison (%d iters/client, GOMAXPROCS=%d)...",
 		iters, runtime.GOMAXPROCS(0))
@@ -230,6 +237,15 @@ func runPerf(cfg bench.Config, path string, iters int, gb *bench.GoBench) {
 	start = time.Now()
 	fmt.Fprintf(os.Stderr, "running fused-vs-branch comparison...")
 	rep.Fusion, err = bench.RunFusionPerf(cfg, iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr)
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, " done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	fmt.Fprintf(os.Stderr, "running cold-cache comparison...")
+	rep.ColdCache, err = bench.RunColdCachePerf(cfg, dir, iters, readAhead)
 	if err != nil {
 		fmt.Fprintln(os.Stderr)
 		fatal(err)
@@ -268,6 +284,18 @@ func runPerf(cfg bench.Config, path string, iters int, gb *bench.GoBench) {
 		}
 		fmt.Fprintf(os.Stderr, "  fusion speedup %.2fx, results identical: %v\n", fu.Speedup, fu.Identical)
 	}
+	if cc := rep.ColdCache; cc != nil {
+		printColdCache(cc)
+	}
+}
+
+// printColdCache renders the cold-cache comparison for stderr.
+func printColdCache(cc *bench.ColdCacheReport) {
+	for _, sc := range []bench.ColdScenario{cc.Baseline, cc.Tuned} {
+		fmt.Fprintf(os.Stderr, "  cold %-18s %d trials  %.1f queries/s  %d pages read (%d prefetched, %d hits, %d wasted), %d zone-skipped\n",
+			sc.Name, sc.Trials, sc.Throughput, sc.PagesRead, sc.PrefetchReads, sc.PrefetchHits, sc.PrefetchWasted, sc.ZoneSkipped)
+	}
+	fmt.Fprintf(os.Stderr, "  cold-cache speedup %.2fx, results identical: %v\n", cc.Speedup, cc.Identical)
 }
 
 // runFusionSmoke is the CI gate: fused and branch-at-a-time execution must
@@ -289,6 +317,32 @@ func runFusionSmoke(cfg bench.Config, iters int) {
 	}
 	if rep.Speedup < 1.0 {
 		fatal(fmt.Errorf("fusion smoke: fused path is slower than branch-at-a-time (%.2fx)", rep.Speedup))
+	}
+}
+
+// runColdCacheSmoke is the CI gate for the buffer-pool I/O work: zone-map
+// pruning plus readahead must return matches identical to demand paging
+// (forced scan and index path both) and must not be slower cold.
+func runColdCacheSmoke(cfg bench.Config, iters, readAhead int) {
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "running cold-cache smoke (%d trials, readahead %d)...", iters, readAhead)
+	dir, err := os.MkdirTemp("", "segdiff-coldcache-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	rep, err := bench.RunColdCachePerf(cfg, dir, iters, readAhead)
+	if err != nil {
+		fmt.Fprintln(os.Stderr)
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, " done in %v\n", time.Since(start).Round(time.Millisecond))
+	printColdCache(rep)
+	if !rep.Identical {
+		fatal(fmt.Errorf("cold-cache smoke: pruned and demand-paging results differ"))
+	}
+	if rep.Speedup < 1.0 {
+		fatal(fmt.Errorf("cold-cache smoke: readahead+zone maps slower than demand paging (%.2fx)", rep.Speedup))
 	}
 }
 

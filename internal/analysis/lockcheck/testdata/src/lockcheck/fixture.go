@@ -101,3 +101,62 @@ func (e *Engine) flush() {
 func (e *Engine) estimate(k string) int {
 	return e.stats[k] // want `estimate accesses Engine.stats \(guarded by Engine.mu\) without acquiring`
 }
+
+// bucket mirrors pager.shard: one lock stripe of a sharded pool, with its
+// own mutex guarding its own frame map and clock state.
+type bucket struct {
+	mu     sync.RWMutex
+	frames map[uint32]int // guarded by mu
+	hand   int            // guarded by mu
+}
+
+// pool is the sharded owner; the slice itself is immutable after
+// construction, so only the per-bucket state is guarded.
+type pool struct {
+	buckets []bucket
+}
+
+// advance is a per-stripe helper relying on the caller's latch, the shape
+// of the pager's makeRoom/insertFrame/removeFrame helpers.
+//
+// locks: b.mu
+func (b *bucket) advance() int {
+	b.hand = (b.hand + 1) % len(b.frames)
+	return b.hand
+}
+
+// peek reads stripe state under either latch mode.
+//
+// locks: b.mu (any)
+func peek(b *bucket, id uint32) int {
+	return b.frames[id]
+}
+
+// lookup takes its own shared latch on one stripe: fine.
+func (p *pool) lookup(id uint32) int {
+	b := &p.buckets[id%uint32(len(p.buckets))]
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.frames[id]
+}
+
+// sweep is the lockAll shape: an ordered all-stripe latch acquired
+// through an index expression, covering every stripe's guarded fields.
+func (p *pool) sweep() int {
+	n := 0
+	for i := range p.buckets {
+		p.buckets[i].mu.Lock()
+	}
+	for i := range p.buckets {
+		n += len(p.buckets[i].frames)
+	}
+	for i := range p.buckets {
+		p.buckets[i].mu.Unlock()
+	}
+	return n
+}
+
+// steal touches a stripe's clock hand with no latch and no annotation.
+func (p *pool) steal(i int) int {
+	return p.buckets[i].hand // want `steal accesses bucket.hand \(guarded by bucket.mu\) without acquiring`
+}

@@ -1,0 +1,245 @@
+package bench
+
+// Cold-cache comparison for the buffer-pool work: the same region-
+// restricted drop search against one on-disk store running the PR 6 I/O
+// configuration (demand paging, no zone maps) and one with scan readahead
+// and zone-map page pruning on. Every trial starts from a dropped buffer
+// pool — the paper's Sections 6.1–6.3 flush the cache before each query —
+// so the comparison measures exactly what the new I/O layer buys: pages
+// never read (zone maps) and pages read before they are demanded
+// (readahead).
+//
+// The workload is the monitoring shape of the paper's Section 6.4 query
+// regions: the point-query half of the drop search restricted to a recent
+// time window ("which drops of at least V within T happened yesterday?").
+// Features are ingested in arrival order, so the td column is monotone
+// across heap pages and the region predicate gives zone maps real
+// leverage; the full-history search union stays covered by the fusion
+// smoke and the perf report's warm scenarios. Both stores must return
+// identical rows under forced scan, and the pruned store must agree with
+// its own index path, or pruning is rejecting live rows.
+// cmd/benchrunner -perf embeds the report in BENCH_PR7.json;
+// -coldcache-smoke is the CI gate.
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"time"
+
+	"segdiff/internal/core"
+	"segdiff/internal/feature"
+	"segdiff/internal/storage/sqlmini"
+	"segdiff/internal/timeseries"
+)
+
+// coldRegionSeconds is the time-region width of the benchmark query: one
+// day out of the multi-week ingest.
+const coldRegionSeconds = 86400
+
+// coldDaysFactor scales the cold-cache ingest relative to cfg.Days so the
+// region covers a small fraction of the heap even in -short CI runs.
+const coldDaysFactor = 6
+
+// ColdScenario is one measured cold-cache configuration.
+type ColdScenario struct {
+	Name           string  `json:"name"`
+	Trials         int     `json:"trials"`
+	WallMS         float64 `json:"wall_ms"` // query time only, cache drops excluded
+	Throughput     float64 `json:"throughput_qps"`
+	PagesRead      uint64  `json:"pages_read"` // demand + prefetch file reads
+	PrefetchReads  uint64  `json:"prefetch_reads"`
+	PrefetchHits   uint64  `json:"prefetch_hits"`
+	PrefetchWasted uint64  `json:"prefetch_wasted"`
+	ZoneSkipped    uint64  `json:"zone_skipped_pages"`
+	Rows           int     `json:"rows"`
+}
+
+// ColdCacheReport is the baseline-vs-tuned cold-scan comparison.
+type ColdCacheReport struct {
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Days          int64   `json:"days"`
+	QueryT        int64   `json:"query_t_seconds"`
+	QueryV        float64 `json:"query_v"`
+	RegionSeconds int64   `json:"region_seconds"`
+	ReadAhead     int     `json:"readahead"`
+	// Baseline is the PR 6 configuration: demand paging only, no pruning.
+	Baseline ColdScenario `json:"baseline"`
+	// Tuned adds scan readahead and zone-map pruning.
+	Tuned ColdScenario `json:"tuned"`
+	// Speedup is tuned over baseline cold-scan throughput.
+	Speedup   float64 `json:"throughput_speedup"`
+	Identical bool    `json:"results_identical"`
+}
+
+// coldRegionSQL is the region-restricted drop search: one point-query
+// branch per stored corner across the three corner-count tables, each
+// bounded to the [t0, t1) drop-start window. Plain SELECTs throughout, so
+// the engine fuses the branches that share a table into one scan.
+func coldRegionSQL() string {
+	var parts []string
+	for nc := 1; nc <= 3; nc++ {
+		for i := 1; i <= nc; i++ {
+			parts = append(parts, fmt.Sprintf(
+				"SELECT td, tc, tb, ta FROM dropf%d WHERE td >= ? AND td < ? AND dt%d <= ? AND dv%d <= ?",
+				nc, i, i))
+		}
+	}
+	return strings.Join(parts, " UNION ")
+}
+
+// coldRegionArgs binds one branch's (t0, t1, T, V) per placeholder group.
+func coldRegionArgs(t0, t1, T int64, V float64) []sqlmini.Value {
+	var out []sqlmini.Value
+	for nc := 1; nc <= 3; nc++ {
+		for i := 1; i <= nc; i++ {
+			out = append(out, sqlmini.Int(t0), sqlmini.Int(t1), sqlmini.Int(T), sqlmini.Real(V))
+		}
+	}
+	return out
+}
+
+// coldStore ingests the series into an on-disk store under dir.
+func coldStore(cfg Config, dir string, series *timeseries.Series, dbo sqlmini.Options) (*core.Store, error) {
+	dbo.PoolPages = cfg.PoolPages
+	st, err := core.Open(dir, core.Options{
+		Epsilon: cfg.DefaultEps,
+		Window:  cfg.DefaultWH * 3600,
+		DB:      dbo,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := st.AppendSeries(series); err != nil {
+		return nil, errors.Join(err, st.Close())
+	}
+	if err := st.Finish(); err != nil {
+		return nil, errors.Join(err, st.Close())
+	}
+	return st, nil
+}
+
+// runColdScenario times trials forced-scan region queries, dropping the
+// buffer pool before each so every trial pays the full I/O cost.
+func runColdScenario(st *core.Store, name, sql string, args []sqlmini.Value, trials int) (ColdScenario, *sqlmini.Rows, error) {
+	var rows *sqlmini.Rows
+	var err error
+	db := st.DB()
+	base := db.CacheStats()
+	baseSkip := db.ZoneSkippedPages()
+	var wall time.Duration
+	for i := 0; i < trials; i++ {
+		if err = st.DropCache(); err != nil {
+			return ColdScenario{}, nil, err
+		}
+		start := time.Now()
+		rows, err = db.QueryMode(sqlmini.PlanForceScan, sql, args...)
+		wall += time.Since(start)
+		if err != nil {
+			return ColdScenario{}, nil, err
+		}
+	}
+	cs := db.CacheStats()
+	return ColdScenario{
+		Name:           name,
+		Trials:         trials,
+		WallMS:         float64(wall.Microseconds()) / 1e3,
+		Throughput:     float64(trials) / wall.Seconds(),
+		PagesRead:      cs.Reads - base.Reads,
+		PrefetchReads:  cs.PrefetchReads - base.PrefetchReads,
+		PrefetchHits:   cs.PrefetchHits - base.PrefetchHits,
+		PrefetchWasted: cs.PrefetchWasted - base.PrefetchWasted,
+		ZoneSkipped:    db.ZoneSkippedPages() - baseSkip,
+		Rows:           rows.Len(),
+	}, rows, nil
+}
+
+// RunColdCachePerf builds the two stores in their own subdirectories of
+// dir, verifies observational identity, and measures both cold.
+func RunColdCachePerf(cfg Config, dir string, trials int, readAhead int) (_ *ColdCacheReport, err error) {
+	if trials <= 0 {
+		trials = 20
+	}
+	if readAhead <= 0 {
+		readAhead = 16
+	}
+	days := cfg.Days * coldDaysFactor
+	series, err := Workload(cfg, 1, days)
+	if err != nil {
+		return nil, err
+	}
+	baseStore, err := coldStore(cfg, filepath.Join(dir, "cold-baseline"), series[0], sqlmini.Options{
+		DisableZoneMaps: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer joinClose(&err, baseStore)
+	tunedStore, err := coldStore(cfg, filepath.Join(dir, "cold-tuned"), series[0], sqlmini.Options{
+		ReadAhead: readAhead,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer joinClose(&err, tunedStore)
+
+	rep := &ColdCacheReport{
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Days:          days,
+		QueryT:        cfg.QueryT,
+		QueryV:        cfg.QueryV,
+		RegionSeconds: coldRegionSeconds,
+		ReadAhead:     readAhead,
+	}
+	t1 := series[0].End() + 1
+	t0 := t1 - coldRegionSeconds
+	sql := coldRegionSQL()
+	args := coldRegionArgs(t0, t1, cfg.QueryT, cfg.QueryV)
+
+	// The full-history search must still agree across the two stores
+	// (zone maps may only change which pages are fetched, never which
+	// rows are returned), and on the pruned store the forced-scan region
+	// query must agree with its own index execution.
+	baseFull, err := baseStore.SearchMode(feature.Drop, cfg.QueryT, cfg.QueryV, sqlmini.PlanForceScan)
+	if err != nil {
+		return nil, err
+	}
+	tunedFull, err := tunedStore.SearchMode(feature.Drop, cfg.QueryT, cfg.QueryV, sqlmini.PlanForceScan)
+	if err != nil {
+		return nil, err
+	}
+	tunedIdx, err := tunedStore.DB().QueryMode(sqlmini.PlanForceIndex, sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	rep.Identical = reflect.DeepEqual(baseFull, tunedFull)
+	if !rep.Identical {
+		return nil, fmt.Errorf("bench: full-history scans diverge: baseline %d, pruned %d matches",
+			len(baseFull), len(tunedFull))
+	}
+
+	var baseRows, tunedRows *sqlmini.Rows
+	rep.Baseline, baseRows, err = runColdScenario(baseStore, "demand-paging", sql, args, trials)
+	if err != nil {
+		return nil, err
+	}
+	rep.Tuned, tunedRows, err = runColdScenario(tunedStore, "readahead+zonemap", sql, args, trials)
+	if err != nil {
+		return nil, err
+	}
+	rep.Identical = rep.Identical &&
+		reflect.DeepEqual(baseRows, tunedRows) &&
+		reflect.DeepEqual(tunedRows.Data, tunedIdx.Data)
+	if !rep.Identical {
+		return nil, fmt.Errorf("bench: region queries diverge: baseline %d, pruned %d, index %d rows",
+			baseRows.Len(), tunedRows.Len(), tunedIdx.Len())
+	}
+	rep.Speedup = rep.Tuned.Throughput / rep.Baseline.Throughput
+	if rep.Tuned.ZoneSkipped == 0 {
+		return nil, fmt.Errorf("bench: cold-cache tuned run skipped no pages; zone maps are not engaged")
+	}
+	return rep, nil
+}

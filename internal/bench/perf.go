@@ -62,10 +62,11 @@ type PerfReport struct {
 	// Speedup is parallel-clients throughput over the sequential baseline.
 	Speedup   float64        `json:"throughput_speedup"`
 	Identical bool           `json:"results_identical"`
-	Scenarios []PerfScenario `json:"scenarios"`
-	Bench     *GoBench       `json:"go_bench,omitempty"`
-	Ingest    *IngestReport  `json:"ingest,omitempty"`
-	Fusion    *FusionReport  `json:"fusion,omitempty"`
+	Scenarios []PerfScenario   `json:"scenarios"`
+	Bench     *GoBench         `json:"go_bench,omitempty"`
+	Ingest    *IngestReport    `json:"ingest,omitempty"`
+	Fusion    *FusionReport    `json:"fusion,omitempty"`
+	ColdCache *ColdCacheReport `json:"cold_cache,omitempty"`
 }
 
 // FusionReport is the fused-vs-branch-at-a-time comparison: the same

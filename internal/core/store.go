@@ -33,6 +33,7 @@ import (
 	"segdiff/internal/extract"
 	"segdiff/internal/feature"
 	"segdiff/internal/segment"
+	"segdiff/internal/storage/pager"
 	"segdiff/internal/storage/sqlmini"
 	"segdiff/internal/timeseries"
 )
@@ -659,6 +660,12 @@ type Stats struct {
 	IndexBytes      int64 // index bytes across feature tables + segs
 	Epsilon         float64
 	Window          int64
+	// Cache aggregates the buffer-pool counters of every mounted file for
+	// this session, including the readahead prefetch hit/wasted split.
+	Cache pager.Stats
+	// ZoneSkippedPages counts heap pages zone-map pruning excluded from
+	// sequential scans this session.
+	ZoneSkippedPages uint64
 }
 
 // DiskBytes is features plus indexes — the paper's "disk size".
@@ -695,6 +702,8 @@ func (s *Store) Stats() (Stats, error) {
 		}
 		st.IndexBytes += ib
 	}
+	st.Cache = s.db.CacheStats()
+	st.ZoneSkippedPages = s.db.ZoneSkippedPages()
 	return st, nil
 }
 

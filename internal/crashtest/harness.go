@@ -49,6 +49,12 @@ type Workload struct {
 	Batches int     // number of Sync'd ingest batches
 	T       int64   // drop-search span (seconds)
 	V       float64 // drop-search threshold (negative)
+	// ReadAhead, when positive, turns on pager scan readahead for every
+	// store the workload opens. Prefetch is strictly read-only, so the
+	// write-class op census — and with it every crash point and every
+	// recovered disk image — must be identical with the knob on or off
+	// (TestCrashReadAheadNoDivergence pins this).
+	ReadAhead int
 }
 
 // NewWorkload builds the scenario for a seed: half a day of 5-minute
@@ -80,6 +86,7 @@ func (w *Workload) options(reg *faultfs.Registry) core.Options {
 			FileFactory:  reg.Open,
 			UnionWorkers: 1,
 			WriteWorkers: 1,
+			ReadAhead:    w.ReadAhead,
 		},
 	}
 }

@@ -1,0 +1,28 @@
+package pager
+
+// Test-only accessors for cache internals; they take the shard latches so
+// they are safe under the race detector and the lockcheck analyzer.
+
+// cachedForTest reports whether id is resident in the pool.
+func (p *Pager) cachedForTest(id PageID) bool {
+	s := p.shardOf(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.frames[id]
+	return ok
+}
+
+// cachedCountForTest returns the total number of resident frames.
+func (p *Pager) cachedCountForTest() int {
+	n := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.RLock()
+		n += len(s.frames)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// numShardsForTest returns the stripe count.
+func (p *Pager) numShardsForTest() int { return len(p.shards) }

@@ -5,19 +5,34 @@
 // before every query in Sections 6.1–6.3 and studies the warm-cache case
 // in 6.4).
 //
-// Concurrency. A Pager is safe for concurrent readers, and the page-hit
-// path is designed to stay off every exclusive lock: a hit takes the
-// shared lock for the frame lookup and pins the frame with an atomic
-// counter, and Release is a single atomic decrement. Misses, allocations,
-// evictions and the checkpoint operations (Flush, Sync, DropCache,
-// LogDirty, Close) take the exclusive lock; a miss re-checks the frame map
-// under it so concurrent misses never load a page twice. Eviction is safe
-// because pinning requires the lock (shared or exclusive) while eviction
-// holds it exclusively: a frame observed unpinned cannot be re-pinned
-// until the eviction finishes. Stats counters are atomic. Writers
-// (MarkDirty and the code paths that modify page contents) must still be
-// serialized externally against readers — the query engine layers a
-// reader/writer lock above this package (see sqlmini.DB).
+// Concurrency. The pool is lock-striped: frames are partitioned across N
+// shards by PageID (adjacent pages land in different shards), and each
+// shard has its own reader/writer latch, frame map, and clock ring. A
+// cache hit takes only its shard's shared latch for the lookup and pins
+// the frame with an atomic counter; Release is a single atomic decrement.
+// A miss registers an in-flight read in its shard, performs the file read
+// with no latch held (so concurrent misses on different pages overlap
+// their I/O), and re-checks under the shard's exclusive latch before
+// inserting — a demand read and a readahead prefetch of the same page
+// never load it twice. Eviction is shard-local against a global frame
+// budget and is safe because pinning requires the shard latch (shared or
+// exclusive) while eviction holds it exclusively. The checkpoint
+// operations (Flush, Sync, DropCache, LogDirty, Discard, Close) and Stats
+// acquire every shard latch in ascending shard order, so they observe a
+// quiescent pool; DropCache and Discard additionally invalidate (by epoch)
+// and drain in-flight reads, so a dropped cache never resurrects a stale
+// prefetched frame. Stats counters are incremented only while a shard
+// latch is held and snapshotted under all latches, so a snapshot is
+// internally consistent: Hits+Misses equals the number of successful Gets
+// and Reads equals Misses+PrefetchReads. Writers (MarkDirty and the code
+// paths that modify page contents) must still be serialized externally
+// against readers — the query engine layers a reader/writer lock above
+// this package (see sqlmini.DB).
+//
+// Small pools collapse to a single shard (striping below a few hundred
+// frames costs more in eviction imbalance than it buys in parallelism),
+// which also preserves the exact clock order of the pre-sharding pager
+// for the crash harness's deterministic small-pool workloads.
 package pager
 
 import (
@@ -33,14 +48,20 @@ const PageSize = 4096
 // PageID identifies a page within one file; pages are numbered from 0.
 type PageID uint32
 
-// Stats are cumulative buffer pool counters (a snapshot; see
-// Pager.Stats).
+// Stats are cumulative buffer pool counters (a consistent snapshot; see
+// Pager.Stats). In a fault-free run Hits+Misses equals the number of
+// successful Gets and Reads equals Misses+PrefetchReads; PrefetchHits and
+// PrefetchWasted partition the prefetched frames that are no longer
+// cached (frames still waiting in the pool are in neither).
 type Stats struct {
-	Hits      uint64 // Get served from cache
-	Misses    uint64 // Get required a file read
-	Reads     uint64 // pages read from the file
-	Writes    uint64 // pages written to the file
-	Evictions uint64 // frames evicted to make room
+	Hits           uint64 // Get served from cache
+	Misses         uint64 // Get required a file read
+	Reads          uint64 // pages read from the file
+	Writes         uint64 // pages written to the file
+	Evictions      uint64 // frames evicted to make room
+	PrefetchReads  uint64 // pages read by the readahead prefetcher
+	PrefetchHits   uint64 // Gets served from a prefetched frame
+	PrefetchWasted uint64 // prefetched frames dropped before any Get used them
 }
 
 // padUint64 is an atomic counter padded to its own cache line. Parallel
@@ -54,43 +75,95 @@ type padUint64 struct {
 }
 
 // statCounters are the live counters behind Stats, one cache line each.
+// They are atomics, but every increment happens while the owning shard's
+// latch is held (shared or exclusive), so holding a shard latch
+// exclusively excludes increments — that is what makes Stats consistent.
 type statCounters struct {
-	hits      padUint64
-	misses    padUint64
-	reads     padUint64
-	writes    padUint64
-	evictions padUint64
+	hits           padUint64
+	misses         padUint64
+	reads          padUint64
+	writes         padUint64
+	evictions      padUint64
+	prefetchReads  padUint64
+	prefetchHits   padUint64
+	prefetchWasted padUint64
 }
 
 type frame struct {
-	id      PageID
-	data    []byte
-	pins    atomic.Int32
-	used    atomic.Bool // referenced since the clock hand last passed
-	dirty   bool
-	logged  bool // dirty content captured by the WAL (safe to steal)
-	ringIdx int  // position in Pager.ring; maintained under mu exclusive
+	id         PageID
+	data       []byte
+	pins       atomic.Int32
+	used       atomic.Bool // referenced since the clock hand last passed
+	prefetched atomic.Bool // loaded by readahead and not yet served to a Get
+	dirty      bool
+	logged     bool // dirty content captured by the WAL (safe to steal)
+	ringIdx    int  // position in shard.ring; maintained under the shard latch
 }
 
-// Pager caches pages of a File with a clock replacement policy.
-//
-// Locking: mu guards the frame map, the clock ring, the page count, and
-// the closed/noSteal flags; it is held shared by cache hits and
-// exclusively by everything that inserts or removes frames. Pin counts and
-// reference bits are atomics so the hit path never serializes; dirty and
-// logged flags are only accessed by the external writer or under mu
-// exclusive. stats is accessed with atomics only.
-type Pager struct {
+// inflightRead is one registered in-progress file read (demand miss or
+// prefetch). Waiters block on done and then retry their lookup; the
+// epoch recorded at registration lets DropCache and Discard invalidate
+// the completion so a dropped cache is never repopulated with bytes read
+// before the drop.
+type inflightRead struct {
+	done  chan struct{}
+	epoch uint64
+}
+
+// shard is one lock stripe of the pool. Pin counts and reference bits on
+// frames are atomics so the hit path never serializes; dirty and logged
+// flags are only accessed by the external writer or under the shard latch
+// exclusive.
+type shard struct {
 	mu       sync.RWMutex
+	frames   map[PageID]*frame        // guarded by mu
+	ring     []*frame                 // guarded by mu; clock order; eviction candidates
+	hand     int                      // guarded by mu; clock hand index into ring
+	inflight map[PageID]*inflightRead // guarded by mu; reads in progress
+	stats    statCounters             // incremented under mu (shared or exclusive)
+	_        [64]byte                 // keep neighbouring shards off this cache line
+}
+
+// maxShards bounds the stripe count; minShardFrames is the pool size at
+// which striping starts to pay (below it a single clock over the whole
+// pool evicts strictly better).
+const (
+	maxShards      = 8
+	minShardFrames = 64
+)
+
+// shardsFor picks the stripe count for a pool of the given capacity: the
+// largest power of two that leaves at least minShardFrames frames per
+// shard, capped at maxShards.
+func shardsFor(capacity int) int {
+	n := 1
+	for n < maxShards && capacity >= 2*n*minShardFrames {
+		n *= 2
+	}
+	return n
+}
+
+// Pager caches pages of a File with a clock replacement policy per shard
+// and a global frame budget.
+type Pager struct {
 	f        File
 	capacity int
-	frames   map[PageID]*frame // guarded by mu
-	ring     []*frame          // guarded by mu; clock order; eviction candidates
-	hand     int               // guarded by mu; clock hand index into ring
-	nPages   PageID            // guarded by mu
-	stats    statCounters      // atomics only; never under mu
-	closed   bool              // guarded by mu
-	noSteal  bool              // guarded by mu
+	shards   []shard
+	mask     uint32        // len(shards)-1; shard index = id & mask
+	nFrames  atomic.Int64  // total cached frames, all shards
+	nPages   atomic.Uint32 // allocated page count
+	epoch    atomic.Uint64 // bumped by DropCache/Discard to invalidate in-flight reads
+	closed   atomic.Bool
+	noSteal  atomic.Bool
+
+	// Readahead state; see prefetch.go. pfCh and pfStop are created by the
+	// first enabling SetReadAhead, which must happen before the pager is
+	// shared (the engine configures readahead at mount time).
+	ra        atomic.Int32 // prefetch distance in pages; 0 = disabled
+	pfCh      chan PageID
+	pfStop    chan struct{}
+	pfWG      sync.WaitGroup
+	pfStopped atomic.Bool
 }
 
 // DefaultCapacity is the default buffer pool size in frames (1024 pages =
@@ -112,33 +185,77 @@ func New(f File, capacity int) (*Pager, error) {
 	if size%PageSize != 0 {
 		return nil, fmt.Errorf("pager: file size %d not a multiple of page size", size)
 	}
-	return &Pager{
+	n := shardsFor(capacity)
+	p := &Pager{
 		f:        f,
 		capacity: capacity,
-		frames:   make(map[PageID]*frame),
-		nPages:   PageID(size / PageSize),
-	}, nil
+		shards:   make([]shard, n),
+		mask:     uint32(n - 1),
+	}
+	for i := range p.shards {
+		//segdifflint:ignore lockcheck the pager is still being constructed inside New and not yet shared
+		p.shards[i].frames = make(map[PageID]*frame)
+		//segdifflint:ignore lockcheck the pager is still being constructed inside New and not yet shared
+		p.shards[i].inflight = make(map[PageID]*inflightRead)
+	}
+	p.nPages.Store(uint32(size / PageSize))
+	return p, nil
+}
+
+// shardOf returns the shard owning id. Consecutive PageIDs map to
+// different shards, so a sequential scan's misses spread across stripes.
+func (p *Pager) shardOf(id PageID) *shard {
+	return &p.shards[uint32(id)&p.mask]
 }
 
 // NumPages returns the number of allocated pages.
-func (p *Pager) NumPages() PageID {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.nPages
-}
+func (p *Pager) NumPages() PageID { return PageID(p.nPages.Load()) }
 
 // Capacity returns the buffer pool capacity in frames.
 func (p *Pager) Capacity() int { return p.capacity }
 
-// Stats returns a copy of the cumulative counters.
-func (p *Pager) Stats() Stats {
-	return Stats{
-		Hits:      atomic.LoadUint64(&p.stats.hits.v),
-		Misses:    atomic.LoadUint64(&p.stats.misses.v),
-		Reads:     atomic.LoadUint64(&p.stats.reads.v),
-		Writes:    atomic.LoadUint64(&p.stats.writes.v),
-		Evictions: atomic.LoadUint64(&p.stats.evictions.v),
+// lockAll acquires every shard latch exclusively in ascending shard
+// order — the fixed order makes the all-shard operations deadlock-free
+// against each other (no other code path holds two shard latches at
+// once).
+func (p *Pager) lockAll() {
+	for i := range p.shards {
+		p.shards[i].mu.Lock()
 	}
+}
+
+func (p *Pager) unlockAll() {
+	for i := len(p.shards) - 1; i >= 0; i-- {
+		p.shards[i].mu.Unlock()
+	}
+}
+
+// addStats folds s's counters into st.
+//
+// locks: s.mu (any)
+func addStats(s *shard, st *Stats) {
+	st.Hits += atomic.LoadUint64(&s.stats.hits.v)
+	st.Misses += atomic.LoadUint64(&s.stats.misses.v)
+	st.Reads += atomic.LoadUint64(&s.stats.reads.v)
+	st.Writes += atomic.LoadUint64(&s.stats.writes.v)
+	st.Evictions += atomic.LoadUint64(&s.stats.evictions.v)
+	st.PrefetchReads += atomic.LoadUint64(&s.stats.prefetchReads.v)
+	st.PrefetchHits += atomic.LoadUint64(&s.stats.prefetchHits.v)
+	st.PrefetchWasted += atomic.LoadUint64(&s.stats.prefetchWasted.v)
+}
+
+// Stats returns a consistent snapshot of the cumulative counters: every
+// counter increment happens under a shard latch, and the snapshot holds
+// all of them, so the cross-counter invariants documented on Stats hold
+// exactly (fault-free).
+func (p *Pager) Stats() Stats {
+	p.lockAll()
+	defer p.unlockAll()
+	var st Stats
+	for i := range p.shards {
+		addStats(&p.shards[i], &st)
+	}
+	return st
 }
 
 // Page is a pinned page handle, returned by value so the hot read path
@@ -171,134 +288,211 @@ func (pg *Page) Release() {
 	pg.fr = nil
 }
 
-// pin pins fr. The caller must hold mu (shared or exclusive): eviction
-// holds mu exclusively, so a cached frame cannot disappear between lookup
-// and pin.
+// pin pins fr. The caller must hold the owning shard's latch (shared or
+// exclusive): eviction holds it exclusively, so a cached frame cannot
+// disappear between lookup and pin.
 func (fr *frame) pin() {
 	fr.pins.Add(1)
 	fr.used.Store(true)
 }
 
-// checkGet validates a Get under mu.
-//
-// locks: p.mu (any)
+// checkGet validates a Get.
 func (p *Pager) checkGet(id PageID) error {
-	if p.closed {
+	if p.closed.Load() {
 		return fmt.Errorf("pager: use after close")
 	}
-	if id >= p.nPages {
-		return fmt.Errorf("pager: page %d out of range (have %d)", id, p.nPages)
+	if n := p.nPages.Load(); uint32(id) >= n {
+		return fmt.Errorf("pager: page %d out of range (have %d)", id, n)
 	}
 	return nil
 }
 
-// insertFrame adds fr to the map and the clock ring.
+// insertFrame adds fr to s's map and clock ring and charges the global
+// frame budget.
 //
-// locks: p.mu
-func (p *Pager) insertFrame(fr *frame) {
-	fr.ringIdx = len(p.ring)
-	p.ring = append(p.ring, fr)
-	p.frames[fr.id] = fr
+// locks: s.mu
+func (p *Pager) insertFrame(s *shard, fr *frame) {
+	fr.ringIdx = len(s.ring)
+	s.ring = append(s.ring, fr)
+	s.frames[fr.id] = fr
+	p.nFrames.Add(1)
 }
 
-// removeFrame deletes fr from the map and the clock ring (swap-remove).
+// removeFrame deletes fr from s's map and clock ring (swap-remove),
+// refunds the frame budget, and accounts a never-used prefetched frame as
+// wasted.
 //
-// locks: p.mu
-func (p *Pager) removeFrame(fr *frame) {
-	last := p.ring[len(p.ring)-1]
-	p.ring[fr.ringIdx] = last
+// locks: s.mu
+func (p *Pager) removeFrame(s *shard, fr *frame) {
+	last := s.ring[len(s.ring)-1]
+	s.ring[fr.ringIdx] = last
 	last.ringIdx = fr.ringIdx
-	p.ring = p.ring[:len(p.ring)-1]
-	delete(p.frames, fr.id)
+	s.ring = s.ring[:len(s.ring)-1]
+	delete(s.frames, fr.id)
+	p.nFrames.Add(-1)
+	if fr.prefetched.Load() {
+		atomic.AddUint64(&s.stats.prefetchWasted.v, 1)
+	}
 }
 
 // Allocate appends a zeroed page to the file and returns it pinned.
 func (p *Pager) Allocate() (Page, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		return Page{}, fmt.Errorf("pager: use after close")
+	for {
+		if p.closed.Load() {
+			return Page{}, fmt.Errorf("pager: use after close")
+		}
+		id := p.nPages.Load()
+		s := p.shardOf(PageID(id))
+		s.mu.Lock()
+		if p.closed.Load() {
+			s.mu.Unlock()
+			return Page{}, fmt.Errorf("pager: use after close")
+		}
+		if err := p.makeRoom(s); err != nil {
+			s.mu.Unlock()
+			return Page{}, err
+		}
+		if !p.nPages.CompareAndSwap(id, id+1) {
+			// Lost a race with a concurrent Allocate; the new count may
+			// belong to a different shard.
+			s.mu.Unlock()
+			continue
+		}
+		// New frames start with the used bit clear: recency is earned by a
+		// later Get hit, which keeps re-referenced pages ahead of one-shot
+		// scans in the clock order.
+		fr := &frame{id: PageID(id), data: make([]byte, PageSize), dirty: true}
+		fr.pins.Store(1)
+		p.insertFrame(s, fr)
+		s.mu.Unlock()
+		return Page{p: p, fr: fr}, nil
 	}
-	if err := p.makeRoom(); err != nil {
-		return Page{}, err
+}
+
+// hitLocked finishes a Get that found a cached frame.
+//
+// locks: s.mu (any)
+func hitLocked(s *shard, fr *frame) {
+	fr.pin()
+	if fr.prefetched.CompareAndSwap(true, false) {
+		atomic.AddUint64(&s.stats.prefetchHits.v, 1)
 	}
-	id := p.nPages
-	p.nPages++
-	// New frames start with the used bit clear: recency is earned by a
-	// later Get hit, which keeps re-referenced pages ahead of one-shot
-	// scans in the clock order.
-	fr := &frame{id: id, data: make([]byte, PageSize), dirty: true}
-	fr.pins.Store(1)
-	p.insertFrame(fr)
-	return Page{p: p, fr: fr}, nil
+	atomic.AddUint64(&s.stats.hits.v, 1)
 }
 
 // Get returns the page with the given id, pinned. Cache hits run under the
-// shared lock and proceed in parallel; a miss upgrades to the exclusive
-// lock for the file read and possible eviction.
+// shard's shared latch and proceed in parallel; a miss registers an
+// in-flight read, performs the file read with no latch held, and inserts
+// under the exclusive latch. A Get that finds another goroutine's read in
+// flight (demand or prefetch) waits for it instead of reading twice.
 func (p *Pager) Get(id PageID) (Page, error) {
-	p.mu.RLock()
-	if err := p.checkGet(id); err != nil {
-		p.mu.RUnlock()
-		return Page{}, err
-	}
-	if fr, ok := p.frames[id]; ok {
-		fr.pin()
-		p.mu.RUnlock()
-		atomic.AddUint64(&p.stats.hits.v, 1)
-		return Page{p: p, fr: fr}, nil
-	}
-	p.mu.RUnlock()
+	s := p.shardOf(id)
+	for {
+		s.mu.RLock()
+		if err := p.checkGet(id); err != nil {
+			s.mu.RUnlock()
+			return Page{}, err
+		}
+		if fr, ok := s.frames[id]; ok {
+			hitLocked(s, fr)
+			s.mu.RUnlock()
+			return Page{p: p, fr: fr}, nil
+		}
+		s.mu.RUnlock()
 
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.checkGet(id); err != nil {
-		return Page{}, err
-	}
-	if fr, ok := p.frames[id]; ok {
-		// A concurrent miss loaded the page between our two lookups.
-		fr.pin()
-		atomic.AddUint64(&p.stats.hits.v, 1)
+		fr, retry, err := p.loadDemand(s, id)
+		if err != nil {
+			return Page{}, err
+		}
+		if retry {
+			continue
+		}
 		return Page{p: p, fr: fr}, nil
 	}
-	atomic.AddUint64(&p.stats.misses.v, 1)
-	if err := p.makeRoom(); err != nil {
-		return Page{}, err
-	}
-	data := make([]byte, PageSize)
-	if _, err := p.f.ReadAt(data, int64(id)*PageSize); err != nil {
-		return Page{}, fmt.Errorf("pager: read page %d: %w", id, err)
-	}
-	atomic.AddUint64(&p.stats.reads.v, 1)
-	fr := &frame{id: id, data: data}
-	fr.pins.Store(1)
-	p.insertFrame(fr)
-	return Page{p: p, fr: fr}, nil
 }
 
-// makeRoom evicts unpinned frames chosen by the clock hand until a new
-// frame fits. Recently referenced frames get a second chance (their used
-// bit is cleared on the first pass). If every frame is pinned (or, under
-// no-steal, dirty and unlogged) the pool is allowed to grow past capacity.
-// Holding mu exclusively means a victim with zero pins cannot be re-pinned
-// while it is written out.
+// loadDemand resolves a Get miss for id: it joins an in-flight read if one
+// exists (retry=true after it completes), otherwise reads the page itself
+// and inserts it pinned. A completion invalidated by a concurrent
+// DropCache/Discard (epoch mismatch) discards the bytes and asks the
+// caller to retry, so the caller never observes pre-drop file content
+// through a post-drop cache.
+func (p *Pager) loadDemand(s *shard, id PageID) (fr *frame, retry bool, err error) {
+	s.mu.Lock()
+	if err := p.checkGet(id); err != nil {
+		s.mu.Unlock()
+		return nil, false, err
+	}
+	if fr, ok := s.frames[id]; ok {
+		// A concurrent read loaded the page between our two lookups.
+		hitLocked(s, fr)
+		s.mu.Unlock()
+		return fr, false, nil
+	}
+	if fl, ok := s.inflight[id]; ok {
+		done := fl.done
+		s.mu.Unlock()
+		<-done
+		return nil, true, nil
+	}
+	fl := &inflightRead{done: make(chan struct{}), epoch: p.epoch.Load()}
+	s.inflight[id] = fl
+	s.mu.Unlock()
+
+	data := make([]byte, PageSize)
+	_, rerr := p.f.ReadAt(data, int64(id)*PageSize)
+
+	s.mu.Lock()
+	delete(s.inflight, id)
+	defer close(fl.done)
+	if rerr != nil {
+		s.mu.Unlock()
+		return nil, false, fmt.Errorf("pager: read page %d: %w", id, rerr)
+	}
+	if fl.epoch != p.epoch.Load() {
+		// DropCache/Discard ran while the read was in flight: the bytes may
+		// predate the drop's flush. Retry from a clean slate.
+		s.mu.Unlock()
+		return nil, true, nil
+	}
+	if err := p.makeRoom(s); err != nil {
+		s.mu.Unlock()
+		return nil, false, err
+	}
+	fr = &frame{id: id, data: data}
+	fr.pins.Store(1)
+	p.insertFrame(s, fr)
+	atomic.AddUint64(&s.stats.misses.v, 1)
+	atomic.AddUint64(&s.stats.reads.v, 1)
+	s.mu.Unlock()
+	return fr, false, nil
+}
+
+// makeRoom evicts unpinned frames chosen by s's clock hand until the
+// global frame budget admits a new frame. Recently referenced frames get
+// a second chance (their used bit is cleared on the first pass). If no
+// frame of this shard is evictable (pinned, or dirty-and-unlogged under
+// no-steal) the pool is allowed to grow past capacity — eviction never
+// reaches into another shard, which keeps the latch discipline flat.
+// Holding s.mu exclusively means a victim with zero pins cannot be
+// re-pinned while it is written out.
 //
-// locks: p.mu
-func (p *Pager) makeRoom() error {
-	for len(p.frames) >= p.capacity && len(p.ring) > 0 {
+// locks: s.mu
+func (p *Pager) makeRoom(s *shard) error {
+	for int(p.nFrames.Load()) >= p.capacity && len(s.ring) > 0 {
 		var victim *frame
 		// Two revolutions: the first clears reference bits, the second
 		// must find a victim if any frame is evictable at all.
-		for i := 0; i < 2*len(p.ring); i++ {
-			if p.hand >= len(p.ring) {
-				p.hand = 0
+		for i := 0; i < 2*len(s.ring); i++ {
+			if s.hand >= len(s.ring) {
+				s.hand = 0
 			}
-			fr := p.ring[p.hand]
-			p.hand++
+			fr := s.ring[s.hand]
+			s.hand++
 			if fr.pins.Load() != 0 {
 				continue
 			}
-			if p.noSteal && fr.dirty && !fr.logged {
+			if p.noSteal.Load() && fr.dirty && !fr.logged {
 				continue // uncommitted content must not reach the file
 			}
 			if fr.used.CompareAndSwap(true, false) {
@@ -308,15 +502,15 @@ func (p *Pager) makeRoom() error {
 			break
 		}
 		if victim == nil {
-			return nil // nothing evictable: overcommit
+			return nil // nothing evictable in this shard: overcommit
 		}
 		if victim.dirty {
-			if err := p.writeFrame(victim); err != nil {
+			if err := p.writeFrame(s, victim); err != nil {
 				return err // victim stays cached; retry on a later miss
 			}
 		}
-		p.removeFrame(victim)
-		atomic.AddUint64(&p.stats.evictions.v, 1)
+		p.removeFrame(s, victim)
+		atomic.AddUint64(&s.stats.evictions.v, 1)
 	}
 	return nil
 }
@@ -327,25 +521,33 @@ func (p *Pager) makeRoom() error {
 // overcommits instead). Flush, Sync, DropCache and Close still write all
 // dirty frames — they are checkpoint operations.
 func (p *Pager) SetNoSteal(on bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.noSteal = on
+	p.noSteal.Store(on)
 }
 
-// sortedFrames returns the cached frames matching keep in ascending page
-// order. The checkpoint paths iterate in this order so the engine's
-// file-operation sequence — and hence the WAL's byte layout — never
-// depends on map iteration order: the crash harness (internal/crashtest)
-// requires that a given (seed, fault script) reproduces the exact same
-// operation stream byte for byte.
+// collectFrames appends s's cached frames matching keep to out.
 //
-// locks: p.mu
-func (p *Pager) sortedFrames(keep func(*frame) bool) []*frame {
-	var out []*frame
-	for _, fr := range p.frames {
+// locks: s.mu (any)
+func collectFrames(s *shard, keep func(*frame) bool, out []*frame) []*frame {
+	for _, fr := range s.frames {
 		if keep(fr) {
 			out = append(out, fr)
 		}
+	}
+	return out
+}
+
+// sortedFramesLocked returns the cached frames matching keep in ascending
+// page order across all shards. The checkpoint paths iterate in this
+// order so the engine's file-operation sequence — and hence the WAL's
+// byte layout — never depends on map iteration order: the crash harness
+// (internal/crashtest) requires that a given (seed, fault script)
+// reproduces the exact same operation stream byte for byte.
+//
+// The caller must hold every shard latch (lockAll).
+func (p *Pager) sortedFramesLocked(keep func(*frame) bool) []*frame {
+	var out []*frame
+	for i := range p.shards {
+		out = collectFrames(&p.shards[i], keep, out)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
 	return out
@@ -356,9 +558,9 @@ func (p *Pager) sortedFrames(keep func(*frame) bool) []*frame {
 // them evictable again under no-steal). The data slice passed to fn is
 // only valid during the call.
 func (p *Pager) LogDirty(fn func(id PageID, data []byte) error) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, fr := range p.sortedFrames(func(fr *frame) bool { return fr.dirty && !fr.logged }) {
+	p.lockAll()
+	defer p.unlockAll()
+	for _, fr := range p.sortedFramesLocked(func(fr *frame) bool { return fr.dirty && !fr.logged }) {
 		if err := fn(fr.id, fr.data); err != nil {
 			return err
 		}
@@ -369,25 +571,23 @@ func (p *Pager) LogDirty(fn func(id PageID, data []byte) error) error {
 
 // writeFrame writes fr's buffer back to the file and clears its dirty
 // flag; eviction and the flush paths call it with the frame unpinned or
-// the pool quiesced.
+// the pool quiesced. s is fr's owning shard (for the write counter).
 //
-// locks: p.mu
-func (p *Pager) writeFrame(fr *frame) error {
+// locks: s.mu
+func (p *Pager) writeFrame(s *shard, fr *frame) error {
 	if _, err := p.f.WriteAt(fr.data, int64(fr.id)*PageSize); err != nil {
 		return fmt.Errorf("pager: write page %d: %w", fr.id, err)
 	}
 	fr.dirty = false
-	atomic.AddUint64(&p.stats.writes.v, 1)
+	atomic.AddUint64(&s.stats.writes.v, 1)
 	return nil
 }
 
-// flushLocked writes every dirty cached page back to the file in
-// ascending page order (no fsync).
-//
-// locks: p.mu
-func (p *Pager) flushLocked() error {
-	for _, fr := range p.sortedFrames(func(fr *frame) bool { return fr.dirty }) {
-		if err := p.writeFrame(fr); err != nil {
+// flushAllLocked writes every dirty cached page back to the file in
+// ascending page order (no fsync). The caller must hold every shard latch.
+func (p *Pager) flushAllLocked() error {
+	for _, fr := range p.sortedFramesLocked(func(fr *frame) bool { return fr.dirty }) {
+		if err := p.writeFrame(p.shardOf(fr.id), fr); err != nil {
 			return err
 		}
 	}
@@ -396,109 +596,206 @@ func (p *Pager) flushLocked() error {
 
 // Flush writes every dirty cached page back to the file (without fsync).
 func (p *Pager) Flush() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.flushLocked()
+	p.lockAll()
+	defer p.unlockAll()
+	return p.flushAllLocked()
 }
 
 // Sync flushes dirty pages and fsyncs the file.
 func (p *Pager) Sync() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.syncLocked()
+	p.lockAll()
+	defer p.unlockAll()
+	return p.syncAllLocked()
 }
 
-// syncLocked flushes all dirty pages and fsyncs the file.
-//
-// locks: p.mu
-func (p *Pager) syncLocked() error {
-	if err := p.flushLocked(); err != nil {
+// syncAllLocked flushes all dirty pages and fsyncs the file. The caller
+// must hold every shard latch.
+func (p *Pager) syncAllLocked() error {
+	if err := p.flushAllLocked(); err != nil {
 		return err
 	}
 	return p.f.Sync()
 }
 
-// DropCache flushes dirty pages and evicts every unpinned frame, simulating
-// a cold cache (the experiments' "operating system cache is flushed before
-// every query"). Pinned frames are retained.
-func (p *Pager) DropCache() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.flushLocked(); err != nil {
-		return err
+// inflightWaits appends the done channels of s's in-flight reads to out.
+//
+// locks: s.mu (any)
+func inflightWaits(s *shard, out []chan struct{}) []chan struct{} {
+	for _, fl := range s.inflight {
+		out = append(out, fl.done)
 	}
-	for i := 0; i < len(p.ring); {
-		fr := p.ring[i]
+	return out
+}
+
+// dropShard evicts every unpinned frame of s and resets its clock hand.
+//
+// locks: s.mu
+func (p *Pager) dropShard(s *shard) {
+	for i := 0; i < len(s.ring); {
+		fr := s.ring[i]
 		if fr.pins.Load() != 0 {
 			i++
 			continue
 		}
-		p.removeFrame(fr) // swap-remove: re-examine index i
-		atomic.AddUint64(&p.stats.evictions.v, 1)
+		p.removeFrame(s, fr) // swap-remove: re-examine index i
+		atomic.AddUint64(&s.stats.evictions.v, 1)
 	}
-	p.hand = 0
-	return nil
+	s.hand = 0
+}
+
+// DropCache flushes dirty pages and evicts every unpinned frame, simulating
+// a cold cache (the experiments' "operating system cache is flushed before
+// every query"). Pinned frames are retained. Queued readahead requests are
+// discarded, and reads already in flight are invalidated (their completions
+// will not repopulate the cache) and drained before DropCache returns, so
+// a drop-then-scan never observes a stale prefetched frame.
+func (p *Pager) DropCache() error {
+	p.drainPrefetchQueue()
+	p.lockAll()
+	p.epoch.Add(1)
+	var waits []chan struct{}
+	for i := range p.shards {
+		waits = inflightWaits(&p.shards[i], waits)
+	}
+	err := p.flushAllLocked()
+	if err == nil {
+		for i := range p.shards {
+			p.dropShard(&p.shards[i])
+		}
+	}
+	p.unlockAll()
+	// Drain with no latch held: the in-flight readers need the shard latch
+	// to finish (and will discard their bytes under the new epoch).
+	for _, ch := range waits {
+		<-ch
+	}
+	return err
+}
+
+// pinnedPage returns a pinned page id of s, if any.
+//
+// locks: s.mu (any)
+func pinnedPage(s *shard) (PageID, bool) {
+	for _, fr := range s.frames {
+		if fr.pins.Load() > 0 {
+			return fr.id, true
+		}
+	}
+	return 0, false
+}
+
+// discardShard drops every frame of s without writing back and returns
+// the number dropped.
+//
+// locks: s.mu
+func discardShard(s *shard) int64 {
+	n := int64(len(s.frames))
+	for _, fr := range s.frames {
+		if fr.prefetched.Load() {
+			atomic.AddUint64(&s.stats.prefetchWasted.v, 1)
+		}
+	}
+	s.frames = make(map[PageID]*frame)
+	s.ring = s.ring[:0]
+	s.hand = 0
+	return n
 }
 
 // Discard drops every cached frame without writing anything back and
 // re-derives the page count from the file. It is the batch-abort hook:
 // uncommitted dirty frames vanish, and the engine then restores committed
 // page content by WAL replay before re-reading through the pager.
-// Outstanding pins are an error.
+// Outstanding pins are an error. Like DropCache, it invalidates and
+// drains in-flight reads.
 func (p *Pager) Discard() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	p.drainPrefetchQueue()
+	p.lockAll()
+	if p.closed.Load() {
+		p.unlockAll()
 		return fmt.Errorf("pager: use after close")
 	}
-	for _, fr := range p.frames {
-		if fr.pins.Load() > 0 {
-			return fmt.Errorf("pager: discard with page %d still pinned", fr.id)
+	for i := range p.shards {
+		if id, pinned := pinnedPage(&p.shards[i]); pinned {
+			p.unlockAll()
+			return fmt.Errorf("pager: discard with page %d still pinned", id)
 		}
 	}
-	p.frames = make(map[PageID]*frame)
-	p.ring = p.ring[:0]
-	p.hand = 0
+	p.epoch.Add(1)
+	var waits []chan struct{}
+	var dropped int64
+	for i := range p.shards {
+		waits = inflightWaits(&p.shards[i], waits)
+		dropped += discardShard(&p.shards[i])
+	}
+	p.nFrames.Add(-dropped)
 	size, err := p.f.Size()
 	if err != nil {
+		p.unlockAll()
 		return err
 	}
-	p.nPages = PageID(size / PageSize)
+	p.nPages.Store(uint32(size / PageSize))
+	p.unlockAll()
+	for _, ch := range waits {
+		<-ch
+	}
 	return nil
+}
+
+// resetStats zeroes s's counters.
+//
+// locks: s.mu
+func resetStats(s *shard) {
+	s.stats = statCounters{}
 }
 
 // ResetStats zeroes the counters (used between experiment runs).
 func (p *Pager) ResetStats() {
-	atomic.StoreUint64(&p.stats.hits.v, 0)
-	atomic.StoreUint64(&p.stats.misses.v, 0)
-	atomic.StoreUint64(&p.stats.reads.v, 0)
-	atomic.StoreUint64(&p.stats.writes.v, 0)
-	atomic.StoreUint64(&p.stats.evictions.v, 0)
+	p.lockAll()
+	defer p.unlockAll()
+	for i := range p.shards {
+		resetStats(&p.shards[i])
+	}
 }
 
 // SizeBytes returns the file size implied by the allocated page count.
 func (p *Pager) SizeBytes() int64 {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return int64(p.nPages) * PageSize
+	return int64(p.nPages.Load()) * PageSize
 }
 
-// Close flushes and closes the underlying file. Pinned pages outstanding at
-// Close are an error.
+// Close stops the prefetcher, flushes, and closes the underlying file.
+// Pinned pages outstanding at Close are an error.
 func (p *Pager) Close() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		return nil
-	}
-	for _, fr := range p.frames {
-		if fr.pins.Load() > 0 {
-			return fmt.Errorf("pager: close with page %d still pinned", fr.id)
+	p.stopPrefetch()
+	for {
+		p.lockAll()
+		if p.closed.Load() {
+			p.unlockAll()
+			return nil
+		}
+		for i := range p.shards {
+			if id, pinned := pinnedPage(&p.shards[i]); pinned {
+				p.unlockAll()
+				return fmt.Errorf("pager: close with page %d still pinned", id)
+			}
+		}
+		var waits []chan struct{}
+		for i := range p.shards {
+			waits = inflightWaits(&p.shards[i], waits)
+		}
+		if len(waits) == 0 {
+			if err := p.syncAllLocked(); err != nil {
+				p.unlockAll()
+				return err
+			}
+			p.closed.Store(true)
+			p.unlockAll()
+			return p.f.Close()
+		}
+		// Demand reads still in flight: let them finish against the open
+		// file, then re-examine the pool.
+		p.unlockAll()
+		for _, ch := range waits {
+			<-ch
 		}
 	}
-	if err := p.syncLocked(); err != nil {
-		return err
-	}
-	p.closed = true
-	return p.f.Close()
 }

@@ -94,10 +94,10 @@ func TestLRUOrder(t *testing.T) {
 	// Allocating a third page must evict page 1, not page 0.
 	pg2, _ := p.Allocate()
 	pg2.Release()
-	if _, cached := p.frames[0]; !cached {
+	if !p.cachedForTest(0) {
 		t.Fatal("recently used page 0 was evicted")
 	}
-	if _, cached := p.frames[1]; cached {
+	if p.cachedForTest(1) {
 		t.Fatal("LRU page 1 was not evicted")
 	}
 }
@@ -110,7 +110,7 @@ func TestPinnedPagesNotEvicted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, cached := p.frames[0]; !cached {
+	if !p.cachedForTest(0) {
 		t.Fatal("pinned page evicted")
 	}
 	pg0.Release()
@@ -164,8 +164,8 @@ func TestDropCachePreservesData(t *testing.T) {
 	if err := p.DropCache(); err != nil {
 		t.Fatal(err)
 	}
-	if len(p.frames) != 0 {
-		t.Fatalf("%d frames cached after DropCache", len(p.frames))
+	if n := p.cachedCountForTest(); n != 0 {
+		t.Fatalf("%d frames cached after DropCache", n)
 	}
 	g, err := p.Get(0)
 	if err != nil {

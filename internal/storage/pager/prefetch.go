@@ -1,0 +1,164 @@
+package pager
+
+import "sync/atomic"
+
+// Readahead prefetcher. Scans (heap sequential scans and B+tree
+// leaf-chain walks) announce upcoming pages with Prefetch; a small pool
+// of background workers reads them into the cache so the demand Get that
+// follows is a hit, overlapping disk latency with per-row predicate work
+// on the cold-cache path the paper measures.
+//
+// Invariants:
+//   - Prefetch is strictly read-only: a prefetched frame enters the pool
+//     clean (not dirty, never WAL-logged), so readahead cannot change the
+//     engine's write-operation stream — the crash harness's fault points
+//     are counted in write-class file operations and must not move.
+//   - Prefetch is best-effort: a full queue drops the request, an I/O
+//     error drops the page (the demand Get will surface it), and DropCache
+//     and Discard cancel queued requests and invalidate in-flight ones.
+//   - A prefetch and a demand Get of the same page never read it twice:
+//     both register in the shard's in-flight table and joiners wait.
+
+// prefetchWorkers is the size of the background read pool; prefetchQueue
+// bounds the request channel. Two workers keep one read in flight while
+// the next is being dispatched without spawning a thread herd per scan.
+const (
+	prefetchWorkers = 2
+	prefetchQueue   = 64
+)
+
+// SetReadAhead sets the prefetch distance in pages (0 disables). Scans
+// consult ReadAhead to decide how far ahead to announce pages. Enabling
+// readahead starts the background workers; the call must happen before
+// the pager is shared between goroutines (the engine configures it at
+// mount time). Disabling after enabling only stops new dispatches; the
+// workers stay until Close.
+func (p *Pager) SetReadAhead(k int) {
+	if k < 0 {
+		k = 0
+	}
+	p.ra.Store(int32(k))
+	if k > 0 && p.pfCh == nil {
+		p.pfCh = make(chan PageID, prefetchQueue)
+		p.pfStop = make(chan struct{})
+		p.pfWG.Add(prefetchWorkers)
+		for i := 0; i < prefetchWorkers; i++ {
+			go p.prefetchWorker()
+		}
+	}
+}
+
+// ReadAhead returns the configured prefetch distance in pages.
+func (p *Pager) ReadAhead() int { return int(p.ra.Load()) }
+
+// Prefetch asks the background workers to load id into the cache. It is
+// cheap and non-blocking: already-cached pages are skipped under the
+// shard's shared latch, and a full queue drops the request.
+func (p *Pager) Prefetch(id PageID) {
+	if p.ra.Load() == 0 || p.pfCh == nil || p.pfStopped.Load() {
+		return
+	}
+	s := p.shardOf(id)
+	s.mu.RLock()
+	_, cached := s.frames[id]
+	s.mu.RUnlock()
+	if cached {
+		return
+	}
+	select {
+	case p.pfCh <- id:
+	default: // queue full: readahead is best-effort
+	}
+}
+
+func (p *Pager) prefetchWorker() {
+	defer p.pfWG.Done()
+	for {
+		select {
+		case <-p.pfStop:
+			return
+		case id := <-p.pfCh:
+			p.prefetchRead(id)
+		}
+	}
+}
+
+// prefetchRead loads id into the cache unpinned, marked prefetched. It
+// mirrors the demand-miss path (register in flight, read with no latch
+// held, insert under the exclusive latch) but never pins, never dirties,
+// and swallows errors. A completion invalidated by DropCache/Discard
+// (epoch mismatch) is counted as a wasted prefetch and discarded.
+func (p *Pager) prefetchRead(id PageID) {
+	s := p.shardOf(id)
+	s.mu.Lock()
+	if p.closed.Load() || uint32(id) >= p.nPages.Load() {
+		s.mu.Unlock()
+		return
+	}
+	if _, ok := s.frames[id]; ok {
+		s.mu.Unlock()
+		return
+	}
+	if _, ok := s.inflight[id]; ok {
+		s.mu.Unlock()
+		return // a demand read (or another prefetch) is already on it
+	}
+	fl := &inflightRead{done: make(chan struct{}), epoch: p.epoch.Load()}
+	s.inflight[id] = fl
+	s.mu.Unlock()
+
+	data := make([]byte, PageSize)
+	_, rerr := p.f.ReadAt(data, int64(id)*PageSize)
+
+	s.mu.Lock()
+	delete(s.inflight, id)
+	defer close(fl.done)
+	if rerr != nil {
+		s.mu.Unlock()
+		return // the demand Get will surface the error
+	}
+	atomic.AddUint64(&s.stats.reads.v, 1)
+	atomic.AddUint64(&s.stats.prefetchReads.v, 1)
+	if fl.epoch != p.epoch.Load() {
+		// DropCache/Discard ran mid-read: the bytes may predate the drop.
+		atomic.AddUint64(&s.stats.prefetchWasted.v, 1)
+		s.mu.Unlock()
+		return
+	}
+	if err := p.makeRoom(s); err != nil {
+		atomic.AddUint64(&s.stats.prefetchWasted.v, 1)
+		s.mu.Unlock()
+		return
+	}
+	fr := &frame{id: id, data: data}
+	fr.prefetched.Store(true)
+	p.insertFrame(s, fr)
+	s.mu.Unlock()
+}
+
+// drainPrefetchQueue discards queued (not yet started) readahead
+// requests. DropCache and Discard call it so a cache drop is not
+// immediately undone by a backlog of stale announcements; requests a
+// worker has already dequeued are handled by the epoch check instead.
+func (p *Pager) drainPrefetchQueue() {
+	if p.pfCh == nil {
+		return
+	}
+	for {
+		select {
+		case <-p.pfCh:
+		default:
+			return
+		}
+	}
+}
+
+// stopPrefetch shuts the workers down and waits for them; called by Close
+// before the file is closed so no prefetch read can race the close.
+func (p *Pager) stopPrefetch() {
+	if p.pfCh == nil || !p.pfStopped.CompareAndSwap(false, true) {
+		return
+	}
+	close(p.pfStop)
+	p.pfWG.Wait()
+}

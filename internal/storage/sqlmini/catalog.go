@@ -42,6 +42,11 @@ type catalog struct {
 	Indexes    map[string]*indexSchema `json:"indexes"`
 	NextFileID uint16                  `json:"next_file_id"`
 	Stats      map[string]*tableStats  `json:"stats,omitempty"`
+	// Zones are the per-heap-page min/max summaries (zones.go), maintained
+	// and persisted like Stats. Advisory for cost, one-sided for
+	// correctness: a summary may over-approximate a page's contents but
+	// never under-approximate it — pruning relies on that.
+	Zones map[string]*tableZones `json:"zones,omitempty"`
 }
 
 func newCatalog() *catalog {

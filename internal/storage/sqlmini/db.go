@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"segdiff/internal/storage/btree"
 	"segdiff/internal/storage/heap"
@@ -41,6 +42,18 @@ type Options struct {
 	// exists for A/B benchmarking (internal/bench compares both paths)
 	// and as an escape hatch.
 	DisableFusion bool
+	// ReadAhead is the scan prefetch distance in pages: heap sequential
+	// scans and B+tree leaf-chain scans announce up to this many upcoming
+	// pages to a background prefetcher, overlapping cold-cache reads with
+	// row processing. 0 (the default) disables readahead entirely — the
+	// crash harness relies on the default execution being free of
+	// background I/O. Results are identical either way.
+	ReadAhead int
+	// DisableZoneMaps turns off zone-map page pruning on sequential and
+	// fused-sequential scans (zones are still maintained on the write
+	// path). Results are identical either way; the knob exists for the
+	// pruned-vs-unpruned identity checks and A/B benchmarking.
+	DisableZoneMaps bool
 	// FileFactory, when non-nil, opens every backing file of an on-disk
 	// database — heap tables, B+tree indexes, and the write-ahead log —
 	// in place of the default OS file. The crash harness injects
@@ -61,6 +74,9 @@ func (o Options) normalize() Options {
 	}
 	if o.WriteWorkers <= 0 {
 		o.WriteWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.ReadAhead < 0 {
+		o.ReadAhead = 0
 	}
 	return o
 }
@@ -97,9 +113,13 @@ type DB struct {
 	log     *wal.Log                // nil in memory mode; set once at open
 	inBatch bool                    // guarded by mu
 	closed  bool                    // guarded by mu
-	// statsDirty marks planner statistics (catalog.Stats) changed since
-	// the last catalog save; the next commit persists them.
+	// statsDirty marks planner statistics (catalog.Stats) and zone maps
+	// (catalog.Zones) changed since the last catalog save; the next commit
+	// persists them.
 	statsDirty bool // guarded by mu
+	// zoneSkipped counts heap pages skipped by zone-map pruning; atomic
+	// because queries increment it under the shared lock.
+	zoneSkipped atomic.Uint64
 }
 
 // OpenMemory returns an in-memory database (no durability, no WAL).
@@ -290,6 +310,9 @@ func (db *DB) newPager(f pager.File) (*pager.Pager, error) {
 	}
 	if db.log != nil {
 		pg.SetNoSteal(true)
+	}
+	if db.opts.ReadAhead > 0 {
+		pg.SetReadAhead(db.opts.ReadAhead)
 	}
 	return pg, nil
 }
@@ -745,13 +768,15 @@ func (db *DB) AbortBatch() error {
 		}
 		ih.tree = tr
 	}
-	// Planner statistics for the aborted rows were folded in eagerly;
-	// restore the last persisted snapshot so estimates match the data.
+	// Planner statistics and zone maps for the aborted rows were folded in
+	// eagerly; restore the last persisted snapshot so estimates match the
+	// data and page summaries never under-approximate the replayed pages.
 	cat, err := loadCatalog(db.dir)
 	if err != nil {
 		return err
 	}
 	db.catalog.Stats = cat.Stats
+	db.catalog.Zones = cat.Zones
 	db.statsDirty = false
 	return nil
 }
@@ -873,6 +898,9 @@ func (db *DB) CacheStats() pager.Stats {
 		s.Reads += x.Reads
 		s.Writes += x.Writes
 		s.Evictions += x.Evictions
+		s.PrefetchReads += x.PrefetchReads
+		s.PrefetchHits += x.PrefetchHits
+		s.PrefetchWasted += x.PrefetchWasted
 	}
 	for _, th := range db.tables {
 		add(th.pg.Stats())

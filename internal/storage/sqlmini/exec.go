@@ -93,7 +93,11 @@ func (db *DB) scanRows(p *scanPlan, args []Value, fn func(rid heap.RID, vals []V
 	}
 
 	if p.index == nil {
-		return th.h.Scan(visit)
+		// Zone-map pruning: skip heap pages whose per-page column bounds
+		// cannot intersect the plan's ranges. Advisory only — the residual
+		// filter above still decides row membership, so pruned and unpruned
+		// scans return identical rows.
+		return th.h.ScanPages(db.zoneKeep(p), visit)
 	}
 	ih := db.indexes[p.index.Name]
 
@@ -434,6 +438,7 @@ func (db *DB) insertRow(schema *tableSchema, vals []Value) error {
 		return err
 	}
 	th := db.tables[schema.Name]
+	fresh := th.h.Len() == 0 // no live rows: zone tracking may start here
 	rid, err := th.h.Insert(rec)
 	if err != nil {
 		return err
@@ -450,16 +455,21 @@ func (db *DB) insertRow(schema *tableSchema, vals []Value) error {
 		}
 	}
 	oneRow := [1][]Value{vals}
-	db.noteInserted(schema, oneRow[:])
+	oneRID := [1]heap.RID{rid}
+	db.noteInserted(schema, oneRow[:], oneRID[:], fresh)
 	return nil
 }
 
 // noteInserted folds freshly written rows into the planner statistics and
-// marks them for persistence at the next commit.
+// zone maps and marks them for persistence at the next commit. rids are
+// the rows' heap locations; fresh reports whether the table held no live
+// rows before the insert (which is when zone tracking may begin — see
+// catalog.noteZones).
 //
 // locks: db.mu
-func (db *DB) noteInserted(schema *tableSchema, rows [][]Value) {
+func (db *DB) noteInserted(schema *tableSchema, rows [][]Value, rids []heap.RID, fresh bool) {
 	db.catalog.noteInsert(schema, rows)
+	db.catalog.noteZones(schema, rows, rids, fresh)
 	db.statsDirty = true
 }
 
@@ -485,14 +495,15 @@ func (db *DB) insertRows(schema *tableSchema, rows [][]Value) error {
 		recs[i] = rec
 	}
 	th := db.tables[schema.Name]
+	fresh := th.h.Len() == 0 // no live rows: zone tracking may start here
 	rids, err := th.h.InsertBatch(recs)
 	if err != nil {
 		return err
 	}
 	// The rows are in the heap; account for them now. If an index apply
 	// below fails, the caller aborts the batch, which restores the
-	// statistics from the last persisted catalog.
-	db.noteInserted(schema, rows)
+	// statistics and zone maps from the last persisted catalog.
+	db.noteInserted(schema, rows, rids, fresh)
 	idxs := db.catalog.indexesOn(schema.Name)
 	if len(idxs) == 0 {
 		return nil

@@ -162,8 +162,10 @@ func (db *DB) execFusedUnit(u *scanUnit, args []Value, branchRows []*Rows) error
 
 	if u.index == nil {
 		// Fused sequential scan: one heap pass, every branch's predicate
-		// per row.
-		return th.h.Scan(func(_ heap.RID, rec []byte) (bool, error) {
+		// per row. Zone-map pruning keeps a page when ANY branch's ranges
+		// could intersect it (zoneKeep ORs the member plans), so the shared
+		// scan visits exactly the pages the branch-at-a-time scans would.
+		return th.h.ScanPages(db.zoneKeep(u.plans...), func(_ heap.RID, rec []byte) (bool, error) {
 			vals, err := decodeRowInto(schema, rec, rowBuf)
 			if err != nil {
 				return false, err

@@ -39,6 +39,15 @@ type scanPlan struct {
 	empty     bool          // statically impossible predicate (e.g. int col = 1.5)
 	detail    string        // human-readable bound description for EXPLAIN
 	est       *planEstimate // statistics-based estimates; nil without stats
+	// ranges are the per-column numeric ranges the WHERE conjuncts imply
+	// (conjunctRanges): inputs to both histogram costing and zone-map page
+	// pruning on the sequential path.
+	ranges []colRange
+	// EXPLAIN annotations for the I/O layer: zonemap reports that a
+	// sequential scan of this plan can prune pages through the table's
+	// zone maps; readahead is the configured prefetch distance.
+	zonemap   bool
+	readahead int
 }
 
 // planEstimate is the statistics-based costing of one access path,
@@ -61,8 +70,14 @@ func (p *scanPlan) explain() string {
 		sb.WriteString("EMPTY RESULT")
 	} else if p.index == nil {
 		fmt.Fprintf(&sb, "SEQ SCAN %s", p.schema.Name)
+		if p.zonemap {
+			sb.WriteString(" ZONEMAP")
+		}
 	} else {
 		fmt.Fprintf(&sb, "INDEX SCAN %s ON %s %s", p.index.Name, p.schema.Name, p.detail)
+	}
+	if p.readahead > 0 {
+		fmt.Fprintf(&sb, " READAHEAD %d", p.readahead)
 	}
 	if p.filter != nil {
 		fmt.Fprintf(&sb, " FILTER %s", p.filter.String())
@@ -113,6 +128,9 @@ func buildPlan(db *DB, schema *tableSchema, where expr, args []Value, mode PlanM
 	if err != nil {
 		return nil, err
 	}
+	plan.ranges = ranges
+	plan.zonemap = !db.opts.DisableZoneMaps && len(ranges) > 0 && c.Zones[schema.Name] != nil
+	plan.readahead = db.opts.ReadAhead
 	// outSel: product of per-column histogram selectivities over every
 	// estimable conjunct (independence assumed).
 	outSel := combinedSel(ts, ranges, nil)

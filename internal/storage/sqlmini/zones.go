@@ -1,0 +1,178 @@
+package sqlmini
+
+import (
+	"math"
+
+	"segdiff/internal/storage/heap"
+	"segdiff/internal/storage/pager"
+)
+
+// Zone maps: per-heap-page min/max summaries of the numeric columns,
+// maintained at insert time alongside the planner statistics and
+// persisted with the catalog. The sequential and fused-sequential
+// executors consult them to skip whole pages whose value ranges cannot
+// intersect a query's column ranges — the paper's "SegDiff reads fewer
+// pages" argument applied inside our own engine.
+//
+// Zone maps are advisory for correctness: a page summary may only ever
+// OVER-approximate the live rows on the page (pruning skips a page only
+// when no row can match; it may always admit too much, never too
+// little). The maintenance rules keep that one-sided guarantee cheap:
+//
+//   - Tracking starts only for tables that are empty at first insert. A
+//     database created before zone maps existed has rows no summary
+//     covers; its tables simply never get zone entries and stay
+//     unprunable (catalog.Zones is absent from its JSON).
+//   - Deletes leave summaries untouched: stale-wide bounds admit pages
+//     that no longer need visiting, which costs reads, not answers.
+//   - A crash can persist summaries for rows the WAL replay discards
+//     (the catalog is saved before the log commits) — again wider than
+//     the data, never narrower.
+//   - Pages without an entry (summaries shorter than the heap, or the
+//     unset sentinel Min > Max) are always admitted.
+
+// colZones holds one column's per-page bounds, indexed by heap PageID.
+// A page with Min[p] > Max[p] is unset (no summarized rows) and is never
+// pruned; fresh slots start at the extreme sentinel values so plain
+// min/max folding initializes them.
+type colZones struct {
+	Min []float64 `json:"min"`
+	Max []float64 `json:"max"`
+}
+
+// ensure grows the per-page arrays to cover page, filling new slots with
+// the unset sentinel.
+func (cz *colZones) ensure(page pager.PageID) {
+	for int(page) >= len(cz.Min) {
+		cz.Min = append(cz.Min, math.MaxFloat64)
+		cz.Max = append(cz.Max, -math.MaxFloat64)
+	}
+}
+
+// tableZones holds the zone maps of one table's numeric columns.
+type tableZones struct {
+	Cols map[string]*colZones `json:"cols"`
+}
+
+// pageMayMatch reports whether a page could hold a row satisfying every
+// column range. Missing or unset summaries admit the page.
+func (tz *tableZones) pageMayMatch(page pager.PageID, ranges []colRange) bool {
+	for _, r := range ranges {
+		cz := tz.Cols[r.col]
+		if cz == nil || int(page) >= len(cz.Min) {
+			continue // no summary for this column/page: cannot prune
+		}
+		zmin, zmax := cz.Min[page], cz.Max[page]
+		if zmin > zmax {
+			continue // unset sentinel
+		}
+		if zmax < r.lo || zmin > r.hi {
+			return false // page range disjoint from query range
+		}
+	}
+	return true
+}
+
+// zonesFor returns (creating if needed) the zone entry for a table.
+func (c *catalog) zonesFor(table string) *tableZones {
+	if c.Zones == nil {
+		c.Zones = map[string]*tableZones{}
+	}
+	tz := c.Zones[table]
+	if tz == nil {
+		tz = &tableZones{Cols: map[string]*colZones{}}
+		c.Zones[table] = tz
+	}
+	return tz
+}
+
+// noteZones folds freshly inserted rows into the table's zone maps.
+// create controls whether a table without an entry starts tracking: it
+// must only be true when the table held no live rows before the insert
+// (otherwise the new summaries would be narrower than the page contents
+// and pruning would drop rows). Callers hold the engine's writer lock.
+func (c *catalog) noteZones(schema *tableSchema, rows [][]Value, rids []heap.RID, create bool) {
+	if c.Zones[schema.Name] == nil && !create {
+		return // pre-existing rows are not summarized: stay unprunable
+	}
+	tz := c.zonesFor(schema.Name)
+	for ri, vals := range rows {
+		page := rids[ri].Page
+		for i, col := range schema.Cols {
+			var v float64
+			switch col.Type {
+			case IntType:
+				v = float64(vals[i].I)
+			case RealType:
+				v = vals[i].R
+			default:
+				continue // TEXT columns carry no zone maps
+			}
+			cz := tz.Cols[col.Name]
+			if cz == nil {
+				cz = &colZones{}
+				tz.Cols[col.Name] = cz
+			}
+			cz.ensure(page)
+			if v < cz.Min[page] {
+				cz.Min[page] = v
+			}
+			if v > cz.Max[page] {
+				cz.Max[page] = v
+			}
+		}
+	}
+}
+
+// zoneMatcher returns the page-admission predicate implied by a table's
+// zone maps and a plan's column ranges, or nil when nothing can be
+// pruned (no zone entry, no estimable ranges).
+func zoneMatcher(tz *tableZones, ranges []colRange) func(pager.PageID) bool {
+	if tz == nil || len(ranges) == 0 {
+		return nil
+	}
+	return func(id pager.PageID) bool { return tz.pageMayMatch(id, ranges) }
+}
+
+// zoneKeep builds the page-keep callback for a sequential scan serving
+// the given plans (one for a plain scan, all members for a fused unit):
+// a page is kept when ANY non-empty plan admits it, so pruning never
+// drops a page some branch still needs. It returns nil — scan everything
+// — when zone maps are disabled or any branch is unprunable. Skipped
+// pages are counted on db.zoneSkipped.
+//
+// locks: db.mu (any)
+func (db *DB) zoneKeep(plans ...*scanPlan) func(pager.PageID) bool {
+	if db.opts.DisableZoneMaps {
+		return nil
+	}
+	matchers := make([]func(pager.PageID) bool, 0, len(plans))
+	for _, p := range plans {
+		if p.empty {
+			continue // statically empty branches admit no pages
+		}
+		m := zoneMatcher(db.catalog.Zones[p.schema.Name], p.ranges)
+		if m == nil {
+			return nil // one unprunable branch forces a full scan
+		}
+		matchers = append(matchers, m)
+	}
+	if len(matchers) == 0 {
+		return nil
+	}
+	return func(id pager.PageID) bool {
+		for _, m := range matchers {
+			if m(id) {
+				return true
+			}
+		}
+		db.zoneSkipped.Add(1)
+		return false
+	}
+}
+
+// ZoneSkippedPages returns the cumulative number of heap pages skipped
+// by zone-map pruning across all queries (monotonic; callers diff).
+func (db *DB) ZoneSkippedPages() uint64 {
+	return db.zoneSkipped.Load()
+}

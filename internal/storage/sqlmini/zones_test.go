@@ -1,0 +1,298 @@
+package sqlmini
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// zoneRows generates n feature-like rows whose dv1 grows monotonically,
+// so consecutive heap pages cover narrow, disjoint dv1 ranges — the
+// shape zone maps prune best (arrival-ordered sensor features).
+func zoneRows(n int) [][]Value {
+	rows := make([][]Value, n)
+	for i := 0; i < n; i++ {
+		rows[i] = []Value{
+			Real(float64(i)),            // dv1: monotone
+			Real(float64(i%97) - 48),    // dv2: oscillating
+			Int(int64(i % 13)),          // dt
+			Text(fmt.Sprintf("s%d", i)), // tag: TEXT, no zones
+		}
+	}
+	return rows
+}
+
+// openZoneDB builds an in-memory table with zone maps populated.
+func openZoneDB(t *testing.T, opts Options, n int) *DB {
+	t.Helper()
+	db := OpenMemory(opts)
+	mustExec(t, db, "CREATE TABLE f (dv1 REAL, dv2 REAL, dt INT, tag TEXT)")
+	st, err := db.Prepare("INSERT INTO f VALUES (?, ?, ?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ExecBatch(zoneRows(n)); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// zoneQueries cover the pruning-relevant shapes: selective and
+// unselective ranges, equality, multi-column conjunctions, a predicate
+// no zone covers (TEXT), and a statically wide one.
+var zoneQueries = []struct {
+	sql  string
+	args []Value
+}{
+	{"SELECT * FROM f WHERE dv1 < 50", nil},
+	{"SELECT * FROM f WHERE dv1 >= ? AND dv1 < ?", []Value{Real(300), Real(350)}},
+	{"SELECT * FROM f WHERE dv1 = 123", nil},
+	{"SELECT * FROM f WHERE dv1 < 100 AND dv2 > 40", nil},
+	{"SELECT dv1, dt FROM f WHERE dt <= 1 AND dv1 > 4900", nil},
+	{"SELECT * FROM f WHERE tag = 's7'", nil},
+	{"SELECT * FROM f WHERE dv2 <= 1000", nil},
+	{"SELECT * FROM f WHERE dv1 > 100000", nil},
+}
+
+// TestZonePruningIdentity compares every query on a pruning database
+// against a twin with zone maps disabled, under both plan modes and a
+// fused UNION: results must be byte-identical (pruning is advisory).
+func TestZonePruningIdentity(t *testing.T) {
+	pruned := openZoneDB(t, Options{}, 5000)
+	plain := openZoneDB(t, Options{DisableZoneMaps: true}, 5000)
+	defer pruned.Close()
+	defer plain.Close()
+	// Deletes leave zone summaries stale-wide; identity must survive them.
+	for _, db := range []*DB{pruned, plain} {
+		if _, err := db.Exec("DELETE FROM f WHERE dv1 >= 200 AND dv1 < 210"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range zoneQueries {
+		for _, mode := range []PlanMode{PlanAuto, PlanForceScan} {
+			a, err := pruned.QueryMode(mode, q.sql, q.args...)
+			if err != nil {
+				t.Fatalf("%s: %v", q.sql, err)
+			}
+			b, err := plain.QueryMode(mode, q.sql, q.args...)
+			if err != nil {
+				t.Fatalf("%s: %v", q.sql, err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("mode %v %s: pruned %d rows, unpruned %d rows", mode, q.sql, a.Len(), b.Len())
+			}
+		}
+	}
+	union := "SELECT * FROM f WHERE dv1 < 40 UNION SELECT * FROM f WHERE dv1 >= 4980 UNION SELECT * FROM f WHERE dv1 = 2500"
+	a, err := pruned.QueryMode(PlanForceScan, union)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := plain.QueryMode(PlanForceScan, union)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("fused union: pruned %d rows, unpruned %d rows", a.Len(), b.Len())
+	}
+	if pruned.ZoneSkippedPages() == 0 {
+		t.Fatal("identity suite never exercised pruning")
+	}
+	if plain.ZoneSkippedPages() != 0 {
+		t.Fatal("DisableZoneMaps still pruned pages")
+	}
+}
+
+// TestZonePruningSkipsPages checks effectiveness: a selective range on
+// the monotone column must skip most pages and read fewer pages than a
+// full scan, while returning exactly the matching rows.
+func TestZonePruningSkipsPages(t *testing.T) {
+	db := openZoneDB(t, Options{}, 5000)
+	defer db.Close()
+	if err := db.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	before := db.CacheStats()
+	rows, err := db.QueryMode(PlanForceScan, "SELECT * FROM f WHERE dv1 < 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 50 {
+		t.Fatalf("got %d rows, want 50", rows.Len())
+	}
+	after := db.CacheStats()
+	skipped := db.ZoneSkippedPages()
+	if skipped == 0 {
+		t.Fatal("no pages skipped by zone map")
+	}
+	heapPages, err := db.TableSizeBytes("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nPages := uint64(heapPages) / 4096
+	readPages := after.Reads - before.Reads
+	if readPages+skipped < nPages {
+		t.Fatalf("accounting: read %d + skipped %d < %d heap pages", readPages, skipped, nPages)
+	}
+	if readPages >= nPages {
+		t.Fatalf("pruned cold scan still read %d of %d pages", readPages, nPages)
+	}
+}
+
+// TestZoneExplain checks the EXPLAIN annotations for the new I/O layer.
+func TestZoneExplain(t *testing.T) {
+	db := openZoneDB(t, Options{ReadAhead: 8}, 1000)
+	defer db.Close()
+	rows, err := db.QueryMode(PlanForceScan, "EXPLAIN SELECT * FROM f WHERE dv1 < 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := rows.Data[0][0].S
+	want := "SEQ SCAN f ZONEMAP READAHEAD 8"
+	if len(plan) < len(want) || plan[:len(want)] != want {
+		t.Fatalf("plan = %q, want prefix %q", plan, want)
+	}
+	// A TEXT-only predicate has no estimable ranges: no ZONEMAP marker.
+	rows, err = db.QueryMode(PlanForceScan, "EXPLAIN SELECT * FROM f WHERE tag = 's1'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan = rows.Data[0][0].S
+	want = "SEQ SCAN f READAHEAD 8"
+	if len(plan) < len(want) || plan[:len(want)] != want {
+		t.Fatalf("plan = %q, want prefix %q", plan, want)
+	}
+}
+
+// TestZonePersistence checks zone maps survive a close/reopen through the
+// catalog, and keep pruning afterwards.
+func TestZonePersistence(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE f (dv1 REAL, dv2 REAL, dt INT, tag TEXT)")
+	st, err := db.Prepare("INSERT INTO f VALUES (?, ?, ?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ExecBatch(zoneRows(3000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rows, err := db.QueryMode(PlanForceScan, "SELECT * FROM f WHERE dv1 < 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 30 {
+		t.Fatalf("got %d rows, want 30", rows.Len())
+	}
+	if db.ZoneSkippedPages() == 0 {
+		t.Fatal("persisted zone maps did not prune after reopen")
+	}
+	// Zones keep extending for new batches after reopen.
+	st2, err := db.Prepare("INSERT INTO f VALUES (?, ?, ?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := [][]Value{{Real(1e6), Real(0), Int(0), Text("x")}}
+	if _, err := st2.ExecBatch(extra); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = db.QueryMode(PlanForceScan, "SELECT * FROM f WHERE dv1 >= 1000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 {
+		t.Fatalf("got %d rows, want 1", rows.Len())
+	}
+}
+
+// TestZoneAbortRestores checks AbortBatch rolls zone maps back to the
+// persisted snapshot, so summaries never cover discarded rows and later
+// queries stay exact.
+func TestZoneAbortRestores(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExec(t, db, "CREATE TABLE f (dv1 REAL, dv2 REAL, dt INT, tag TEXT)")
+	st, err := db.Prepare("INSERT INTO f VALUES (?, ?, ?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ExecBatch(zoneRows(1000)); err != nil {
+		t.Fatal(err)
+	}
+
+	db.BeginBatch()
+	if _, err := st.ExecBatch([][]Value{{Real(-5e6), Real(0), Int(0), Text("aborted")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AbortBatch(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []PlanMode{PlanAuto, PlanForceScan} {
+		rows, err := db.QueryMode(mode, "SELECT * FROM f WHERE dv1 <= -1000000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows.Len() != 0 {
+			t.Fatalf("aborted row visible under mode %v", mode)
+		}
+	}
+	// The surviving data still answers exactly after the rollback.
+	rows, err := db.QueryMode(PlanForceScan, "SELECT * FROM f WHERE dv1 < 25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 25 {
+		t.Fatalf("got %d rows, want 25", rows.Len())
+	}
+}
+
+// TestZonesNotCreatedForPreexistingRows pins the upgrade rule: a table
+// whose rows predate zone tracking (no catalog entry) must never grow
+// narrow summaries from later inserts, or pruning would drop the old
+// rows.
+func TestZonesNotCreatedForPreexistingRows(t *testing.T) {
+	db := openZoneDB(t, Options{}, 500)
+	defer db.Close()
+	// Simulate a database upgraded from a pre-zone-map version: the
+	// catalog has data but no zone entries.
+	db.mu.Lock()
+	db.catalog.Zones = nil
+	db.mu.Unlock()
+	// New inserts on the non-fresh table must not start tracking.
+	if _, err := db.Exec("INSERT INTO f VALUES (9e5, 0, 0, 'new')"); err != nil {
+		t.Fatal(err)
+	}
+	db.mu.RLock()
+	_, tracked := db.catalog.Zones["f"]
+	db.mu.RUnlock()
+	if tracked {
+		t.Fatal("zone tracking started on a table with unsummarized rows")
+	}
+	// And scans stay full (correct) for the old rows.
+	rows, err := db.QueryMode(PlanForceScan, "SELECT * FROM f WHERE dv1 < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 10 {
+		t.Fatalf("got %d rows, want 10", rows.Len())
+	}
+	if db.ZoneSkippedPages() != 0 {
+		t.Fatal("pruning ran without zone entries")
+	}
+}
