@@ -1,0 +1,31 @@
+# Convenience targets mirroring the CI pipeline; see .github/workflows/ci.yml
+# for the authoritative step list.
+
+GO ?= go
+
+.PHONY: all build test race lint lint-json vet
+
+all: build vet lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive subset CI runs on every push.
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# Run the segdifflint analyzer suite over the whole module. Contributors
+# should run this before pushing; CI enforces a clean run.
+lint:
+	$(GO) run ./cmd/segdifflint ./...
+
+# Same findings as machine-readable JSON (file, line, analyzer, message,
+# ignore-directive status), for editors and CI annotation tooling.
+lint-json:
+	$(GO) run ./cmd/segdifflint -json ./...

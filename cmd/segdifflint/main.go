@@ -9,12 +9,20 @@
 //
 //	go run ./cmd/segdifflint -disable lockcheck,syncerr ./internal/core
 //
+// With -json the findings are emitted as a single JSON array on stdout —
+// one object per finding with file, line, column, analyzer, message, and
+// whether an ignore directive suppressed it (suppressed findings are
+// included in the array for auditability but do not affect the exit
+// status). The array is emitted even when empty, so CI can always parse
+// the artifact.
+//
 // Findings are suppressed per line with a justified directive comment:
 //
 //	//segdifflint:ignore <analyzer> <reason>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,8 +36,9 @@ import (
 
 func main() {
 	disable := flag.String("disable", "", "comma-separated analyzer names to skip")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (suppressed findings included, marked ignored)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: segdifflint [-disable name,...] packages...\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: segdifflint [-disable name,...] [-json] packages...\n\nanalyzers:\n")
 		for _, a := range suite.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -56,7 +65,7 @@ func main() {
 		analyzers = kept
 	}
 
-	n, err := run(analyzers, flag.Args())
+	n, err := run(analyzers, flag.Args(), *jsonOut)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "segdifflint:", err)
 		os.Exit(2)
@@ -67,7 +76,22 @@ func main() {
 	}
 }
 
-func run(analyzers []*analysis.Analyzer, patterns []string) (int, error) {
+// finding is one diagnostic in the -json output.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// Ignored is true when a //segdifflint:ignore directive suppressed
+	// the finding; ignored findings do not affect the exit status.
+	Ignored bool `json:"ignored"`
+}
+
+// run loads the packages, runs the analyzers module-wide (so
+// interprocedural facts cross package boundaries), and prints findings.
+// The returned count includes only non-ignored findings.
+func run(analyzers []*analysis.Analyzer, patterns []string, jsonOut bool) (int, error) {
 	moduleDir, err := loader.ModuleDir()
 	if err != nil {
 		return 0, err
@@ -76,20 +100,46 @@ func run(analyzers []*analysis.Analyzer, patterns []string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	results, err := analysis.RunModule(&analysis.Module{Packages: pkgs}, analyzers)
+	if err != nil {
+		return 0, err
+	}
+
 	total := 0
-	for _, pkg := range pkgs {
-		diags, err := analysis.Run(pkg, analyzers)
-		if err != nil {
-			return total, err
-		}
-		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos)
+	findings := []finding{} // non-nil so -json always emits an array
+	for _, res := range results {
+		emit := func(d analysis.Diagnostic, ignored bool) {
+			pos := res.Pkg.Fset.Position(d.Pos)
 			file := pos.Filename
 			if rel, err := filepath.Rel(moduleDir, file); err == nil && !strings.HasPrefix(rel, "..") {
 				file = rel
 			}
-			fmt.Printf("%s:%d:%d: [%s] %s\n", file, pos.Line, pos.Column, d.Analyzer, d.Message)
-			total++
+			if jsonOut {
+				findings = append(findings, finding{
+					File: file, Line: pos.Line, Col: pos.Column,
+					Analyzer: d.Analyzer, Message: d.Message, Ignored: ignored,
+				})
+			} else if !ignored {
+				fmt.Printf("%s:%d:%d: [%s] %s\n", file, pos.Line, pos.Column, d.Analyzer, d.Message)
+			}
+			if !ignored {
+				total++
+			}
+		}
+		for _, d := range res.Diags {
+			emit(d, false)
+		}
+		if jsonOut {
+			for _, d := range res.Suppressed {
+				emit(d, true)
+			}
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			return total, err
 		}
 	}
 	return total, nil

@@ -37,6 +37,20 @@ type Analyzer struct {
 	Doc string
 	// Run inspects the package and reports findings through pass.Reportf.
 	Run func(pass *Pass) error
+	// ModuleFacts, when non-nil, runs once over the whole loaded module
+	// before any per-package Run and computes cross-package facts (call
+	// graphs, bottom-up function summaries, module-wide field sets). The
+	// result is handed to every Pass of this analyzer via Pass.ModuleFacts,
+	// which is how the interprocedural analyzers see a Get in one package
+	// released in another. Fixture runs see a one-package module.
+	ModuleFacts func(mod *Module) (any, error)
+}
+
+// Module is the set of packages loaded and analyzed together. All
+// packages of one module share a single token.FileSet, so positions from
+// any package's facts can be printed through any pass's Fset.
+type Module struct {
+	Packages []*Package
 }
 
 // Pass holds the per-package inputs handed to an Analyzer.
@@ -46,6 +60,10 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Module is the package set loaded together with this one.
+	Module *Module
+	// ModuleFacts is the value computed by Analyzer.ModuleFacts, or nil.
+	ModuleFacts any
 
 	diags *[]Diagnostic
 }
@@ -87,28 +105,69 @@ func NewInfo() *types.Info {
 	}
 }
 
+// Result is the outcome of analyzing one package of a module.
+type Result struct {
+	Pkg *Package
+	// Diags are the surviving diagnostics, sorted by position.
+	Diags []Diagnostic
+	// Suppressed are diagnostics silenced by a used ignore directive,
+	// sorted by position — surfaced so tooling (segdifflint -json) can
+	// report the ignore-directive status of every finding.
+	Suppressed []Diagnostic
+}
+
 // Run applies analyzers to pkg, honours ignore directives, and returns the
 // surviving diagnostics sorted by position. Directive misuse (missing
 // reason, unknown analyzer name) is reported as a diagnostic of the
-// pseudo-analyzer "directive".
+// pseudo-analyzer "directive". The package is treated as a complete
+// module of one package — analyzers with ModuleFacts see only it.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			diags:    &diags,
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
-		}
+	results, err := RunModule(&Module{Packages: []*Package{pkg}}, analyzers)
+	if err != nil {
+		return nil, err
 	}
-	diags = applyDirectives(pkg, analyzers, diags)
-	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	return diags, nil
+	return results[0].Diags, nil
+}
+
+// RunModule computes every analyzer's module facts once, then applies the
+// analyzers to each package of the module, honouring ignore directives.
+// Results are in mod.Packages order.
+func RunModule(mod *Module, analyzers []*Analyzer) ([]Result, error) {
+	moduleFacts := map[*Analyzer]any{}
+	for _, a := range analyzers {
+		if a.ModuleFacts == nil {
+			continue
+		}
+		v, err := a.ModuleFacts(mod)
+		if err != nil {
+			return nil, fmt.Errorf("%s: module facts: %w", a.Name, err)
+		}
+		moduleFacts[a] = v
+	}
+	var results []Result
+	for _, pkg := range mod.Packages {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:    a,
+				Fset:        pkg.Fset,
+				Files:       pkg.Files,
+				Pkg:         pkg.Types,
+				Info:        pkg.Info,
+				Module:      mod,
+				ModuleFacts: moduleFacts[a],
+				diags:       &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+		kept, suppressed := applyDirectives(pkg, analyzers, diags)
+		sort.SliceStable(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+		sort.SliceStable(suppressed, func(i, j int) bool { return suppressed[i].Pos < suppressed[j].Pos })
+		results = append(results, Result{Pkg: pkg, Diags: kept, Suppressed: suppressed})
+	}
+	return results, nil
 }
 
 // directive is one parsed //segdifflint:ignore comment.
@@ -123,8 +182,9 @@ type directive struct {
 
 const directivePrefix = "//segdifflint:ignore"
 
-// applyDirectives filters diags through the files' ignore directives.
-func applyDirectives(pkg *Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+// applyDirectives filters diags through the files' ignore directives,
+// returning the surviving diagnostics and the suppressed ones.
+func applyDirectives(pkg *Package, analyzers []*Analyzer, diags []Diagnostic) (kept, suppressed []Diagnostic) {
 	known := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
@@ -170,15 +230,17 @@ func applyDirectives(pkg *Package, analyzers []*Analyzer, diags []Diagnostic) []
 	for _, dg := range diags {
 		tf := pkg.Fset.File(dg.Pos)
 		line := tf.Line(dg.Pos)
-		suppressed := false
+		silenced := false
 		for _, d := range dirs {
 			if d.analyzer == dg.Analyzer && d.file == tf && (d.line == line || d.line == line-1) {
 				d.used = true
-				suppressed = true
+				silenced = true
 				break
 			}
 		}
-		if !suppressed {
+		if silenced {
+			suppressed = append(suppressed, dg)
+		} else {
 			out = append(out, dg)
 		}
 	}
@@ -191,7 +253,7 @@ func applyDirectives(pkg *Package, analyzers []*Analyzer, diags []Diagnostic) []
 			})
 		}
 	}
-	return out
+	return out, suppressed
 }
 
 // ReceiverTypeName returns the name of the (possibly pointer) named

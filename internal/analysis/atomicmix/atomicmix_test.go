@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"segdiff/internal/analysis/analysistest"
+	"segdiff/internal/analysis/atomicmix"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, atomicmix.Analyzer, "atomicmix")
+}

@@ -1,0 +1,196 @@
+// Package callgraph builds a static call graph over every function
+// declared in a loaded module, for the interprocedural segdifflint
+// analyzers. Like the rest of internal/analysis it depends only on the
+// standard library.
+//
+// The graph is deliberately simple: nodes are declared functions and
+// methods (identified by their *types.Func), and an edge A → B exists
+// when A's body contains a direct static call to B — a plain call, a
+// package-qualified call, or a method call whose callee resolves through
+// go/types. Calls through interface values, function values, and method
+// values produce no edge (the analyzers treat such calls
+// conservatively), and function literals are attributed to the declared
+// function enclosing them: a call made inside a closure is an edge from
+// the function that created the closure, which is the right attribution
+// for the worker-pool and defer patterns the engine uses.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+
+	"segdiff/internal/analysis"
+)
+
+// Node is one declared function or method of the module.
+type Node struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *analysis.Package
+	// Callees are the module functions this node calls directly, without
+	// duplicates, in first-call order.
+	Callees []*Node
+	// Callers is the reverse adjacency, without duplicates.
+	Callers []*Node
+
+	// Tarjan bookkeeping (BottomUp).
+	index, lowlink int
+	onStack        bool
+}
+
+// Graph is the module's call graph.
+type Graph struct {
+	// Nodes maps every declared function with a body to its node.
+	Nodes map[*types.Func]*Node
+	// order preserves declaration order for deterministic traversal.
+	order []*Node
+}
+
+// Build constructs the call graph of mod.
+func Build(mod *analysis.Module) *Graph {
+	g := &Graph{Nodes: map[*types.Func]*Node{}}
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &Node{Fn: fn, Decl: fd, Pkg: pkg}
+				g.Nodes[fn] = n
+				g.order = append(g.order, n)
+			}
+		}
+	}
+	for _, n := range g.order {
+		seen := map[*Node]bool{}
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := Callee(n.Pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			target, ok := g.Nodes[callee]
+			if !ok || seen[target] {
+				return true
+			}
+			seen[target] = true
+			n.Callees = append(n.Callees, target)
+			target.Callers = append(target.Callers, n)
+			return true
+		})
+	}
+	return g
+}
+
+// NodeOf returns the node for fn, or nil when fn has no body in the
+// module (imported, interface method, or declaration-only).
+func (g *Graph) NodeOf(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	return g.Nodes[fn]
+}
+
+// Callee resolves the *types.Func a call statically invokes: a direct
+// function call, a package-qualified call, or a method call (concrete or
+// interface). Calls of function-typed values return nil.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[fun]; ok {
+			if fn, ok := s.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call (pkg.F).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// BottomUp returns the graph's strongly connected components in
+// bottom-up order: every callee outside a component appears in an
+// earlier component than its callers. Analyzers walk this order so a
+// function's summary is computed before — or, within a cycle, alongside —
+// the summaries of the functions calling it.
+func (g *Graph) BottomUp() [][]*Node {
+	// Iterative Tarjan over the deterministic declaration order; SCCs pop
+	// in reverse topological order, which is exactly bottom-up.
+	var (
+		sccs  [][]*Node
+		stack []*Node
+		next  = 1
+	)
+	type frame struct {
+		n  *Node
+		ci int // next callee index to visit
+	}
+	for _, root := range g.order {
+		if root.index != 0 {
+			continue
+		}
+		work := []frame{{n: root}}
+		for len(work) > 0 {
+			fr := &work[len(work)-1]
+			n := fr.n
+			if fr.ci == 0 {
+				n.index, n.lowlink = next, next
+				next++
+				stack = append(stack, n)
+				n.onStack = true
+			}
+			advanced := false
+			for fr.ci < len(n.Callees) {
+				c := n.Callees[fr.ci]
+				fr.ci++
+				if c.index == 0 {
+					work = append(work, frame{n: c})
+					advanced = true
+					break
+				}
+				if c.onStack && c.lowlink < n.lowlink {
+					n.lowlink = c.lowlink
+				}
+			}
+			if advanced {
+				continue
+			}
+			if n.lowlink == n.index {
+				var scc []*Node
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					top.onStack = false
+					scc = append(scc, top)
+					if top == n {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].n
+				if n.lowlink < parent.lowlink {
+					parent.lowlink = n.lowlink
+				}
+			}
+		}
+	}
+	return sccs
+}

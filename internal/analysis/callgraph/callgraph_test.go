@@ -1,0 +1,99 @@
+package callgraph_test
+
+import (
+	"testing"
+
+	"segdiff/internal/analysis"
+	"segdiff/internal/analysis/callgraph"
+	"segdiff/internal/analysis/loader"
+)
+
+func buildFixture(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	pkg, err := loader.LoadDir("", "testdata/src/callgraph", "fixture/callgraph")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return callgraph.Build(&analysis.Module{Packages: []*analysis.Package{pkg}})
+}
+
+func nodeByName(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Fn.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %s", name)
+	return nil
+}
+
+func calls(a, b *callgraph.Node) bool {
+	for _, c := range a.Callees {
+		if c == b {
+			return true
+		}
+	}
+	return false
+}
+
+func TestEdges(t *testing.T) {
+	g := buildFixture(t)
+	leaf := nodeByName(t, g, "Leaf")
+	mid := nodeByName(t, g, "Mid")
+	top := nodeByName(t, g, "Top")
+	indirect := nodeByName(t, g, "Indirect")
+	closure := nodeByName(t, g, "Closure")
+
+	if !calls(mid, leaf) {
+		t.Error("Mid should call Leaf (method call)")
+	}
+	if !calls(top, mid) {
+		t.Error("Top should call Mid")
+	}
+	if len(top.Callees) != 1 {
+		t.Errorf("Top calls Mid twice but should have one deduplicated edge, got %d", len(top.Callees))
+	}
+	if len(indirect.Callees) != 0 {
+		t.Errorf("Indirect calls only a function value; want no edges, got %d", len(indirect.Callees))
+	}
+	if !calls(closure, leaf) {
+		t.Error("Closure's literal calls Leaf; the edge belongs to Closure")
+	}
+	if len(leaf.Callers) != 2 {
+		t.Errorf("Leaf should have callers Mid and Closure, got %d", len(leaf.Callers))
+	}
+}
+
+func TestBottomUp(t *testing.T) {
+	g := buildFixture(t)
+	leaf := nodeByName(t, g, "Leaf")
+	mid := nodeByName(t, g, "Mid")
+	top := nodeByName(t, g, "Top")
+	even := nodeByName(t, g, "Even")
+	odd := nodeByName(t, g, "Odd")
+
+	sccs := g.BottomUp()
+	pos := map[*callgraph.Node]int{}
+	sccOf := map[*callgraph.Node][]*callgraph.Node{}
+	total := 0
+	for i, scc := range sccs {
+		for _, n := range scc {
+			pos[n] = i
+			sccOf[n] = scc
+			total++
+		}
+	}
+	if total != len(g.Nodes) {
+		t.Fatalf("BottomUp covered %d nodes, graph has %d", total, len(g.Nodes))
+	}
+	if !(pos[leaf] < pos[mid] && pos[mid] < pos[top]) {
+		t.Errorf("bottom-up order violated: Leaf@%d Mid@%d Top@%d", pos[leaf], pos[mid], pos[top])
+	}
+	if pos[even] != pos[odd] {
+		t.Errorf("Even/Odd are mutually recursive and must share a component: %d vs %d", pos[even], pos[odd])
+	}
+	if len(sccOf[even]) != 2 {
+		t.Errorf("Even's component should hold exactly Even and Odd, got %d nodes", len(sccOf[even]))
+	}
+}

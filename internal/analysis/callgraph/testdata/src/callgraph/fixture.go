@@ -1,0 +1,33 @@
+// Fixture for the callgraph unit tests: a small call structure with a
+// method call, a package-level call chain, a mutual-recursion cycle, and
+// a function-value call that must NOT produce an edge.
+package callgraph
+
+type T struct{ n int }
+
+func (t *T) Leaf() int { return t.n }
+
+func Mid(t *T) int { return t.Leaf() }
+
+func Top(t *T) int { return Mid(t) + Mid(t) }
+
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+
+func Indirect(f func() int) int { return f() }
+
+func Closure(t *T) int {
+	g := func() int { return t.Leaf() }
+	return g()
+}

@@ -1,0 +1,119 @@
+// Package dataflow is the interprocedural layer under the segdifflint
+// analyzers: a bottom-up summary fixpoint over the module call graph
+// (Summaries) and a forward fact-propagation engine over the
+// statement-level CFG of one function body (Forward).
+//
+// The model is deliberately lattice-shaped rather than SSA-complete. An
+// analyzer defines a small comparable abstract state, a join, and a
+// per-statement transfer function; Forward computes the join-over-paths
+// state entering every CFG block. Summaries lets the transfer function
+// of one function consult the already-computed summaries of its callees,
+// so facts like "this callee appends to the WAL before it flushes" or
+// "this callee releases the page handle it is passed" flow across
+// function and package boundaries. Both engines terminate because
+// analyzer states are finite lattices and the fixpoints only ever move
+// up them.
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+
+	"segdiff/internal/analysis/callgraph"
+	"segdiff/internal/analysis/cfg"
+)
+
+// Getter returns the current summary of fn, or nil when fn has no
+// summary (not declared in the module, or not yet computed within this
+// strongly connected component — treat as unknown, i.e. bottom).
+type Getter func(fn *types.Func) any
+
+// sccRounds bounds the fixpoint iterations within one strongly
+// connected component. Analyzer lattices are a few booleans tall, so a
+// cycle's summaries stabilize in at most height·|scc| rounds; the cap
+// is a backstop against a non-monotone transfer function, not a tuning
+// knob.
+const sccRounds = 8
+
+// Summaries computes a summary for every function of the call graph in
+// bottom-up order: when transfer runs for a function, get already
+// returns the final summaries of its callees outside the function's
+// cycle. Within a cycle, transfer is re-run until the summaries of the
+// whole component stop changing (compared with reflect.DeepEqual), so
+// mutual recursion converges to a consistent fixpoint.
+func Summaries(g *callgraph.Graph, transfer func(n *callgraph.Node, get Getter) any) map[*types.Func]any {
+	out := map[*types.Func]any{}
+	get := func(fn *types.Func) any { return out[fn] }
+	for _, scc := range g.BottomUp() {
+		for round := 0; round < sccRounds; round++ {
+			changed := false
+			for _, n := range scc {
+				next := transfer(n, get)
+				if !reflect.DeepEqual(out[n.Fn], next) {
+					out[n.Fn] = next
+					changed = true
+				}
+			}
+			if !changed || len(scc) == 1 {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Forward propagates an abstract state through g from entry, joining
+// over all paths, and returns the state entering every block. transfer
+// folds one statement into the state; join must be commutative,
+// associative, and idempotent, and the set of reachable states must be
+// finite (a worklist fixpoint is run until block in-states stabilize).
+// Unreachable blocks are absent from the result.
+func Forward[S comparable](g *cfg.Graph, entry S, join func(S, S) S, transfer func(S, ast.Stmt) S) map[*cfg.Block]S {
+	in := map[*cfg.Block]S{g.Entry: entry}
+	work := []*cfg.Block{g.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		state := in[b]
+		for _, st := range b.Nodes {
+			state = transfer(state, st)
+		}
+		for _, e := range b.Succs {
+			prev, seen := in[e.To]
+			next := state
+			if seen {
+				next = join(prev, state)
+				if next == prev {
+					continue
+				}
+			}
+			in[e.To] = next
+			work = append(work, e.To)
+		}
+	}
+	return in
+}
+
+// ExitReachable reports whether g's exit block is reachable from its
+// entry — whether the function body can terminate at all. A body whose
+// only way out is blocking forever (for {} with no breaking path, a
+// select with no returning arm) has an unreachable exit.
+func ExitReachable(g *cfg.Graph) bool {
+	seen := map[*cfg.Block]bool{g.Entry: true}
+	work := []*cfg.Block{g.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if b == g.Exit {
+			return true
+		}
+		for _, e := range b.Succs {
+			if !seen[e.To] {
+				seen[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return false
+}

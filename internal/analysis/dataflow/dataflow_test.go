@@ -1,0 +1,143 @@
+package dataflow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"segdiff/internal/analysis"
+	"segdiff/internal/analysis/callgraph"
+	"segdiff/internal/analysis/cfg"
+	"segdiff/internal/analysis/dataflow"
+	"segdiff/internal/analysis/loader"
+)
+
+// parseBody parses src (a full file) and returns the CFG of the named
+// function's body.
+func parseBody(t *testing.T, src, name string) *cfg.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return cfg.New(fd.Body)
+		}
+	}
+	t.Fatalf("no function %s", name)
+	return nil
+}
+
+func TestExitReachable(t *testing.T) {
+	src := `package p
+func loops() { for { } }
+func breaks() { for { break } }
+func returns(x bool) { if x { return }; _ = x }
+func spins(ch chan int) { for { select { case <-ch: } } }
+func stops(ch chan int) { for { select { case <-ch: return } } }
+`
+	cases := []struct {
+		fn   string
+		want bool
+	}{
+		{"loops", false},
+		{"breaks", true},
+		{"returns", true},
+		{"spins", false},
+		{"stops", true},
+	}
+	for _, c := range cases {
+		if got := dataflow.ExitReachable(parseBody(t, src, c.fn)); got != c.want {
+			t.Errorf("ExitReachable(%s) = %v, want %v", c.fn, got, c.want)
+		}
+	}
+}
+
+// TestForward tracks a two-point lattice — "mark() may have been called"
+// — and checks the join over branch and loop paths.
+func TestForward(t *testing.T) {
+	src := `package p
+func mark() {}
+func other() {}
+func f(a bool) {
+	if a {
+		mark()
+	}
+	other()
+}
+`
+	g := parseBody(t, src, "f")
+	isCall := func(s ast.Stmt, name string) bool {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+	in := dataflow.Forward(g, false,
+		func(a, b bool) bool { return a || b },
+		func(s bool, st ast.Stmt) bool { return s || isCall(st, "mark") })
+
+	// The block holding the other() call joins the marked and unmarked
+	// arms, so its in-state must be true (may-have-marked).
+	found := false
+	for b, state := range in {
+		for _, st := range b.Nodes {
+			if isCall(st, "other") {
+				found = true
+				if !state {
+					t.Error("block containing other() should join to may-marked")
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("other() call not found in any reachable block")
+	}
+	if !in[g.Exit] {
+		t.Error("exit in-state should be may-marked")
+	}
+}
+
+// TestSummaries computes a transitive "calls Leaf" fact bottom-up over
+// the callgraph fixture and checks propagation through the chain and
+// through the Even/Odd cycle.
+func TestSummaries(t *testing.T) {
+	pkg, err := loader.LoadDir("", "../callgraph/testdata/src/callgraph", "fixture/callgraph")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	g := callgraph.Build(&analysis.Module{Packages: []*analysis.Package{pkg}})
+
+	summaries := dataflow.Summaries(g, func(n *callgraph.Node, get dataflow.Getter) any {
+		if n.Fn.Name() == "Leaf" {
+			return true
+		}
+		for _, c := range n.Callees {
+			if v, ok := get(c.Fn).(bool); ok && v {
+				return true
+			}
+		}
+		return false
+	})
+
+	want := map[string]bool{"Leaf": true, "Mid": true, "Top": true, "Closure": true,
+		"Even": false, "Odd": false, "Indirect": false}
+	for fn, n := range g.Nodes {
+		w, ok := want[n.Fn.Name()]
+		if !ok {
+			continue
+		}
+		if got := summaries[fn].(bool); got != w {
+			t.Errorf("summary[%s] = %v, want %v", n.Fn.Name(), got, w)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package latchorder_test
+
+import (
+	"testing"
+
+	"segdiff/internal/analysis/analysistest"
+	"segdiff/internal/analysis/latchorder"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, latchorder.Analyzer, "latchorder")
+}

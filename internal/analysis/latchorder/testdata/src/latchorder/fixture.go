@@ -1,0 +1,113 @@
+// Fixture for the latchorder analyzer: latch acquisition order and
+// map-ordered durable writes, modelled on the engine's sharded pager.
+package latchorder
+
+// Pager mirrors the engine's buffer pool; Sync is a flush primitive in
+// walorder's table (latchorder shares those facts).
+type Pager struct{}
+
+func (pg *Pager) Sync() error  { return nil }
+func (pg *Pager) Flush() error { return nil }
+
+// ---- latch acquisition order ----
+
+type latch struct{}
+
+func (l *latch) Lock()    {}
+func (l *latch) RLock()   {}
+func (l *latch) Unlock()  {}
+func (l *latch) RUnlock() {}
+
+type sharded struct {
+	shards [8]struct{ mu latch }
+}
+
+// goodLockAll acquires ascending and releases descending — the engine's
+// lockAll/unlockAll protocol.
+func goodLockAll(s *sharded) {
+	for i := 0; i < len(s.shards); i++ {
+		s.shards[i].mu.Lock()
+	}
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// badLockAll acquires descending, which deadlocks against an ascending
+// locker.
+func badLockAll(s *sharded) {
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Lock() // want `Lock inside a descending loop acquires latches in reverse index order`
+	}
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// badReadLockAll: read latches follow the same protocol.
+func badReadLockAll(s *sharded) {
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.RLock() // want `RLock inside a descending loop acquires latches in reverse index order`
+	}
+	for i := 0; i < len(s.shards); i++ {
+		s.shards[i].mu.RUnlock()
+	}
+}
+
+// ---- map-ordered durable writes ----
+
+// badMapFlush syncs in map iteration order: nondeterministic on-disk
+// write order across runs.
+func badMapFlush(pool map[string]*Pager) error {
+	for _, pg := range pool {
+		if err := pg.Sync(); err != nil { // want `durable write ordered by map iteration`
+			return err
+		}
+	}
+	return nil
+}
+
+// checkpoint writes durably; callers inherit the WritesFile fact.
+func checkpoint(pg *Pager) error { return pg.Sync() }
+
+// badMapCheckpoint flushes through a callee inside map iteration.
+func badMapCheckpoint(pool map[string]*Pager) error {
+	for _, pg := range pool {
+		if err := checkpoint(pg); err != nil { // want `durable write ordered by map iteration`
+			return err
+		}
+	}
+	return nil
+}
+
+// goodSortedFlush iterates a sorted slice of names — the engine's
+// sortedTableNames convention.
+func goodSortedFlush(pool map[string]*Pager, names []string) error {
+	for _, name := range names {
+		if err := pool[name].Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// goodMapRead: map iteration without durable writes is fine.
+func goodMapRead(pool map[string]*Pager) int {
+	n := 0
+	for range pool {
+		n++
+	}
+	return n
+}
+
+// suppressedMapFlush shows the escape hatch for single-file pools where
+// iteration order cannot matter.
+func suppressedMapFlush(pool map[string]*Pager) error {
+	for _, pg := range pool {
+		//segdifflint:ignore latchorder the pool holds at most one pager in this tool
+		if err := pg.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -107,6 +108,15 @@ func LoadDir(moduleDir, dir, importPath string) (*analysis.Package, error) {
 	importSet := map[string]bool{}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		// Respect build constraints (//go:build lines and _GOOS/_GOARCH
+		// file suffixes) the same way `go list` does for real packages;
+		// without this a tag-excluded file's declarations would collide
+		// with the selected file's at type-check time.
+		if ok, err := build.Default.MatchFile(dir, e.Name()); err != nil {
+			return nil, fmt.Errorf("loader: matching %s: %w", e.Name(), err)
+		} else if !ok {
 			continue
 		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)

@@ -1,0 +1,70 @@
+package loader_test
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"testing"
+
+	"segdiff/internal/analysis/loader"
+)
+
+// TestLoadDirGenerics loads a fixture full of type parameters and checks
+// the types.Info maps cover the instantiated code: analyzers rely on
+// Uses/Defs/Types being populated for generic functions and methods.
+func TestLoadDirGenerics(t *testing.T) {
+	pkg, err := loader.LoadDir("", "testdata/src/generics", "fixture/generics")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if pkg.Types.Name() != "generics" {
+		t.Fatalf("package name = %q, want %q", pkg.Types.Name(), "generics")
+	}
+	scope := pkg.Types.Scope()
+	for _, name := range []string{"Ring", "Sum", "UseAll"} {
+		if scope.Lookup(name) == nil {
+			t.Errorf("scope is missing %s", name)
+		}
+	}
+	// Every identifier inside UseAll must resolve through Uses/Defs, and
+	// every expression must have a recorded type — generic instantiation
+	// included.
+	for _, f := range pkg.Files {
+		pkgName := f.Name
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || id.Name == "_" || id == pkgName {
+				return true
+			}
+			if pkg.Info.Uses[id] == nil && pkg.Info.Defs[id] == nil && pkg.Info.Types[id].Type == nil {
+				t.Errorf("identifier %q at %s resolved to nothing", id.Name, pkg.Fset.Position(id.Pos()))
+			}
+			return true
+		})
+	}
+}
+
+// TestLoadDirBuildTags loads a directory holding a build-tag-excluded
+// file whose declarations collide with the selected file's. The loader
+// must skip it the way `go list` would; failing to do so is a duplicate
+// declaration type error.
+func TestLoadDirBuildTags(t *testing.T) {
+	pkg, err := loader.LoadDir("", "testdata/src/tagged", "fixture/tagged")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if n := len(pkg.Files); n != 1 {
+		t.Fatalf("loaded %d files, want 1 (excluded.go must be skipped)", n)
+	}
+	name := pkg.Fset.Position(pkg.Files[0].Pos()).Filename
+	if !strings.HasSuffix(name, "fixture.go") {
+		t.Fatalf("loaded %s, want fixture.go", name)
+	}
+	c, ok := pkg.Types.Scope().Lookup("PageSize").(*types.Const)
+	if !ok {
+		t.Fatal("PageSize missing from package scope")
+	}
+	if got := c.Val().ExactString(); got != "8192" {
+		t.Fatalf("PageSize = %s, want 8192 (excluded.go's 4096 must not win)", got)
+	}
+}

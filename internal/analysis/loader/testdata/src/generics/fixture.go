@@ -1,0 +1,41 @@
+// Loader fixture: generic declarations must parse and type-check, and the
+// types.Info maps must cover instantiated identifiers.
+package generics
+
+// Number constrains the summable types the engine's aggregates use.
+type Number interface {
+	~int | ~int64 | ~float64
+}
+
+// Ring is a generic fixed-capacity ring, shaped like the pager's frame
+// ring but parameterized.
+type Ring[T any] struct {
+	buf  []T
+	head int
+}
+
+// Push appends, overwriting the oldest element when full.
+func (r *Ring[T]) Push(v T) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, v)
+		return
+	}
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+// Sum folds any Number slice.
+func Sum[T Number](xs []T) T {
+	var total T
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// UseAll instantiates both so the checker records Instances.
+func UseAll() float64 {
+	r := Ring[int]{buf: make([]int, 0, 4)}
+	r.Push(1)
+	return Sum([]float64{1.5, 2.5}) + float64(Sum(r.buf))
+}

@@ -1,0 +1,10 @@
+//go:build segdiff_never_enabled
+
+// This file's tag is never satisfied; if the loader fails to apply build
+// constraints, its declarations collide with fixture.go's and the package
+// no longer type-checks.
+package tagged
+
+const PageSize = 4096
+
+func Impl() string { return "excluded" }

@@ -1,0 +1,8 @@
+// Loader fixture: the selected implementation of a build-tagged pair.
+package tagged
+
+// PageSize is the tuned default.
+const PageSize = 8192
+
+// Impl reports which file was selected.
+func Impl() string { return "default" }

@@ -8,13 +8,22 @@
 // function's CFG and reports paths that reach a return (or the end of the
 // function) with the handle still live.
 //
+// The analysis is interprocedural: a bottom-up pass over the module call
+// graph summarizes, for every function, what it does to each Page-typed
+// parameter — releases it on all paths, merely uses it (the caller keeps
+// the obligation), or takes ownership (escape, tracking ends) — and
+// whether it returns a freshly acquired live handle. Callers consume the
+// summaries: `releaseHelper(h)` discharges the obligation, `use(&h)`
+// keeps it (so a following return still leaks), and
+// `h, err := wrapGet(p)` starts tracking exactly like a direct Get.
+//
 // The analysis is flow-sensitive about the acquisition error: on the
 // `err != nil` arm the handle is the zero Page and needs no release, so
 // that arm is not walked (as long as err has not been reassigned).
 //
-// A handle that escapes — passed to a call, stored, returned, captured by
-// address, or assigned to another variable — transfers the release
-// obligation elsewhere and ends local tracking (conservatively silent).
+// A handle whose use defeats the summaries — stored, captured, returned,
+// passed to an unresolvable or variadic call — escapes: the obligation
+// transfers elsewhere and local tracking ends (conservatively silent).
 package pagehandle
 
 import (
@@ -23,46 +32,200 @@ import (
 	"go/types"
 
 	"segdiff/internal/analysis"
+	"segdiff/internal/analysis/callgraph"
 	"segdiff/internal/analysis/cfg"
+	"segdiff/internal/analysis/dataflow"
 )
 
 // Analyzer is the pagehandle analyzer.
 var Analyzer = &analysis.Analyzer{
-	Name: "pagehandle",
-	Doc:  "check that every pager.Get/Allocate page handle is Released on all paths",
-	Run:  run,
+	Name:        "pagehandle",
+	Doc:         "check that every pager.Get/Allocate page handle is Released on all paths, across function boundaries",
+	Run:         run,
+	ModuleFacts: moduleFacts,
 }
 
 // benignMethods are Page methods that use the handle without consuming it.
 var benignMethods = map[string]bool{"ID": true, "Data": true, "MarkDirty": true}
 
+// paramFate is a function's summarized effect on one Page parameter. The
+// zero value is the conservative one.
+type paramFate int
+
+const (
+	// paramEscapes: the function stores, returns, or partially releases
+	// the handle; ownership transfers and the caller's tracking ends.
+	paramEscapes paramFate = iota
+	// paramReleases: every path through the function releases the handle;
+	// passing it in discharges the caller's obligation.
+	paramReleases
+	// paramLeaves: the function only uses the handle (benign methods);
+	// the caller keeps the release obligation.
+	paramLeaves
+)
+
+// fnSummary is the bottom-up fact for one function: the fate of each
+// Page-typed parameter (indexed like Signature.Params) and, per result,
+// whether it is a freshly acquired live handle.
+type fnSummary struct {
+	Params []paramFate
+	Fresh  []bool
+}
+
+// facts is the module-wide fact set.
+type facts struct {
+	sums map[*types.Func]fnSummary
+}
+
+// lookup resolves a function's summary; !ok means unknown (external or
+// unresolved), which callers treat as an escape.
+type lookup func(fn *types.Func) (fnSummary, bool)
+
+func moduleFacts(mod *analysis.Module) (any, error) {
+	g := callgraph.Build(mod)
+	fs := &facts{sums: map[*types.Func]fnSummary{}}
+	raw := dataflow.Summaries(g, func(n *callgraph.Node, get dataflow.Getter) any {
+		lk := func(fn *types.Func) (fnSummary, bool) {
+			s, ok := get(fn).(fnSummary)
+			return s, ok
+		}
+		return summarize(n, lk)
+	})
+	for fn, s := range raw {
+		if sum, ok := s.(fnSummary); ok {
+			fs.sums[fn] = sum
+		}
+	}
+	return fs, nil
+}
+
+// isPage reports whether t is the Page handle type (or a pointer to it).
+// Matching is by type name, not import path, so analysistest fixtures can
+// declare local stand-ins.
+func isPage(t types.Type) bool {
+	return analysis.ReceiverTypeName(t) == "Page"
+}
+
+// summarize computes one function's summary given the current summaries
+// of its callees.
+func summarize(n *callgraph.Node, lk lookup) fnSummary {
+	sig := n.Fn.Type().(*types.Signature)
+	sum := fnSummary{
+		Params: make([]paramFate, sig.Params().Len()),
+		Fresh:  make([]bool, sig.Results().Len()),
+	}
+	if n.Decl == nil || n.Decl.Body == nil {
+		return sum
+	}
+	g := cfg.New(n.Decl.Body)
+	if g.HasGoto {
+		return sum
+	}
+	info := n.Pkg.Info
+
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if !isPage(p.Type()) || p.Name() == "" || p.Name() == "_" {
+			continue
+		}
+		out := walkPaths(info, lk, g, &acquisition{handle: p, block: g.Entry, idx: -1})
+		switch {
+		case out.anyEscape, out.anyRelease && out.anyLeak:
+			sum.Params[i] = paramEscapes
+		case out.anyRelease:
+			sum.Params[i] = paramReleases
+		case out.anyLeak:
+			sum.Params[i] = paramLeaves
+		default:
+			sum.Params[i] = paramEscapes // no path reaches an exit: stay silent
+		}
+	}
+
+	// A result is fresh when some return statement returns a handle that
+	// was acquired in this function (directly or through a fresh callee),
+	// or forwards an acquiring call's results directly.
+	acquired := acquiredHandles(info, lk, g)
+	ast.Inspect(n.Decl.Body, func(nn ast.Node) bool {
+		if _, ok := nn.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := nn.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if len(ret.Results) == 1 {
+			if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+				if v := freshVector(info, lk, call); len(v) == len(sum.Fresh) {
+					for i, fr := range v {
+						sum.Fresh[i] = sum.Fresh[i] || fr
+					}
+				}
+				return true
+			}
+		}
+		if len(ret.Results) != len(sum.Fresh) {
+			return true
+		}
+		for i, r := range ret.Results {
+			if id, ok := ast.Unparen(r).(*ast.Ident); ok && acquired[objOf(info, id)] {
+				sum.Fresh[i] = true
+			}
+		}
+		return true
+	})
+	return sum
+}
+
+// acquiredHandles collects the handle objects acquired anywhere in g.
+func acquiredHandles(info *types.Info, lk lookup, g *cfg.Graph) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			if acq := acquisitionAt(info, lk, blk, i, n); acq != nil && acq.handle != nil {
+				out[acq.handle] = true
+			}
+		}
+	}
+	return out
+}
+
 func run(pass *analysis.Pass) error {
+	fs, _ := pass.ModuleFacts.(*facts)
+	lk := func(fn *types.Func) (fnSummary, bool) {
+		if fs == nil {
+			return fnSummary{}, false
+		}
+		s, ok := fs.sums[fn]
+		return s, ok
+	}
 	for _, f := range pass.Files {
 		analysis.FuncBodies(f, func(_ *ast.FuncDecl, _ *ast.FuncLit, body *ast.BlockStmt) {
-			checkBody(pass, body)
+			checkBody(pass, lk, body)
 		})
 	}
 	return nil
 }
 
-// acquisition is one tracked `h, err := pager.Get/Allocate(...)` site.
+// acquisition is one tracked `h, err := pager.Get/Allocate(...)` site (or
+// a call to a function summarized as returning a fresh handle). A param
+// pseudo-acquisition uses idx -1 on the entry block.
 type acquisition struct {
 	handle types.Object // the Page variable
 	errObj types.Object // the error variable; nil when blank
 	block  *cfg.Block
 	idx    int // index of the acquiring statement in block.Nodes
 	pos    token.Pos
-	name   string // "Get" or "Allocate"
+	name   string // "Get", "Allocate", or the wrapper's name
 }
 
-func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+func checkBody(pass *analysis.Pass, lk lookup, body *ast.BlockStmt) {
 	g := cfg.New(body)
 	if g.HasGoto {
 		return
 	}
 	for _, blk := range g.Blocks {
 		for i, n := range blk.Nodes {
-			acq := acquisitionAt(pass, blk, i, n)
+			acq := acquisitionAt(pass.Info, lk, blk, i, n)
 			if acq == nil {
 				continue
 			}
@@ -70,44 +233,73 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 				pass.Reportf(acq.pos, "page handle from %s is discarded and can never be Released", acq.name)
 				continue
 			}
-			walk(pass, g, acq)
+			out := walkPaths(pass.Info, lk, g, acq)
+			if out.anyLeak {
+				report(pass, acq, out.leakPos)
+			}
 		}
 	}
 }
 
-// acquisitionAt recognises `h, err := X.Get(...)` / `X.Allocate()` where the
-// receiver's named type is Pager and the first result's named type is Page.
-// Matching is by type name, not import path, so analysistest fixtures can
-// declare local stand-ins.
-func acquisitionAt(pass *analysis.Pass, blk *cfg.Block, idx int, n ast.Stmt) *acquisition {
+// freshVector returns, per result of the call, whether it is a live page
+// handle: {true, false} for Pager.Get / Pager.Allocate, the callee's
+// Fresh summary for module functions, nil when the call produces none.
+func freshVector(info *types.Info, lk lookup, call *ast.CallExpr) []bool {
+	fn := analysis.MethodOf(info, call)
+	if fn == nil {
+		fn = callgraph.Callee(info, call)
+	}
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if (fn.Name() == "Get" || fn.Name() == "Allocate") &&
+		sig.Recv() != nil && analysis.ReceiverTypeName(sig.Recv().Type()) == "Pager" &&
+		sig.Results().Len() == 2 && isPage(sig.Results().At(0).Type()) {
+		return []bool{true, false}
+	}
+	if sum, ok := lk(fn); ok && len(sum.Fresh) > 0 && sum.Fresh[0] &&
+		sig.Results().Len() == len(sum.Fresh) && isPage(sig.Results().At(0).Type()) {
+		return sum.Fresh
+	}
+	return nil
+}
+
+// acquisitionAt recognises `h, err := X.Get(...)` / `X.Allocate()` and
+// `h[, err] := wrapper(...)` where wrapper's summary returns a fresh
+// handle in result 0.
+func acquisitionAt(info *types.Info, lk lookup, blk *cfg.Block, idx int, n ast.Stmt) *acquisition {
 	as, ok := n.(*ast.AssignStmt)
-	if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+	if !ok || len(as.Rhs) != 1 {
 		return nil
 	}
 	call, ok := as.Rhs[0].(*ast.CallExpr)
 	if !ok {
 		return nil
 	}
-	fn := analysis.MethodOf(pass.Info, call)
-	if fn == nil {
+	fresh := freshVector(info, lk, call)
+	if fresh == nil || !fresh[0] || len(as.Lhs) != len(fresh) {
 		return nil
 	}
-	if fn.Name() != "Get" && fn.Name() != "Allocate" {
-		return nil
+	name := "call"
+	if fn := analysis.MethodOf(info, call); fn != nil {
+		name = fn.Name()
+	} else if fn := callgraph.Callee(info, call); fn != nil {
+		name = fn.Name()
 	}
-	sig := fn.Type().(*types.Signature)
-	if sig.Recv() == nil || analysis.ReceiverTypeName(sig.Recv().Type()) != "Pager" {
-		return nil
-	}
-	if sig.Results().Len() != 2 || analysis.ReceiverTypeName(sig.Results().At(0).Type()) != "Page" {
-		return nil
-	}
-	acq := &acquisition{block: blk, idx: idx, pos: as.Pos(), name: fn.Name()}
+	acq := &acquisition{block: blk, idx: idx, pos: as.Pos(), name: name}
 	if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
-		acq.handle = objOf(pass.Info, id)
+		acq.handle = objOf(info, id)
 	}
-	if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
-		acq.errObj = objOf(pass.Info, id)
+	if len(as.Lhs) == 2 {
+		if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+			if o := objOf(info, id); o != nil && types.Identical(o.Type(), types.Universe.Lookup("error").Type()) {
+				acq.errObj = o
+			}
+		}
 	}
 	return acq
 }
@@ -133,13 +325,30 @@ type visitKey struct {
 	errValid bool
 }
 
-// walk explores all paths from the acquisition; it reports at most one
-// diagnostic per acquisition.
-func walk(pass *analysis.Pass, g *cfg.Graph, acq *acquisition) {
+// walkOutcome aggregates what happened to the handle over all explored
+// paths.
+type walkOutcome struct {
+	anyLeak    bool
+	anyRelease bool
+	anyEscape  bool
+	leakPos    token.Pos // first leaking return; NoPos when falling off the end
+}
+
+// walkPaths explores all paths from the acquisition and classifies each:
+// released, escaped, or leaked (reaching a return or the function end
+// with the handle live).
+func walkPaths(info *types.Info, lk lookup, g *cfg.Graph, acq *acquisition) walkOutcome {
 	type state struct {
 		block    *cfg.Block
 		start    int
 		errValid bool
+	}
+	var out walkOutcome
+	leak := func(at token.Pos) {
+		if !out.anyLeak {
+			out.leakPos = at
+		}
+		out.anyLeak = true
 	}
 	seen := map[visitKey]bool{}
 	stack := []state{{acq.block, acq.idx + 1, acq.errObj != nil}}
@@ -147,42 +356,44 @@ func walk(pass *analysis.Pass, g *cfg.Graph, acq *acquisition) {
 		st := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		errValid := st.errValid
-		leaked := false
-		var leakPos token.Pos
 		done := false
 		for i := st.start; i < len(st.block.Nodes) && !done; i++ {
 			n := st.block.Nodes[i]
-			switch classify(pass.Info, n, acq.handle) {
-			case fateReleased, fateEscaped:
+			switch classify(info, lk, n, acq.handle) {
+			case fateReleased:
+				out.anyRelease = true
+				done = true
+				continue
+			case fateEscaped:
+				out.anyEscape = true
 				done = true
 				continue
 			}
-			if reassigns(pass.Info, n, acq.handle) {
+			if reassigns(info, n, acq.handle) {
+				// The variable is overwritten while live: the old handle
+				// is unreachable from here on; treat as an escape so the
+				// summary stays conservative.
+				out.anyEscape = true
 				done = true
 				continue
 			}
-			if acq.errObj != nil && reassigns(pass.Info, n, acq.errObj) {
+			if acq.errObj != nil && reassigns(info, n, acq.errObj) {
 				errValid = false
 			}
 			if ret, ok := n.(*ast.ReturnStmt); ok {
-				leaked, leakPos = true, ret.Pos()
+				leak(ret.Pos())
 				done = true
 			}
-		}
-		if leaked {
-			report(pass, acq, leakPos)
-			return
 		}
 		if done {
 			continue
 		}
 		for _, e := range st.block.Succs {
 			if e.To == g.Exit {
-				// Fell off the end of the function with a live handle.
-				report(pass, acq, token.NoPos)
-				return
+				leak(token.NoPos) // fell off the end with a live handle
+				continue
 			}
-			if errValid && analysis.ErrNonNilBranch(pass.Info, e.Cond, e.Neg, acq.errObj) {
+			if errValid && analysis.ErrNonNilBranch(info, e.Cond, e.Neg, acq.errObj) {
 				continue // handle is the zero Page on this arm
 			}
 			k := visitKey{e.To, errValid}
@@ -192,6 +403,7 @@ func walk(pass *analysis.Pass, g *cfg.Graph, acq *acquisition) {
 			}
 		}
 	}
+	return out
 }
 
 func report(pass *analysis.Pass, acq *acquisition, at token.Pos) {
@@ -222,17 +434,19 @@ func scanRoots(n ast.Stmt) []ast.Node {
 	return roots
 }
 
-// classify scans one statement for uses of the handle. Release (direct or
-// inside a defer/closure) wins over escape; any other use is an escape.
-func classify(info *types.Info, n ast.Stmt, handle types.Object) nodeFate {
+// classify scans one statement for uses of the handle. Release (direct,
+// deferred, or through a callee summarized as releasing) wins over
+// escape; a use by a callee that leaves the obligation with the caller is
+// neutral; any other use is an escape.
+func classify(info *types.Info, lk lookup, n ast.Stmt, handle types.Object) nodeFate {
 	fate := fateNone
 	for _, root := range scanRoots(n) {
-		fate = classifyNode(info, root, handle, fate)
+		fate = classifyNode(info, lk, root, handle, fate)
 	}
 	return fate
 }
 
-func classifyNode(info *types.Info, n ast.Node, handle types.Object, fate nodeFate) nodeFate {
+func classifyNode(info *types.Info, lk lookup, n ast.Node, handle types.Object, fate nodeFate) nodeFate {
 	var stack []ast.Node
 	ast.Inspect(n, func(node ast.Node) bool {
 		if node == nil {
@@ -244,7 +458,7 @@ func classifyNode(info *types.Info, n ast.Node, handle types.Object, fate nodeFa
 		if !ok || info.Uses[id] != handle {
 			return true
 		}
-		switch useOf(info, stack, id) {
+		switch useOf(info, lk, stack, id) {
 		case fateReleased:
 			fate = fateReleased
 		case fateEscaped:
@@ -259,33 +473,78 @@ func classifyNode(info *types.Info, n ast.Node, handle types.Object, fate nodeFa
 
 // useOf classifies a single identifier occurrence given the ancestor stack
 // (stack[len-1] == id).
-func useOf(info *types.Info, stack []ast.Node, id *ast.Ident) nodeFate {
+func useOf(info *types.Info, lk lookup, stack []ast.Node, id *ast.Ident) nodeFate {
 	if len(stack) < 2 {
 		return fateEscaped
 	}
-	sel, ok := stack[len(stack)-2].(*ast.SelectorExpr)
-	if !ok || sel.X != id {
-		// Any non-method use: argument, return value, assignment source,
-		// composite literal, address-of, comparison, ...
+	if sel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && sel.X == id {
+		// h.M or h.M(...): a call to Release kills the obligation, the
+		// benign accessors are neutral, anything else (method values
+		// included) is an escape.
+		if len(stack) >= 3 {
+			if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == sel {
+				switch sel.Sel.Name {
+				case "Release":
+					return fateReleased
+				default:
+					if benignMethods[sel.Sel.Name] {
+						return fateNone
+					}
+					return fateEscaped
+				}
+			}
+		}
 		return fateEscaped
 	}
-	// h.M or h.M(...): a call to Release kills the obligation, the benign
-	// accessors are neutral, anything else (method values included) is an
-	// escape.
-	if len(stack) >= 3 {
-		if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == sel {
-			switch sel.Sel.Name {
-			case "Release":
-				return fateReleased
-			default:
-				if benignMethods[sel.Sel.Name] {
-					return fateNone
-				}
-				return fateEscaped
+	// Call-argument use: f(h) or f(&h) resolves through the callee's
+	// parameter summary. The call sits one level above the argument
+	// expression: stack[len-2] for a bare h, stack[len-3] for &h.
+	arg := ast.Expr(id)
+	callAt := 2
+	if un, ok := stack[len(stack)-2].(*ast.UnaryExpr); ok && un.Op == token.AND && un.X == ast.Expr(id) {
+		arg = un
+		callAt = 3
+	}
+	if len(stack) >= callAt {
+		if call, ok := stack[len(stack)-callAt].(*ast.CallExpr); ok && ast.Node(call.Fun) != ast.Node(arg) {
+			if fate, ok := argFate(info, lk, call, arg); ok {
+				return fate
 			}
 		}
 	}
+	// Any other use: return value, assignment source, composite literal,
+	// comparison, capture, ...
 	return fateEscaped
+}
+
+// argFate maps an argument position to the callee's parameter fate.
+func argFate(info *types.Info, lk lookup, call *ast.CallExpr, arg ast.Expr) (nodeFate, bool) {
+	fn := callgraph.Callee(info, call)
+	if fn == nil {
+		return fateNone, false
+	}
+	sum, ok := lk(fn)
+	if !ok {
+		return fateNone, false
+	}
+	sig, sok := fn.Type().(*types.Signature)
+	if !sok || sig.Variadic() || sig.Params().Len() != len(call.Args) {
+		return fateNone, false
+	}
+	for i, a := range call.Args {
+		if a != arg {
+			continue
+		}
+		switch sum.Params[i] {
+		case paramReleases:
+			return fateReleased, true
+		case paramLeaves:
+			return fateNone, true
+		default:
+			return fateEscaped, true
+		}
+	}
+	return fateNone, false
 }
 
 // reassigns reports whether n writes obj (ending the old value's tracking).

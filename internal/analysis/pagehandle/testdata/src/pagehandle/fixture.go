@@ -87,3 +87,135 @@ func discarded(p *Pager) error {
 	_, err := p.Get(1) // want `page handle from Get is discarded and can never be Released`
 	return err
 }
+
+// ---- interprocedural summaries ----
+
+// releaseHelper releases its parameter on every path: callers passing a
+// handle in discharge their obligation.
+func releaseHelper(pg Page) { pg.Release() }
+
+// goodHelperRelease hands the handle to a releasing helper on every path.
+func goodHelperRelease(p *Pager) error {
+	pg, err := p.Get(2)
+	if err != nil {
+		return err
+	}
+	releaseHelper(pg)
+	return nil
+}
+
+// writeMeta mirrors btree's meta-page writer: it mutates through the
+// handle but does not release it — the caller keeps the obligation.
+func writeMeta(pg *Page) { pg.MarkDirty() }
+
+// goodMetaRoundTrip keeps the obligation across the helper call and
+// discharges it afterwards.
+func goodMetaRoundTrip(p *Pager) error {
+	pg, err := p.Get(0)
+	if err != nil {
+		return err
+	}
+	writeMeta(&pg)
+	pg.Release()
+	return nil
+}
+
+// leakThroughHelper is the cross-function leak the intraprocedural
+// analyzer missed: the helper only borrows the handle, so returning
+// without a release still leaks the pin.
+func leakThroughHelper(p *Pager) error {
+	pg, err := p.Get(0) // want `page handle from Get may not be Released`
+	if err != nil {
+		return err
+	}
+	writeMeta(&pg)
+	return nil
+}
+
+// borrow is a value-parameter borrower: same caller obligation.
+func borrow(pg Page) int { return pg.ID() }
+
+// leakThroughBorrow leaks past a by-value borrowing helper.
+func leakThroughBorrow(p *Pager) error {
+	pg, err := p.Allocate() // want `page handle from Allocate may not be Released`
+	if err != nil {
+		return err
+	}
+	_ = borrow(pg)
+	return nil
+}
+
+// wrapGet returns a freshly acquired live handle: callers must release
+// it exactly as if they had called Get themselves.
+func wrapGet(p *Pager, id int) (Page, error) {
+	pg, err := p.Get(id)
+	if err != nil {
+		return Page{}, err
+	}
+	return pg, nil
+}
+
+// forwardGet forwards the acquiring call's results directly.
+func forwardGet(p *Pager) (Page, error) {
+	return p.Get(9)
+}
+
+// goodWrapped releases a wrapper-acquired handle.
+func goodWrapped(p *Pager) error {
+	pg, err := wrapGet(p, 3)
+	if err != nil {
+		return err
+	}
+	defer pg.Release()
+	_ = pg.Data()
+	return nil
+}
+
+// leakWrapped leaks a wrapper-acquired handle: the acquisition is only
+// visible through wrapGet's summary.
+func leakWrapped(p *Pager) error {
+	pg, err := wrapGet(p, 4) // want `page handle from wrapGet may not be Released`
+	if err != nil {
+		return err
+	}
+	_ = pg.ID()
+	return nil
+}
+
+// leakForwarded leaks a handle acquired through a result-forwarding
+// wrapper.
+func leakForwarded(p *Pager) error {
+	pg, err := forwardGet(p) // want `page handle from forwardGet may not be Released`
+	if err != nil {
+		return err
+	}
+	_ = pg.ID()
+	return nil
+}
+
+// takeOwnership stores the handle; ownership escapes and callers are not
+// reported.
+var stash []Page
+
+func takeOwnership(pg Page) { stash = append(stash, pg) }
+
+// goodOwnershipTransfer hands the handle to an owner.
+func goodOwnershipTransfer(p *Pager) error {
+	pg, err := p.Get(5)
+	if err != nil {
+		return err
+	}
+	takeOwnership(pg)
+	return nil
+}
+
+// suppressedLeak shows the escape hatch.
+func suppressedLeak(p *Pager) error {
+	//segdifflint:ignore pagehandle the pin is intentionally held until process exit
+	pg, err := p.Get(6)
+	if err != nil {
+		return err
+	}
+	writeMeta(&pg)
+	return nil
+}

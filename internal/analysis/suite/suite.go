@@ -5,17 +5,25 @@ package suite
 
 import (
 	"segdiff/internal/analysis"
+	"segdiff/internal/analysis/atomicmix"
 	"segdiff/internal/analysis/batchabort"
 	"segdiff/internal/analysis/floateq"
+	"segdiff/internal/analysis/latchorder"
 	"segdiff/internal/analysis/lockcheck"
 	"segdiff/internal/analysis/pagehandle"
 	"segdiff/internal/analysis/syncerr"
+	"segdiff/internal/analysis/walorder"
+	"segdiff/internal/analysis/workerlife"
 )
 
 // Analyzers is the full suite, in diagnostic-priority order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		pagehandle.Analyzer,
+		atomicmix.Analyzer,
+		walorder.Analyzer,
+		workerlife.Analyzer,
+		latchorder.Analyzer,
 		lockcheck.Analyzer,
 		batchabort.Analyzer,
 		floateq.Analyzer,

@@ -1,0 +1,111 @@
+// Fixture for the walorder analyzer: WAL-before-flush ordering, latch
+// acquisition order, and map-ordered durable writes, modelled on the
+// engine's pager/wal commit path.
+package walorder
+
+// The type and method names mirror the engine's APIs: walorder matches
+// primitives by receiver type name and method name.
+
+type Page struct{ dirty bool }
+
+func (p *Page) MarkDirty() { p.dirty = true }
+func (p *Page) Release()   {}
+
+type Pager struct{}
+
+func (pg *Pager) Get(id int) (*Page, error)                         { return &Page{}, nil }
+func (pg *Pager) Allocate() (*Page, error)                          { return &Page{}, nil }
+func (pg *Pager) LogDirty(fn func(id int, data []byte) error) error { return nil }
+func (pg *Pager) Flush() error                                      { return nil }
+func (pg *Pager) Sync() error                                       { return nil }
+
+type Log struct{}
+
+func (l *Log) Stage(file uint16, page uint32, data []byte) error      { return nil }
+func (l *Log) AppendPage(file uint16, page uint32, data []byte) error { return nil }
+func (l *Log) Commit() error                                          { return nil }
+
+// goodCommit is the engine's commit shape: mark, stage through LogDirty,
+// group-commit, then checkpoint. The flush is reached clean.
+func goodCommit(pg *Pager, l *Log, p *Page) error {
+	p.MarkDirty()
+	if err := pg.LogDirty(func(id int, data []byte) error {
+		return l.Stage(0, uint32(id), data)
+	}); err != nil {
+		return err
+	}
+	if err := l.Commit(); err != nil {
+		return err
+	}
+	return pg.Sync()
+}
+
+// goodBranch appends on the only branch that dirties, so the join at the
+// flush is clean.
+func goodBranch(pg *Pager, l *Log, p *Page, cond bool) error {
+	if cond {
+		p.MarkDirty()
+		if err := l.AppendPage(0, 0, nil); err != nil {
+			return err
+		}
+	}
+	return pg.Flush()
+}
+
+// badDirect flushes a page it just dirtied without touching the WAL.
+func badDirect(pg *Pager, p *Page) error {
+	p.MarkDirty()
+	return pg.Flush() // want `flush reachable while a page is marked dirty but not WAL-appended`
+}
+
+// badBranch may reach the flush dirty: the join of the two arms is
+// may-dirty.
+func badBranch(pg *Pager, p *Page, cond bool) error {
+	if cond {
+		p.MarkDirty()
+	}
+	return pg.Flush() // want `flush reachable while a page is marked dirty but not WAL-appended`
+}
+
+// dirtyHelper dirties a page on the caller's behalf; its summary carries
+// the may-dirty state back out.
+func dirtyHelper(p *Page) { p.MarkDirty() }
+
+// badAcrossCalls marks through a helper and flushes locally: the mark
+// and the flush are in different functions.
+func badAcrossCalls(pg *Pager, p *Page) error {
+	dirtyHelper(p)
+	return pg.Sync() // want `flush reachable while a page is marked dirty but not WAL-appended`
+}
+
+// flushHelper is clean in isolation; it only violates when entered with
+// an unlogged dirty page.
+func flushHelper(pg *Pager) error { return pg.Flush() }
+
+// badCallFlushes marks locally and flushes through a callee: the
+// violation is reported at the call site, against the callee's summary.
+func badCallFlushes(pg *Pager, p *Page) error {
+	p.MarkDirty()
+	return flushHelper(pg) // want `call to flushHelper flushes pages, but a page marked dirty on this path has not been WAL-appended`
+}
+
+// badAllocate: a freshly allocated page is born dirty and must reach the
+// WAL before any flush.
+func badAllocate(pg *Pager) error {
+	p, err := pg.Allocate()
+	if err != nil {
+		return err
+	}
+	p.Release()
+	return pg.Sync() // want `flush reachable while a page is marked dirty but not WAL-appended`
+}
+
+// suppressedFlush shows the escape hatch for WAL-less standalone tools.
+func suppressedFlush(pg *Pager, p *Page) error {
+	p.MarkDirty()
+	//segdifflint:ignore walorder standalone tool runs without a WAL
+	return pg.Flush()
+}
+
+// The latch-acquisition-order and map-ordered-durable-write conventions
+// are enforced by the companion latchorder analyzer and its fixture.

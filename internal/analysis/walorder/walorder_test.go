@@ -1,0 +1,12 @@
+package walorder_test
+
+import (
+	"testing"
+
+	"segdiff/internal/analysis/analysistest"
+	"segdiff/internal/analysis/walorder"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, walorder.Analyzer, "walorder")
+}

@@ -1,0 +1,148 @@
+// Fixture for the workerlife analyzer: worker pools and background
+// goroutines, modelled on the engine's exec fan-out and pager prefetch
+// worker.
+package workerlife
+
+import "sync"
+
+// goodPool is the bounded fan-out shape used by the executor: the jobs
+// channel is closed by the spawner and every worker is joined.
+func goodPool(n int) int {
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	total := 0
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				mu.Lock()
+				total += j
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return total
+}
+
+// prefetcher is the background-worker shape used by the pager: a
+// long-lived goroutine stopped through a dedicated channel.
+type prefetcher struct {
+	pfStop chan struct{}
+	pfWork chan int
+	pfWG   sync.WaitGroup
+	n      int
+}
+
+func newPrefetcher() *prefetcher {
+	p := &prefetcher{pfStop: make(chan struct{}), pfWork: make(chan int, 8)}
+	p.pfWG.Add(1)
+	go p.worker()
+	return p
+}
+
+func (p *prefetcher) worker() {
+	defer p.pfWG.Done()
+	for {
+		select {
+		case <-p.pfStop:
+			return
+		case j := <-p.pfWork:
+			p.n += j
+		}
+	}
+}
+
+func (p *prefetcher) Close() {
+	close(p.pfStop)
+	p.pfWG.Wait()
+}
+
+// spinner never exits: no return, break, or stopping arm.
+func spinner() {
+	go func() { // want `goroutine can never exit`
+		for {
+		}
+	}()
+}
+
+// consumer holds channels nothing ever signals.
+type consumer struct {
+	in   chan int
+	stop chan struct{}
+	sum  int
+}
+
+// drainForever ranges over a channel the module never closes, so the
+// goroutine is joined with the heat death of the process.
+func drainForever(c *consumer) {
+	go func() { // want `exits only when channel "in" is closed, but nothing in the module closes it`
+		for v := range c.in {
+			c.sum += v
+		}
+	}()
+}
+
+// stopNeverSignalled has the right select shape, but its stop channel is
+// never closed or sent to anywhere in the module.
+func stopNeverSignalled(c *consumer) {
+	go func() { // want `stop arm receives from channel "stop", but nothing in the module closes or sends to it`
+		for {
+			select {
+			case <-c.stop:
+				return
+			case v := <-c.in2():
+				c.sum += v
+			}
+		}
+	}()
+}
+
+func (c *consumer) in2() chan int { return make(chan int) }
+
+// doneWithoutWait signals a WaitGroup that nothing joins on.
+var strayWG sync.WaitGroup
+
+func doneWithoutWait() {
+	strayWG.Add(1)
+	go func() { // want `calls strayWG.Done, but nothing in the module calls Wait`
+		defer strayWG.Done()
+	}()
+}
+
+// orphanSend sends on a local channel with no receiver anywhere in the
+// function: the send blocks forever.
+func orphanSend() {
+	ch := make(chan int)
+	ch <- 1 // want `send on channel "ch", which is never received anywhere in orphanSend`
+}
+
+// handedOff passes the channel to another function, so the receive may
+// happen elsewhere: no finding. The go statement's channel argument is
+// mapped onto pump's parameter, so the close below satisfies its range.
+func handedOff() {
+	ch := make(chan int)
+	go pump(ch)
+	ch <- 1
+	close(ch)
+}
+
+func pump(ch chan int) {
+	for range ch {
+	}
+}
+
+// suppressed shows the escape hatch for a deliberate fire-and-forget.
+func suppressed() {
+	//segdifflint:ignore workerlife metrics flusher runs for the process lifetime by design
+	go func() {
+		for {
+		}
+	}()
+}

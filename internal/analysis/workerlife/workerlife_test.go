@@ -1,0 +1,12 @@
+package workerlife_test
+
+import (
+	"testing"
+
+	"segdiff/internal/analysis/analysistest"
+	"segdiff/internal/analysis/workerlife"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, workerlife.Analyzer, "workerlife")
+}

@@ -95,8 +95,8 @@ type frame struct {
 	pins       atomic.Int32
 	used       atomic.Bool // referenced since the clock hand last passed
 	prefetched atomic.Bool // loaded by readahead and not yet served to a Get
-	dirty      bool
-	logged     bool // dirty content captured by the WAL (safe to steal)
+	dirty      bool // buffer differs from the file; writer-owned, see shard doc
+	logged     bool // dirty content captured by the WAL; under no-steal, eviction may write only logged frames
 	ringIdx    int  // position in shard.ring; maintained under the shard latch
 }
 
@@ -120,7 +120,7 @@ type shard struct {
 	ring     []*frame                 // guarded by mu; clock order; eviction candidates
 	hand     int                      // guarded by mu; clock hand index into ring
 	inflight map[PageID]*inflightRead // guarded by mu; reads in progress
-	stats    statCounters             // incremented under mu (shared or exclusive)
+	stats    statCounters             // sync/atomic access only (atomicmix-enforced); incremented under mu (shared or exclusive)
 	_        [64]byte                 // keep neighbouring shards off this cache line
 }
 
@@ -153,8 +153,8 @@ type Pager struct {
 	nFrames  atomic.Int64  // total cached frames, all shards
 	nPages   atomic.Uint32 // allocated page count
 	epoch    atomic.Uint64 // bumped by DropCache/Discard to invalidate in-flight reads
-	closed   atomic.Bool
-	noSteal  atomic.Bool
+	closed   atomic.Bool   // set once by Close; checked on every entry point
+	noSteal  atomic.Bool   // eviction policy; see SetNoSteal
 
 	// Readahead state; see prefetch.go. pfCh and pfStop are created by the
 	// first enabling SetReadAhead, which must happen before the pager is
@@ -741,11 +741,23 @@ func (p *Pager) Discard() error {
 	return nil
 }
 
-// resetStats zeroes s's counters.
+// resetStats zeroes s's counters. Every other accessor touches these
+// cells through sync/atomic, so the reset stores atomically too: the old
+// plain struct overwrite (`s.stats = statCounters{}`) was only safe as
+// long as every reader happened to hold latches, and would silently
+// become a tearing race the moment anyone adds a latch-free counter
+// probe. atomicmix forbids the mixed pattern outright.
 //
 // locks: s.mu
 func resetStats(s *shard) {
-	s.stats = statCounters{}
+	atomic.StoreUint64(&s.stats.hits.v, 0)
+	atomic.StoreUint64(&s.stats.misses.v, 0)
+	atomic.StoreUint64(&s.stats.reads.v, 0)
+	atomic.StoreUint64(&s.stats.writes.v, 0)
+	atomic.StoreUint64(&s.stats.evictions.v, 0)
+	atomic.StoreUint64(&s.stats.prefetchReads.v, 0)
+	atomic.StoreUint64(&s.stats.prefetchHits.v, 0)
+	atomic.StoreUint64(&s.stats.prefetchWasted.v, 0)
 }
 
 // ResetStats zeroes the counters (used between experiment runs).

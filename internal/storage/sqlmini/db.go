@@ -236,13 +236,16 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	closeMounted := func() error {
 		var errs []error
-		//segdifflint:ignore lockcheck db is still being constructed inside Open and not yet shared
-		for _, th := range db.tables {
-			errs = append(errs, th.pg.Close())
+		// Close (and thus flush) in sorted name order, matching the
+		// checkpoint convention: the crash tests depend on a stable
+		// on-disk write order even on the error path.
+		for _, name := range db.sortedTableNames() {
+			//segdifflint:ignore lockcheck db is still being constructed inside Open and not yet shared
+			errs = append(errs, db.tables[name].pg.Close())
 		}
-		//segdifflint:ignore lockcheck db is still being constructed inside Open and not yet shared
-		for _, ih := range db.indexes {
-			errs = append(errs, ih.pg.Close())
+		for _, name := range db.sortedIndexNames() {
+			//segdifflint:ignore lockcheck db is still being constructed inside Open and not yet shared
+			errs = append(errs, db.indexes[name].pg.Close())
 		}
 		errs = append(errs, db.log.Close())
 		return errors.Join(errs...)

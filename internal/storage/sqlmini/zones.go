@@ -90,7 +90,10 @@ func (c *catalog) zonesFor(table string) *tableZones {
 // create controls whether a table without an entry starts tracking: it
 // must only be true when the table held no live rows before the insert
 // (otherwise the new summaries would be narrower than the page contents
-// and pruning would drop rows). Callers hold the engine's writer lock.
+// and pruning would drop rows). Callers hold the engine's writer lock;
+// lockcheck cannot express that here (the guard is db.mu, not a field of
+// catalog), so the checked annotation lives on DB.catalog instead and
+// every path into this method goes through an annotated DB method.
 func (c *catalog) noteZones(schema *tableSchema, rows [][]Value, rids []heap.RID, create bool) {
 	if c.Zones[schema.Name] == nil && !create {
 		return // pre-existing rows are not summarized: stay unprunable
