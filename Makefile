@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-json vet
+.PHONY: all build test race lint lint-json vet cover
 
 all: build vet lint test
 
@@ -19,6 +19,11 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Coverage gate CI enforces: internal/obs floor plus the module-wide
+# ratchet against scripts/coverage_baseline.txt.
+cover:
+	./scripts/covergate.sh
 
 # Run the segdifflint analyzer suite over the whole module. Contributors
 # should run this before pushing; CI enforces a clean run.

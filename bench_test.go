@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"segdiff/internal/bench"
+	"segdiff/internal/core"
 	"segdiff/internal/feature"
 	"segdiff/internal/segment"
 	"segdiff/internal/storage/sqlmini"
@@ -355,6 +356,51 @@ func benchQuerySetRatio(b *testing.B, cold bool) {
 	}
 	if segNS > 0 {
 		b.ReportMetric(float64(exhNS)/float64(segNS), "seq-ratio")
+	}
+}
+
+// O1 — observability: steady-state price of the always-on metrics
+// registry on the warm fused drop search. The metrics-off variant
+// (Options.DisableMetrics) is the pre-observability query path; compare
+// the two sub-benchmarks to see the per-query cost of the counters.
+// CI gates the same comparison end to end via
+// `benchrunner -trace-smoke` (< 2% overhead).
+func BenchmarkTraceOff(b *testing.B) {
+	cfg := benchConfig()
+	for _, bc := range []struct {
+		name string
+		opts sqlmini.Options
+	}{
+		{"metrics-on", sqlmini.Options{}},
+		{"metrics-off", sqlmini.Options{DisableMetrics: true}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			series := mustWorkload(b, cfg)
+			st, err := core.OpenMemory(core.Options{
+				Epsilon: cfg.DefaultEps,
+				Window:  cfg.DefaultWH * 3600,
+				DB:      bc.opts,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { st.Close() })
+			if err := st.AppendSeries(series[0]); err != nil {
+				b.Fatal(err)
+			}
+			if err := st.Finish(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := st.SearchDrops(cfg.QueryT, cfg.QueryV); err != nil {
+				b.Fatal(err) // warm the pool; the measurement targets CPU cost
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.SearchDrops(cfg.QueryT, cfg.QueryV); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

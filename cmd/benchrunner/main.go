@@ -37,6 +37,8 @@ func main() {
 		smoke   = flag.Bool("fusion-smoke", false, "run only the fused-vs-branch comparison; exit nonzero unless results are identical and fusion is not slower")
 		ccSmoke = flag.Bool("coldcache-smoke", false, "run only the cold-cache comparison; exit nonzero unless results are identical and readahead+zone maps are not slower")
 		ccRA    = flag.Int("coldcache-readahead", 16, "readahead depth for the cold-cache comparison")
+		toSmoke = flag.Bool("trace-smoke", false, "run only the metrics-on vs metrics-off comparison; exit nonzero unless results are identical and the overhead stays under -trace-max-pct")
+		toMax   = flag.Float64("trace-max-pct", 2.0, "maximum tolerated metrics overhead percentage for -trace-smoke")
 
 		// Cross-commit go test -bench numbers (ms/op) to embed in the -perf
 		// report; the single-lock baseline cannot be linked into this build,
@@ -65,6 +67,11 @@ func main() {
 
 	if *ccSmoke {
 		runColdCacheSmoke(cfg, *iters, *ccRA)
+		return
+	}
+
+	if *toSmoke {
+		runTraceSmoke(cfg, *iters, *toMax)
 		return
 	}
 
@@ -252,6 +259,15 @@ func runPerf(cfg bench.Config, path string, iters, readAhead int, gb *bench.GoBe
 	}
 	fmt.Fprintf(os.Stderr, " done in %v\n", time.Since(start).Round(time.Millisecond))
 
+	start = time.Now()
+	fmt.Fprintf(os.Stderr, "running trace-overhead comparison...")
+	rep.TraceOverhead, err = bench.RunTraceOverhead(cfg, dir, iters, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr)
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, " done in %v\n", time.Since(start).Round(time.Millisecond))
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -287,6 +303,19 @@ func runPerf(cfg bench.Config, path string, iters, readAhead int, gb *bench.GoBe
 	if cc := rep.ColdCache; cc != nil {
 		printColdCache(cc)
 	}
+	if to := rep.TraceOverhead; to != nil {
+		printTraceOverhead(to)
+	}
+}
+
+// printTraceOverhead renders the metrics-overhead comparison for stderr.
+func printTraceOverhead(to *bench.TraceOverheadReport) {
+	for _, sec := range []bench.TraceOverheadSection{to.Fused, to.Cold} {
+		fmt.Fprintf(os.Stderr, "  trace %-17s on %.1f ms  off %.1f ms  overhead %+.2f%%\n",
+			sec.Name, sec.OnMS, sec.OffMS, sec.OverheadPct)
+	}
+	fmt.Fprintf(os.Stderr, "  trace max overhead %+.2f%%, results identical: %v\n",
+		to.MaxOverheadPct, to.Identical)
 }
 
 // printColdCache renders the cold-cache comparison for stderr.
@@ -343,6 +372,47 @@ func runColdCacheSmoke(cfg bench.Config, iters, readAhead int) {
 	}
 	if rep.Speedup < 1.0 {
 		fatal(fmt.Errorf("cold-cache smoke: readahead+zone maps slower than demand paging (%.2fx)", rep.Speedup))
+	}
+}
+
+// runTraceSmoke is the CI gate for the observability work: metrics on
+// and off must return identical results, and the metrics-on engine must
+// stay within maxPct of the metrics-off wall time on both the warm
+// fused search and the cold region scan. The measurement is retried to
+// ride out CI scheduler noise; the best (lowest-overhead) attempt is
+// judged, since a genuine regression shows up in every attempt.
+func runTraceSmoke(cfg bench.Config, iters int, maxPct float64) {
+	const attempts = 3
+	var rep *bench.TraceOverheadReport
+	for a := 1; a <= attempts; a++ {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running trace smoke %d/%d (%d queries/round, GOMAXPROCS=%d)...",
+			a, attempts, iters, runtime.GOMAXPROCS(0))
+		dir, err := os.MkdirTemp("", "segdiff-trace-*")
+		if err != nil {
+			fatal(err)
+		}
+		r, err := bench.RunTraceOverhead(cfg, dir, iters, 0)
+		os.RemoveAll(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr)
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, " done in %v\n", time.Since(start).Round(time.Millisecond))
+		printTraceOverhead(r)
+		if rep == nil || r.MaxOverheadPct < rep.MaxOverheadPct {
+			rep = r
+		}
+		if rep.MaxOverheadPct < maxPct {
+			break
+		}
+	}
+	if !rep.Identical {
+		fatal(fmt.Errorf("trace smoke: metrics-on and metrics-off results differ"))
+	}
+	if rep.MaxOverheadPct >= maxPct {
+		fatal(fmt.Errorf("trace smoke: metrics overhead %.2f%% exceeds the %.1f%% budget (fused %+.2f%%, cold %+.2f%%)",
+			rep.MaxOverheadPct, maxPct, rep.Fused.OverheadPct, rep.Cold.OverheadPct))
 	}
 }
 

@@ -6,22 +6,26 @@
 //
 //	segdiff ingest -db DIR -csv FILE [-epsilon 0.2] [-window 8h] [-denoise]
 //	segdiff search -db DIR [-kind drop] [-span 1h] [-v -3] [-plan auto]
-//	segdiff stats  -db DIR
+//	segdiff trace  -db DIR [-kind drop] [-span 1h] [-v -3] [-plan auto] [-json]
+//	segdiff stats  -db DIR [-v]
 //	segdiff sql    -db DIR -q "SELECT COUNT(*) FROM dropf2"
 //	segdiff plot   -db DIR -span 1h -v -3
 //	segdiff verify -db DIR -csv FILE -span 1h -v -3
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"slices"
 	"strings"
 	"time"
 
 	"segdiff/internal/core"
 	"segdiff/internal/feature"
+	"segdiff/internal/obs"
 	"segdiff/internal/smooth"
 	"segdiff/internal/storage/sqlmini"
 	"segdiff/internal/timeseries"
@@ -37,6 +41,8 @@ func main() {
 		err = ingest(os.Args[2:])
 	case "search":
 		err = search(os.Args[2:])
+	case "trace":
+		err = traceCmd(os.Args[2:])
 	case "stats":
 		err = stats(os.Args[2:])
 	case "sql":
@@ -55,10 +61,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: segdiff <ingest|search|stats|sql> [flags]
+	fmt.Fprintln(os.Stderr, `usage: segdiff <ingest|search|trace|stats|sql> [flags]
   ingest -db DIR -csv FILE [-epsilon 0.2] [-window 8h] [-denoise]
   search -db DIR [-kind drop|jump] [-span 1h] [-v -3] [-plan auto|scan|index]
-  stats  -db DIR
+  trace  -db DIR [-kind drop|jump] [-span 1h] [-v -3] [-plan auto|scan|index] [-json] [-debug ADDR]
+  stats  -db DIR [-v]
   sql    -db DIR -q "SELECT ..."
   plot   -db DIR [-from T0 -to T1] [-span 1h] [-v -3] [-width 100 -height 20]
   verify -db DIR -csv FILE [-span 1h] [-v -3]   (check the Theorem 1 guarantees)`)
@@ -117,6 +124,28 @@ func ingest(args []string) (err error) {
 	return nil
 }
 
+// parseKind maps a -kind flag value to a feature kind.
+func parseKind(s string) feature.Kind {
+	if strings.EqualFold(s, "jump") {
+		return feature.Jump
+	}
+	return feature.Drop
+}
+
+// parsePlan maps a -plan flag value to an access-path mode.
+func parsePlan(s string) (sqlmini.PlanMode, error) {
+	switch s {
+	case "auto":
+		return sqlmini.PlanAuto, nil
+	case "scan":
+		return sqlmini.PlanForceScan, nil
+	case "index":
+		return sqlmini.PlanForceIndex, nil
+	default:
+		return sqlmini.PlanAuto, fmt.Errorf("unknown -plan %q", s)
+	}
+}
+
 func search(args []string) (err error) {
 	fs := flag.NewFlagSet("search", flag.ExitOnError)
 	db := fs.String("db", "", "index directory")
@@ -126,20 +155,10 @@ func search(args []string) (err error) {
 	planStr := fs.String("plan", "auto", "auto, scan or index")
 	fs.Parse(args)
 
-	kind := feature.Drop
-	if strings.EqualFold(*kindStr, "jump") {
-		kind = feature.Jump
-	}
-	var mode sqlmini.PlanMode
-	switch *planStr {
-	case "auto":
-		mode = sqlmini.PlanAuto
-	case "scan":
-		mode = sqlmini.PlanForceScan
-	case "index":
-		mode = sqlmini.PlanForceIndex
-	default:
-		return fmt.Errorf("unknown -plan %q", *planStr)
+	kind := parseKind(*kindStr)
+	mode, err := parsePlan(*planStr)
+	if err != nil {
+		return err
 	}
 
 	st, err := openStore(*db, 0, 0)
@@ -161,9 +180,67 @@ func search(args []string) (err error) {
 	return nil
 }
 
+// traceCmd runs one drop/jump search under EXPLAIN ANALYZE and prints
+// the annotated plan: per-node actual rows, page I/O, zone-map skips,
+// and wall time next to the planner's estimates. With -debug ADDR it
+// also serves the engine's expvar/pprof/metrics endpoint for the
+// lifetime of the command (useful together with -iters for profiling).
+func traceCmd(args []string) (err error) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	db := fs.String("db", "", "index directory")
+	kindStr := fs.String("kind", "drop", "drop or jump")
+	span := fs.Duration("span", time.Hour, "time span threshold T")
+	v := fs.Float64("v", -3, "change threshold V (negative for drops, positive for jumps)")
+	planStr := fs.String("plan", "auto", "auto, scan or index")
+	jsonOut := fs.Bool("json", false, "emit the trace as JSON instead of text")
+	iters := fs.Int("iters", 1, "number of traced executions (last trace is reported)")
+	debugAddr := fs.String("debug", "", "serve the expvar/pprof/metrics debug endpoint on this address")
+	fs.Parse(args)
+
+	kind := parseKind(*kindStr)
+	mode, err := parsePlan(*planStr)
+	if err != nil {
+		return err
+	}
+	st, err := openStore(*db, 0, 0)
+	if err != nil {
+		return err
+	}
+	defer joinClose(&err, st)
+
+	if *debugAddr != "" {
+		d, derr := obs.ServeDebug(*debugAddr, st.DB().Registry(), st.DB().SlowLog())
+		if derr != nil {
+			return derr
+		}
+		defer joinClose(&err, d)
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s (expvar, pprof, /metrics, /slow)\n", d.Addr())
+	}
+
+	var tr *obs.Trace
+	for i := 0; i < *iters; i++ {
+		tr, err = st.TraceSearch(kind, int64(*span/time.Second), *v, mode)
+		if err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tr)
+	}
+	for _, line := range tr.Lines() {
+		fmt.Println(line)
+	}
+	fmt.Printf("%d rows in %v (kind=%s plan=%s)\n",
+		tr.Rows, time.Duration(tr.WallNS).Round(time.Microsecond), kind, tr.Mode)
+	return nil
+}
+
 func stats(args []string) (err error) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	db := fs.String("db", "", "index directory")
+	verbose := fs.Bool("v", false, "also print the engine metrics registry")
 	fs.Parse(args)
 	st, err := openStore(*db, 0, 0)
 	if err != nil {
@@ -190,7 +267,31 @@ func stats(args []string) (err error) {
 	fmt.Printf("prefetch:       %d reads, %d hits, %d wasted\n",
 		s.Cache.PrefetchReads, s.Cache.PrefetchHits, s.Cache.PrefetchWasted)
 	fmt.Printf("zone-skipped:   %d pages\n", s.ZoneSkippedPages)
+	if *verbose {
+		snap := st.Metrics()
+		fmt.Println("engine metrics (this session):")
+		for _, name := range snap.Names() {
+			fmt.Printf("  %-28s %d\n", name, snap.Counters[name])
+		}
+		for _, name := range sortedKeys(snap.Gauges) {
+			fmt.Printf("  %-28s %d (gauge)\n", name, snap.Gauges[name])
+		}
+		for _, name := range sortedKeys(snap.Histograms) {
+			h := snap.Histograms[name]
+			fmt.Printf("  %-28s count=%d mean=%.0f max<%d\n", name, h.Count, h.Mean(), h.Max())
+		}
+	}
 	return nil
+}
+
+// sortedKeys returns a map's keys in sorted order for stable output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
 }
 
 func sqlCmd(args []string) (err error) {

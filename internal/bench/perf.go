@@ -60,13 +60,14 @@ type PerfReport struct {
 	QueryT     int64   `json:"query_t_seconds"`
 	QueryV     float64 `json:"query_v"`
 	// Speedup is parallel-clients throughput over the sequential baseline.
-	Speedup   float64        `json:"throughput_speedup"`
-	Identical bool           `json:"results_identical"`
-	Scenarios []PerfScenario   `json:"scenarios"`
-	Bench     *GoBench         `json:"go_bench,omitempty"`
-	Ingest    *IngestReport    `json:"ingest,omitempty"`
-	Fusion    *FusionReport    `json:"fusion,omitempty"`
-	ColdCache *ColdCacheReport `json:"cold_cache,omitempty"`
+	Speedup       float64              `json:"throughput_speedup"`
+	Identical     bool                 `json:"results_identical"`
+	Scenarios     []PerfScenario       `json:"scenarios"`
+	Bench         *GoBench             `json:"go_bench,omitempty"`
+	Ingest        *IngestReport        `json:"ingest,omitempty"`
+	Fusion        *FusionReport        `json:"fusion,omitempty"`
+	ColdCache     *ColdCacheReport     `json:"cold_cache,omitempty"`
+	TraceOverhead *TraceOverheadReport `json:"trace_overhead,omitempty"`
 }
 
 // FusionReport is the fused-vs-branch-at-a-time comparison: the same

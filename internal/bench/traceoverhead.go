@@ -1,0 +1,214 @@
+package bench
+
+// Trace-overhead comparison for the observability work: the same
+// workloads as the PR 7 performance sections — the warm fused
+// drop-search union and the cold region scan — measured once with the
+// metrics registry on (the default) and once with Options.DisableMetrics
+// set, which reduces the per-query observability cost to two nil checks
+// (the PR 7 code path). EXPLAIN ANALYZE tracing is off in both runs; it
+// only engages per plan when requested, so what this measures is the
+// steady-state price of always-on metrics. cmd/benchrunner -perf embeds
+// the report in BENCH_PR9.json; -trace-smoke is the CI gate (< 2%
+// overhead on both sections).
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"time"
+
+	"segdiff/internal/core"
+	"segdiff/internal/storage/sqlmini"
+)
+
+// TraceOverheadSection is one measured workload of the comparison.
+// Wall times are best-of-rounds: each round interleaves the two
+// configurations, and the minimum wall per configuration is kept, which
+// suppresses scheduler and allocator noise better than averaging.
+type TraceOverheadSection struct {
+	Name        string  `json:"name"`
+	Queries     int     `json:"queries"` // per round, per configuration
+	Rounds      int     `json:"rounds"`
+	OnMS        float64 `json:"metrics_on_ms"`  // best round, metrics enabled
+	OffMS       float64 `json:"metrics_off_ms"` // best round, DisableMetrics
+	OverheadPct float64 `json:"overhead_pct"`   // (on-off)/off*100; negative = on was faster
+}
+
+// TraceOverheadReport is the full metrics-on vs metrics-off comparison.
+type TraceOverheadReport struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Days       int64   `json:"days"`
+	QueryT     int64   `json:"query_t_seconds"`
+	QueryV     float64 `json:"query_v"`
+	Identical  bool    `json:"results_identical"`
+	// Fused is the warm multi-branch search of the fusion perf section.
+	Fused TraceOverheadSection `json:"fused"`
+	// Cold is the cold-cache region scan (buffer pool dropped per query).
+	Cold TraceOverheadSection `json:"cold"`
+	// MaxOverheadPct is the larger of the two sections' overheads, the
+	// number the CI gate checks.
+	MaxOverheadPct float64 `json:"max_overhead_pct"`
+}
+
+// overheadPct is the relative cost of the metrics-on wall time.
+func overheadPct(onMS, offMS float64) float64 {
+	if offMS <= 0 {
+		return 0
+	}
+	return (onMS - offMS) / offMS * 100
+}
+
+// bestRounds runs rounds interleaved executions of on() and off(),
+// returning the minimum wall time of each in milliseconds.
+func bestRounds(rounds int, on, off func() (time.Duration, error)) (onMS, offMS float64, err error) {
+	best := func(prev float64, f func() (time.Duration, error)) (float64, error) {
+		d, err := f()
+		if err != nil {
+			return 0, err
+		}
+		ms := float64(d.Microseconds()) / 1e3
+		if prev == 0 || ms < prev {
+			return ms, nil
+		}
+		return prev, nil
+	}
+	for r := 0; r < rounds; r++ {
+		if onMS, err = best(onMS, on); err != nil {
+			return 0, 0, err
+		}
+		if offMS, err = best(offMS, off); err != nil {
+			return 0, 0, err
+		}
+	}
+	return onMS, offMS, nil
+}
+
+// RunTraceOverhead measures the metrics registry's query overhead on the
+// warm fused search and the cold region scan. dir receives the two
+// on-disk stores of the cold section.
+func RunTraceOverhead(cfg Config, dir string, iters, rounds int) (_ *TraceOverheadReport, err error) {
+	if iters <= 0 {
+		iters = 20
+	}
+	if rounds <= 0 {
+		rounds = 5
+	}
+	rep := &TraceOverheadReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Days:       cfg.Days,
+		QueryT:     cfg.QueryT,
+		QueryV:     cfg.QueryV,
+	}
+
+	// Warm fused section: two identical in-memory stores, metrics on/off.
+	onStore, err := perfStoreDB(cfg, sqlmini.Options{PoolPages: cfg.PoolPages})
+	if err != nil {
+		return nil, err
+	}
+	defer joinClose(&err, onStore)
+	offStore, err := perfStoreDB(cfg, sqlmini.Options{PoolPages: cfg.PoolPages, DisableMetrics: true})
+	if err != nil {
+		return nil, err
+	}
+	defer joinClose(&err, offStore)
+
+	onMatches, err := onStore.SearchDrops(cfg.QueryT, cfg.QueryV)
+	if err != nil {
+		return nil, err
+	}
+	offMatches, err := offStore.SearchDrops(cfg.QueryT, cfg.QueryV)
+	if err != nil {
+		return nil, err
+	}
+	rep.Identical = reflect.DeepEqual(onMatches, offMatches)
+	if !rep.Identical {
+		return nil, fmt.Errorf("bench: metrics-on found %d matches, metrics-off %d — observability changed results",
+			len(onMatches), len(offMatches))
+	}
+
+	fusedRun := func(st *core.Store) func() (time.Duration, error) {
+		return func() (time.Duration, error) {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if _, err := st.SearchDrops(cfg.QueryT, cfg.QueryV); err != nil {
+					return 0, err
+				}
+			}
+			return time.Since(start), nil
+		}
+	}
+	rep.Fused.Name, rep.Fused.Queries, rep.Fused.Rounds = "fused-warm", iters, rounds
+	rep.Fused.OnMS, rep.Fused.OffMS, err = bestRounds(rounds, fusedRun(onStore), fusedRun(offStore))
+	if err != nil {
+		return nil, err
+	}
+	rep.Fused.OverheadPct = overheadPct(rep.Fused.OnMS, rep.Fused.OffMS)
+
+	// Cold section: the PR 7 cold-cache region scan, pool dropped before
+	// every query so each trial pays the full I/O path (where per-page
+	// work could hide a registry cost).
+	days := cfg.Days * coldDaysFactor
+	series, err := Workload(cfg, 1, days)
+	if err != nil {
+		return nil, err
+	}
+	coldOn, err := coldStore(cfg, filepath.Join(dir, "trace-on"), series[0], sqlmini.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer joinClose(&err, coldOn)
+	coldOff, err := coldStore(cfg, filepath.Join(dir, "trace-off"), series[0], sqlmini.Options{DisableMetrics: true})
+	if err != nil {
+		return nil, err
+	}
+	defer joinClose(&err, coldOff)
+
+	t1 := series[0].End() + 1
+	t0 := t1 - coldRegionSeconds
+	sql := coldRegionSQL()
+	args := coldRegionArgs(t0, t1, cfg.QueryT, cfg.QueryV)
+
+	onRows, err := coldOn.DB().QueryMode(sqlmini.PlanForceScan, sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	offRows, err := coldOff.DB().QueryMode(sqlmini.PlanForceScan, sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	if !reflect.DeepEqual(onRows, offRows) {
+		rep.Identical = false
+		return nil, fmt.Errorf("bench: cold region queries diverge: metrics-on %d rows, metrics-off %d",
+			onRows.Len(), offRows.Len())
+	}
+
+	coldRun := func(st *core.Store) func() (time.Duration, error) {
+		return func() (time.Duration, error) {
+			var wall time.Duration
+			for i := 0; i < iters; i++ {
+				if err := st.DropCache(); err != nil {
+					return 0, err
+				}
+				start := time.Now()
+				if _, err := st.DB().QueryMode(sqlmini.PlanForceScan, sql, args...); err != nil {
+					return 0, err
+				}
+				wall += time.Since(start)
+			}
+			return wall, nil
+		}
+	}
+	rep.Cold.Name, rep.Cold.Queries, rep.Cold.Rounds = "cold-region-scan", iters, rounds
+	rep.Cold.OnMS, rep.Cold.OffMS, err = bestRounds(rounds, coldRun(coldOn), coldRun(coldOff))
+	if err != nil {
+		return nil, err
+	}
+	rep.Cold.OverheadPct = overheadPct(rep.Cold.OnMS, rep.Cold.OffMS)
+
+	rep.MaxOverheadPct = rep.Fused.OverheadPct
+	if rep.Cold.OverheadPct > rep.MaxOverheadPct {
+		rep.MaxOverheadPct = rep.Cold.OverheadPct
+	}
+	return rep, nil
+}

@@ -32,6 +32,7 @@ import (
 
 	"segdiff/internal/extract"
 	"segdiff/internal/feature"
+	"segdiff/internal/obs"
 	"segdiff/internal/segment"
 	"segdiff/internal/storage/pager"
 	"segdiff/internal/storage/sqlmini"
@@ -706,6 +707,37 @@ func (s *Store) Stats() (Stats, error) {
 	st.ZoneSkippedPages = s.db.ZoneSkippedPages()
 	return st, nil
 }
+
+// TraceSearch runs a drop or jump search under EXPLAIN ANALYZE and
+// returns its runtime trace: one node per scan unit of the search
+// UNION, annotated with actual row counts, page I/O deltas, zone-map
+// skips, and wall time next to the planner's estimates. The search
+// itself executes exactly as SearchMode would, but sequentially on the
+// calling goroutine so page attribution stays per-node.
+func (s *Store) TraceSearch(kind feature.Kind, T int64, V float64, mode sqlmini.PlanMode) (*obs.Trace, error) {
+	if _, err := feature.NewRegion(kind, T, V); err != nil {
+		return nil, err
+	}
+	if T > s.opts.Window {
+		return nil, fmt.Errorf("core: T=%d exceeds the store window w=%d", T, s.opts.Window)
+	}
+	var args []sqlmini.Value
+	for _, q := range searchQueries(kind) {
+		args = append(args, q.args(T, V)...)
+	}
+	return s.db.ExplainAnalyze(mode, searchUnionSQL[kind], args...)
+}
+
+// Metrics snapshots the engine's metrics registry: query counters and
+// latency histogram, buffer-pool and WAL counters, worker gauges. The
+// snapshot is internally consistent without stalling readers or
+// writers; it is the zero Snapshot when metrics are disabled
+// (Options.DB.DisableMetrics).
+func (s *Store) Metrics() obs.Snapshot { return s.db.Metrics() }
+
+// SlowQueries returns the engine's slow-query ring buffer, oldest
+// first; nil unless Options.DB.SlowQuery is positive.
+func (s *Store) SlowQueries() []obs.SlowQuery { return s.db.SlowQueries() }
 
 // DropCache simulates a cold cache before a query (paper Sections 6.1–6.3
 // flush the OS cache before every query).

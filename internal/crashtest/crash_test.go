@@ -202,6 +202,79 @@ func TestCrashReadAheadNoDivergence(t *testing.T) {
 	}
 }
 
+// TestCrashObsNoDivergence pins the observability crash-safety contract:
+// metrics, per-query tracing, and the slow-query log are purely volatile
+// — they never dirty a page, never log to the WAL, and never touch a
+// file — so arming them as hard as a user can (slow log recording every
+// query) must leave the write-class op census and every recovered disk
+// image byte-identical to a run without them.
+func TestCrashObsNoDivergence(t *testing.T) {
+	w, err := NewWorkload(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wobs, err := NewWorkload(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wobs.Obs = true
+
+	clean, err := w.CleanRun(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanObs, err := wobs.CleanRun(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.SetupOps != cleanObs.SetupOps || clean.IngestOps != cleanObs.IngestOps ||
+		clean.TotalOps != cleanObs.TotalOps {
+		t.Fatalf("observability moved the op census: off (%d,%d,%d) vs on (%d,%d,%d)",
+			clean.SetupOps, clean.IngestOps, clean.TotalOps,
+			cleanObs.SetupOps, cleanObs.IngestOps, cleanObs.TotalOps)
+	}
+	if len(clean.Matches) != len(cleanObs.Matches) {
+		t.Fatalf("observability changed clean results: %d vs %d matches",
+			len(clean.Matches), len(cleanObs.Matches))
+	}
+	for i := range clean.Matches {
+		if clean.Matches[i] != cleanObs.Matches[i] {
+			t.Fatalf("clean match %d differs with observability armed", i)
+		}
+	}
+
+	// Sampled crash points: identical recovered images and results.
+	first, last := clean.FirstOp(), clean.TotalOps
+	for _, k := range []int64{first, (first + last) / 2, last} {
+		r0, err := w.CrashAt(t.TempDir(), k)
+		if err != nil {
+			t.Fatalf("crash point %d (obs off): %v", k, err)
+		}
+		r1, err := wobs.CrashAt(t.TempDir(), k)
+		if err != nil {
+			t.Fatalf("crash point %d (obs on): %v", k, err)
+		}
+		if len(r0.Disk) != len(r1.Disk) {
+			t.Fatalf("crash point %d: recovered file sets differ (%d vs %d)",
+				k, len(r0.Disk), len(r1.Disk))
+		}
+		for name, data := range r0.Disk {
+			if !bytes.Equal(data, r1.Disk[name]) {
+				t.Fatalf("crash point %d: file %s differs with observability armed", k, name)
+			}
+		}
+		if len(r0.Recovered) != len(r1.Recovered) {
+			t.Fatalf("crash point %d: match counts differ (%d vs %d)",
+				k, len(r0.Recovered), len(r1.Recovered))
+		}
+		for i := range r0.Recovered {
+			if r0.Recovered[i] != r1.Recovered[i] {
+				t.Fatalf("crash point %d: match %d differs with observability armed", k, i)
+			}
+		}
+	}
+}
+
 // TestCrashTransientWriteErrors injects error-once-then-recover faults
 // (a failed write or fsync that does NOT kill the process) during the
 // batched ingest: the store must roll back to its last committed state,

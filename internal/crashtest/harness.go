@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"time"
 
 	"segdiff/internal/core"
 	"segdiff/internal/feature"
@@ -55,6 +56,14 @@ type Workload struct {
 	// recovered disk image — must be identical with the knob on or off
 	// (TestCrashReadAheadNoDivergence pins this).
 	ReadAhead int
+	// Obs, when set, arms the observability layer as hard as a user can:
+	// the slow-query log records every query (threshold 1 ns) on top of
+	// the always-on metrics registry. Observability state is purely
+	// volatile — counters, histograms, and the slow log never touch the
+	// engine's files — so the op census and every recovered disk image
+	// must be identical with the knob on or off
+	// (TestCrashObsNoDivergence pins this).
+	Obs bool
 }
 
 // NewWorkload builds the scenario for a seed: half a day of 5-minute
@@ -77,6 +86,10 @@ func NewWorkload(seed int64) (*Workload, error) {
 // options wires a store to the fault registry. Single-threaded workers
 // make the engine's file-operation order deterministic.
 func (w *Workload) options(reg *faultfs.Registry) core.Options {
+	var slow time.Duration
+	if w.Obs {
+		slow = time.Nanosecond // every query lands in the slow log
+	}
 	return core.Options{
 		// A 2 h window (vs the 8 h default) bounds how many prior segments
 		// each new segment pairs with, keeping the feature volume — and the
@@ -87,6 +100,7 @@ func (w *Workload) options(reg *faultfs.Registry) core.Options {
 			UnionWorkers: 1,
 			WriteWorkers: 1,
 			ReadAhead:    w.ReadAhead,
+			SlowQuery:    slow,
 		},
 	}
 }

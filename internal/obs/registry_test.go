@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a") != c {
+		t.Fatal("Counter did not return the registered cell")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	if r.Gauge("g") != g {
+		t.Fatal("Gauge did not return the registered cell")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	if r.Histogram("lat") != h {
+		t.Fatal("Histogram did not return the registered cell")
+	}
+	// 0 lands in bucket 0 (upper bound 1), 1 in bucket 1 (upper bound
+	// 2), 1000 in bucket 10 (upper bound 1024); negatives clamp to 0.
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(1000)
+	h.Observe(-5)
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 4 || s.Sum != 1001 {
+		t.Fatalf("count=%d sum=%d, want 4/1001", s.Count, s.Sum)
+	}
+	want := map[uint64]uint64{1: 2, 2: 1, 1024: 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %v, want %v", s.Buckets, want)
+	}
+	for ub, n := range want {
+		if s.Buckets[ub] != n {
+			t.Fatalf("bucket %d = %d, want %d", ub, s.Buckets[ub], n)
+		}
+	}
+	if got := s.Mean(); got != 1001.0/4 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := s.Max(); got != 1024 {
+		t.Fatalf("max = %d, want 1024", got)
+	}
+	var empty HistogramSnapshot
+	if empty.Mean() != 0 || empty.Max() != 0 {
+		t.Fatal("empty snapshot mean/max should be 0")
+	}
+}
+
+func TestHistogramClampsToLastBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(int64(1) << 62) // bit length 63 > histBuckets-1
+	s := h.snapshot()
+	if s.Buckets[uint64(1)<<(histBuckets-1)] != 1 {
+		t.Fatalf("oversized observation not clamped: %v", s.Buckets)
+	}
+}
+
+func TestSnapshotSourcesAndNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	ext := uint64(10)
+	r.RegisterSource(func(put func(string, uint64)) { put("ext.c", ext) })
+	s := r.Snapshot()
+	if s.Counter("a") != 1 || s.Counter("b") != 2 || s.Counter("ext.c") != 10 {
+		t.Fatalf("snapshot counters = %v", s.Counters)
+	}
+	if s.Counter("missing") != 0 {
+		t.Fatal("missing counter should read 0")
+	}
+	if got := s.Names(); len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "ext.c" {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+// TestSnapshotMonotonic asserts the registry invariant the engine tests
+// rely on: counter values never decrease across snapshots, even while
+// other goroutines are incrementing.
+func TestSnapshotMonotonic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	h := r.Histogram("h")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(3)
+				}
+			}
+		}()
+	}
+	prev := r.Snapshot()
+	for i := 0; i < 200; i++ {
+		cur := r.Snapshot()
+		if cur.Counter("n") < prev.Counter("n") {
+			t.Fatalf("counter went backwards: %d -> %d", prev.Counter("n"), cur.Counter("n"))
+		}
+		if cur.Histograms["h"].Count < prev.Histograms["h"].Count {
+			t.Fatal("histogram count went backwards")
+		}
+		prev = cur
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("shared").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counter("shared") != 800 {
+		t.Fatalf("shared counter = %d, want 800", s.Counter("shared"))
+	}
+	if s.Gauges["g"] != 800 {
+		t.Fatalf("gauge = %d, want 800", s.Gauges["g"])
+	}
+	if s.Histograms["h"].Count != 800 {
+		t.Fatalf("histogram count = %d, want 800", s.Histograms["h"].Count)
+	}
+}

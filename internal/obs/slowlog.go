@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// defaultSlowCap is the ring capacity when the caller does not choose
+// one: enough recent history to diagnose a slow period, small enough
+// that the log's memory stays bounded and off any allocation profile.
+const defaultSlowCap = 64
+
+// SlowQuery is one retained slow-query record. The log is purely
+// volatile: nothing here is ever written to durable storage.
+type SlowQuery struct {
+	SQL  string        `json:"sql"`
+	Wall time.Duration `json:"wall_ns"`
+	Rows int           `json:"rows"`
+	Err  string        `json:"err,omitempty"`
+	When time.Time     `json:"when"`
+}
+
+// SlowLog is a fixed-capacity ring buffer of the most recent queries
+// whose wall time met a threshold. Recording takes a mutex — slow
+// queries are by definition off the hot path — while fast queries only
+// pay a threshold comparison in the caller.
+type SlowLog struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	entries   []SlowQuery // guarded by mu; ring storage
+	next      int         // guarded by mu; ring write position
+	full      bool        // guarded by mu; ring has wrapped
+	total     uint64      // guarded by mu; lifetime slow-query count
+}
+
+// NewSlowLog returns a log retaining the last capacity queries at least
+// threshold slow. capacity <= 0 selects the default.
+func NewSlowLog(threshold time.Duration, capacity int) *SlowLog {
+	if capacity <= 0 {
+		capacity = defaultSlowCap
+	}
+	return &SlowLog{threshold: threshold, entries: make([]SlowQuery, capacity)}
+}
+
+// Threshold returns the configured slowness threshold.
+func (l *SlowLog) Threshold() time.Duration { return l.threshold }
+
+// Note records q if it met the threshold and reports whether it did.
+func (l *SlowLog) Note(q SlowQuery) bool {
+	if q.Wall < l.threshold {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries[l.next] = q
+	l.next++
+	if l.next == len(l.entries) {
+		l.next = 0
+		l.full = true
+	}
+	l.total++
+	return true
+}
+
+// Total returns the lifetime count of recorded slow queries, including
+// those already evicted from the ring.
+func (l *SlowLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Entries returns the retained records, oldest first.
+func (l *SlowLog) Entries() []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.full {
+		return append([]SlowQuery(nil), l.entries[:l.next]...)
+	}
+	out := make([]SlowQuery, 0, len(l.entries))
+	out = append(out, l.entries[l.next:]...)
+	out = append(out, l.entries[:l.next]...)
+	return out
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSlowLogThreshold(t *testing.T) {
+	l := NewSlowLog(time.Millisecond, 4)
+	if l.Threshold() != time.Millisecond {
+		t.Fatalf("threshold = %v", l.Threshold())
+	}
+	if l.Note(SlowQuery{SQL: "fast", Wall: time.Microsecond}) {
+		t.Fatal("fast query recorded")
+	}
+	if !l.Note(SlowQuery{SQL: "slow", Wall: 2 * time.Millisecond, Rows: 1}) {
+		t.Fatal("slow query not recorded")
+	}
+	got := l.Entries()
+	if len(got) != 1 || got[0].SQL != "slow" || got[0].Rows != 1 {
+		t.Fatalf("entries = %+v", got)
+	}
+	if l.Total() != 1 {
+		t.Fatalf("total = %d", l.Total())
+	}
+}
+
+func TestSlowLogRingWraps(t *testing.T) {
+	l := NewSlowLog(0, 3)
+	for i := 0; i < 5; i++ {
+		l.Note(SlowQuery{SQL: fmt.Sprintf("q%d", i), Wall: time.Duration(i)})
+	}
+	got := l.Entries()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, want := range []string{"q2", "q3", "q4"} {
+		if got[i].SQL != want {
+			t.Fatalf("entry %d = %q, want %q (oldest first)", i, got[i].SQL, want)
+		}
+	}
+	if l.Total() != 5 {
+		t.Fatalf("total = %d, want 5", l.Total())
+	}
+}
+
+func TestSlowLogDefaultCapacity(t *testing.T) {
+	l := NewSlowLog(0, 0)
+	for i := 0; i < defaultSlowCap+10; i++ {
+		l.Note(SlowQuery{Wall: 1})
+	}
+	if got := len(l.Entries()); got != defaultSlowCap {
+		t.Fatalf("len = %d, want %d", got, defaultSlowCap)
+	}
+}

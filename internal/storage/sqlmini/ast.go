@@ -114,6 +114,10 @@ type deleteStmt struct {
 
 type explainStmt struct {
 	inner stmt // selectStmt, unionStmt or deleteStmt
+	// analyze marks EXPLAIN ANALYZE: execute the statement and annotate
+	// every plan node with runtime counters. Restricted to SELECT/UNION
+	// (queries hold the shared lock, which cannot execute a DELETE).
+	analyze bool
 }
 
 // unionStmt is SELECT ... UNION SELECT ... (set semantics: duplicates

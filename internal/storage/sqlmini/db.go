@@ -9,7 +9,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"segdiff/internal/obs"
 	"segdiff/internal/storage/btree"
 	"segdiff/internal/storage/heap"
 	"segdiff/internal/storage/pager"
@@ -60,6 +62,17 @@ type Options struct {
 	// faultfs here so scripted write/sync failures and power cuts cover
 	// the entire durability path. Ignored by in-memory databases.
 	FileFactory func(path string) (pager.File, error)
+	// SlowQuery enables the ring-buffer slow-query log: every query whose
+	// wall time reaches the threshold is retained (see DB.SlowQueries).
+	// 0 (the default) disables the log. Observability state is purely
+	// volatile — nothing recorded here is ever written to disk.
+	SlowQuery time.Duration
+	// DisableMetrics turns off the always-on engine metrics registry
+	// (query counters/latency histogram plus the source-folded pager,
+	// WAL, and zone-map counters; see DB.Metrics). Queries then skip the
+	// per-query clock read and counter updates entirely. The knob exists
+	// for A/B overhead benchmarking (internal/bench measures both).
+	DisableMetrics bool
 }
 
 func (o Options) normalize() Options {
@@ -120,11 +133,86 @@ type DB struct {
 	// zoneSkipped counts heap pages skipped by zone-map pruning; atomic
 	// because queries increment it under the shared lock.
 	zoneSkipped atomic.Uint64
+
+	// Observability. reg, slow, and met are created once at open (before
+	// the DB is shared) and immutable afterwards; reg is nil when
+	// Options.DisableMetrics is set, slow is nil unless Options.SlowQuery
+	// is positive. obsPagers is a dedicated list of every mounted pager
+	// under its own obsMu rather than db.mu, so CacheStats and registry
+	// snapshots read live counters even while a batched write holds the
+	// writer lock for its whole duration.
+	reg       *obs.Registry
+	slow      *obs.SlowLog
+	met       dbMetrics
+	obsMu     sync.Mutex
+	obsPagers []*pager.Pager // guarded by obsMu
+}
+
+// dbMetrics caches the hot-path metric cells so the per-query path never
+// touches the registry's name maps (and their lock). All nil when
+// metrics are disabled.
+type dbMetrics struct {
+	queries      *obs.Counter
+	queryErrs    *obs.Counter
+	rowsReturned *obs.Counter
+	slowQueries  *obs.Counter
+	queryNS      *obs.Histogram
+}
+
+// initObs creates the metrics registry and slow-query log per the
+// options and registers the snapshot-time sources for counters that
+// live in other subsystems. Called once at open, before the DB is
+// shared; the WAL source is registered separately once the log exists.
+func (db *DB) initObs() {
+	if db.opts.SlowQuery > 0 {
+		db.slow = obs.NewSlowLog(db.opts.SlowQuery, 0)
+	}
+	if db.opts.DisableMetrics {
+		return
+	}
+	db.reg = obs.NewRegistry()
+	db.met = dbMetrics{
+		queries:      db.reg.Counter("engine.queries"),
+		queryErrs:    db.reg.Counter("engine.query_errors"),
+		rowsReturned: db.reg.Counter("engine.rows_returned"),
+		slowQueries:  db.reg.Counter("engine.slow_queries"),
+		queryNS:      db.reg.Histogram("engine.query_ns"),
+	}
+	db.reg.Gauge("engine.union_workers").Set(int64(db.opts.UnionWorkers))
+	db.reg.Gauge("engine.write_workers").Set(int64(db.opts.WriteWorkers))
+	db.reg.Gauge("engine.readahead_pages").Set(int64(db.opts.ReadAhead))
+	db.reg.RegisterSource(func(put func(string, uint64)) {
+		cs := db.CacheStats()
+		put("pager.hits", cs.Hits)
+		put("pager.misses", cs.Misses)
+		put("pager.reads", cs.Reads)
+		put("pager.writes", cs.Writes)
+		put("pager.evictions", cs.Evictions)
+		put("pager.prefetch_reads", cs.PrefetchReads)
+		put("pager.prefetch_hits", cs.PrefetchHits)
+		put("pager.prefetch_wasted", cs.PrefetchWasted)
+		put("zone.skipped_pages", db.zoneSkipped.Load())
+	})
+}
+
+// initObsWAL folds the log's commit/fsync counters into registry
+// snapshots. The captured log pointer is read-only here and wal.Stats
+// is safe from any goroutine.
+func (db *DB) initObsWAL(lg *wal.Log) {
+	if db.reg == nil {
+		return
+	}
+	db.reg.RegisterSource(func(put func(string, uint64)) {
+		ws := lg.Stats()
+		put("wal.commits", ws.Commits)
+		put("wal.fsyncs", ws.Fsyncs)
+		put("wal.pages_logged", ws.PagesLogged)
+	})
 }
 
 // OpenMemory returns an in-memory database (no durability, no WAL).
 func OpenMemory(opts Options) *DB {
-	return &DB{
+	db := &DB{
 		dir:     "",
 		opts:    opts.normalize(),
 		catalog: newCatalog(),
@@ -132,6 +220,8 @@ func OpenMemory(opts Options) *DB {
 		indexes: map[string]*indexHandle{},
 		files:   map[uint16]pager.File{},
 	}
+	db.initObs()
+	return db
 }
 
 // Open opens (creating if needed) the database stored in dir, replaying
@@ -154,6 +244,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		indexes: map[string]*indexHandle{},
 		files:   map[uint16]pager.File{},
 	}
+	db.initObs()
 
 	// Recovery: replay committed page images straight into the data files
 	// before any pager caches them.
@@ -234,6 +325,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, errors.Join(err, walFile.Close())
 	}
+	db.initObsWAL(db.log)
 	closeMounted := func() error {
 		var errs []error
 		// Close (and thus flush) in sorted name order, matching the
@@ -344,6 +436,8 @@ func (db *DB) mountTable(t *tableSchema) error {
 	}
 	db.tables[t.Name] = &tableHandle{pg: pg, h: h, path: path}
 	db.files[t.FileID] = f
+	//segdifflint:ignore lockcheck obsRegisterPager takes obsMu, not the held db.mu; the order is always mu before obsMu
+	db.obsRegisterPager(pg)
 	return nil
 }
 
@@ -371,7 +465,18 @@ func (db *DB) mountIndex(ix *indexSchema) error {
 	}
 	db.indexes[ix.Name] = &indexHandle{pg: pg, tree: tr, path: path}
 	db.files[ix.FileID] = f
+	//segdifflint:ignore lockcheck obsRegisterPager takes obsMu, not the held db.mu; the order is always mu before obsMu
+	db.obsRegisterPager(pg)
 	return nil
+}
+
+// obsRegisterPager adds a newly mounted pager to the list CacheStats
+// walks. Mounting happens under the exclusive lock, but the list has its
+// own mutex so stats readers never need db.mu at all.
+func (db *DB) obsRegisterPager(pg *pager.Pager) {
+	db.obsMu.Lock()
+	db.obsPagers = append(db.obsPagers, pg)
+	db.obsMu.Unlock()
 }
 
 // Exec parses and executes a statement that returns no rows (DDL, INSERT,
@@ -518,9 +623,51 @@ func (db *DB) QueryMode(mode PlanMode, sql string, args ...Value) (*Rows, error)
 	if err != nil {
 		return nil, err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.queryLocked(st, args, mode)
+	return db.observedQuery(st, sql, args, mode)
+}
+
+// observedQuery runs one parsed read statement under the shared lock,
+// feeding the always-on query metrics and the slow-query log. With both
+// disabled it adds exactly two nil checks to the query path.
+func (db *DB) observedQuery(st stmt, sql string, args []Value, mode PlanMode) (*Rows, error) {
+	if db.reg == nil && db.slow == nil {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return db.queryLocked(st, args, mode)
+	}
+	start := time.Now()
+	rows, err := func() (*Rows, error) {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return db.queryLocked(st, args, mode)
+	}()
+	db.noteQuery(sql, time.Since(start), rows, err)
+	return rows, err
+}
+
+// noteQuery records one finished query on the registry and slow log.
+func (db *DB) noteQuery(sql string, wall time.Duration, rows *Rows, err error) {
+	n := 0
+	if rows != nil {
+		n = rows.Len()
+	}
+	if db.reg != nil {
+		db.met.queries.Inc()
+		db.met.queryNS.Observe(wall.Nanoseconds())
+		db.met.rowsReturned.Add(uint64(n))
+		if err != nil {
+			db.met.queryErrs.Inc()
+		}
+	}
+	if db.slow != nil {
+		q := obs.SlowQuery{SQL: sql, Wall: wall, Rows: n, When: time.Now()}
+		if err != nil {
+			q.Err = err.Error()
+		}
+		if db.slow.Note(q) && db.reg != nil {
+			db.met.slowQueries.Inc()
+		}
+	}
 }
 
 // queryLocked executes a parsed read statement. Callers hold db.mu shared;
@@ -551,6 +698,9 @@ func (db *DB) queryLocked(st stmt, args []Value, mode PlanMode) (*Rows, error) {
 //
 // locks: db.mu (shared)
 func (db *DB) explain(s explainStmt, args []Value, mode PlanMode) (*Rows, error) {
+	if s.analyze {
+		return db.explainAnalyzeRows(s, args, mode)
+	}
 	var schema *tableSchema
 	var where expr
 	switch inner := s.inner.(type) {
@@ -605,8 +755,9 @@ func (db *DB) explain(s explainStmt, args []Value, mode PlanMode) (*Rows, error)
 
 // Stmt is a prepared statement: parsed once, executable many times.
 type Stmt struct {
-	db *DB
-	st stmt
+	db  *DB
+	st  stmt
+	sql string // original text, for the slow-query log
 }
 
 // Prepare parses sql into a reusable statement.
@@ -615,7 +766,7 @@ func (db *DB) Prepare(sql string) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{db: db, st: st}, nil
+	return &Stmt{db: db, st: st, sql: sql}, nil
 }
 
 // Exec executes a prepared DDL/INSERT/DELETE.
@@ -682,9 +833,7 @@ func (s *Stmt) Query(args ...Value) (*Rows, error) {
 
 // QueryMode executes a prepared SELECT/EXPLAIN under an explicit plan mode.
 func (s *Stmt) QueryMode(mode PlanMode, args ...Value) (*Rows, error) {
-	s.db.mu.RLock()
-	defer s.db.mu.RUnlock()
-	return s.db.queryLocked(s.st, args, mode)
+	return s.db.observedQuery(s.st, s.sql, args, mode)
 }
 
 // BeginBatch suspends per-statement commits: subsequent writes become
@@ -890,12 +1039,18 @@ func (db *DB) DropCache() error {
 	return nil
 }
 
-// CacheStats aggregates buffer pool counters across all files.
+// CacheStats aggregates buffer pool counters across all files. It walks
+// a dedicated pager list under the list's own mutex instead of taking
+// db.mu, so it returns live counters even while a batched write holds
+// the writer lock for the whole batch (it used to stall behind the
+// batch and then report counters that excluded all of the batch's I/O).
 func (db *DB) CacheStats() pager.Stats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.obsMu.Lock()
+	pagers := append([]*pager.Pager(nil), db.obsPagers...)
+	db.obsMu.Unlock()
 	var s pager.Stats
-	add := func(x pager.Stats) {
+	for _, pg := range pagers {
+		x := pg.Stats()
 		s.Hits += x.Hits
 		s.Misses += x.Misses
 		s.Reads += x.Reads
@@ -905,13 +1060,35 @@ func (db *DB) CacheStats() pager.Stats {
 		s.PrefetchHits += x.PrefetchHits
 		s.PrefetchWasted += x.PrefetchWasted
 	}
-	for _, th := range db.tables {
-		add(th.pg.Stats())
-	}
-	for _, ih := range db.indexes {
-		add(ih.pg.Stats())
-	}
 	return s
+}
+
+// Metrics returns a snapshot of the engine metrics registry: query
+// counters and the latency histogram plus the source-folded pager, WAL,
+// and zone-map counters. Counter values are monotonic across snapshots.
+// The zero Snapshot is returned when metrics are disabled.
+func (db *DB) Metrics() obs.Snapshot {
+	if db.reg == nil {
+		return obs.Snapshot{}
+	}
+	return db.reg.Snapshot()
+}
+
+// Registry exposes the live metrics registry for the debug endpoint;
+// nil when Options.DisableMetrics is set.
+func (db *DB) Registry() *obs.Registry { return db.reg }
+
+// SlowLog exposes the slow-query log for the debug endpoint; nil unless
+// Options.SlowQuery is positive.
+func (db *DB) SlowLog() *obs.SlowLog { return db.slow }
+
+// SlowQueries returns the retained slow-query records, oldest first
+// (empty unless Options.SlowQuery enabled the log).
+func (db *DB) SlowQueries() []obs.SlowQuery {
+	if db.slow == nil {
+		return nil
+	}
+	return db.slow.Entries()
 }
 
 // TableSizeBytes returns the heap file size of a table — the paper's

@@ -74,7 +74,13 @@ func (db *DB) scanRows(p *scanPlan, args []Value, fn func(rid heap.RID, vals []V
 	b := &binding{schema: p.schema, args: args}
 
 	rowBuf := make([]Value, len(p.schema.Cols))
+	tr := p.trace
 	visit := func(rid heap.RID, rec []byte) (bool, error) {
+		// A sequential scan examines every row on the kept pages; an index
+		// scan's examined count is taken at the B+tree entry level below.
+		if tr != nil && p.index == nil {
+			tr.rowsExamined++
+		}
 		vals, err := decodeRowInto(p.schema, rec, rowBuf)
 		if err != nil {
 			return false, err
@@ -88,6 +94,9 @@ func (db *DB) scanRows(p *scanPlan, args []Value, fn func(rid heap.RID, vals []V
 			if !ok.IsTrue() {
 				return true, nil
 			}
+		}
+		if tr != nil {
+			tr.rowsReturned++
 		}
 		return fn(rid, vals)
 	}
@@ -120,6 +129,9 @@ func (db *DB) scanRows(p *scanPlan, args []Value, fn func(rid heap.RID, vals []V
 	}
 
 	return ih.tree.ScanRange(p.lo, p.hi, func(key, val []byte) (bool, error) {
+		if tr != nil {
+			tr.rowsExamined++ // every entry inside the scan bounds
+		}
 		if kb != nil {
 			var err error
 			kvals, err = keyenc.DecodeInto(key, kvals[:0])
@@ -161,33 +173,54 @@ func (db *DB) scanRows(p *scanPlan, args []Value, fn func(rid heap.RID, vals []V
 //
 // locks: db.mu (shared)
 func (db *DB) execSelect(st selectStmt, args []Value, mode PlanMode) (*Rows, error) {
+	plan, aggMode, err := db.planSelect(st, args, mode)
+	if err != nil {
+		return nil, err
+	}
+	return db.execSelectOn(st, plan, aggMode, args)
+}
+
+// planSelect validates a SELECT against the catalog and chooses its
+// access path. aggMode reports a whole-table aggregate SELECT. Split
+// from execSelect so EXPLAIN ANALYZE can attach a trace to the plan
+// before execution.
+//
+// locks: db.mu (shared)
+func (db *DB) planSelect(st selectStmt, args []Value, mode PlanMode) (plan *scanPlan, aggMode bool, err error) {
 	schema, ok := db.catalog.Tables[st.table]
 	if !ok {
-		return nil, fmt.Errorf("sqlmini: no such table %s", st.table)
+		return nil, false, fmt.Errorf("sqlmini: no such table %s", st.table)
 	}
 	if st.where != nil {
 		if err := validateExpr(st.where, schema, false); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
 	for _, k := range st.orderBy {
 		if schema.colIndex(k.col) < 0 {
-			return nil, fmt.Errorf("sqlmini: ORDER BY references unknown column %s", k.col)
+			return nil, false, fmt.Errorf("sqlmini: ORDER BY references unknown column %s", k.col)
 		}
 	}
-	aggMode := false
 	for _, e := range st.exprs {
 		if err := validateExpr(e, schema, true); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if hasAggregate(e) {
 			aggMode = true
 		}
 	}
-	plan, err := buildPlan(db, schema, st.where, args, mode)
+	plan, err = buildPlan(db, schema, st.where, args, mode)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
+	return plan, aggMode, nil
+}
+
+// execSelectOn runs a planned SELECT.
+//
+// locks: db.mu (shared)
+func (db *DB) execSelectOn(st selectStmt, plan *scanPlan, aggMode bool, args []Value) (*Rows, error) {
+	schema := plan.schema
 	if aggMode {
 		return db.execAggregate(st, plan, args)
 	}
@@ -211,7 +244,7 @@ func (db *DB) execSelect(st selectStmt, args []Value, mode PlanMode) (*Rows, err
 	b := &binding{schema: schema, args: args}
 	needSort := len(st.orderBy) > 0
 
-	err = db.scanRows(plan, args, func(_ heap.RID, vals []Value) (bool, error) {
+	err := db.scanRows(plan, args, func(_ heap.RID, vals []Value) (bool, error) {
 		if !needSort && st.limit >= 0 && int64(len(out.Data)) >= st.limit {
 			return false, nil
 		}

@@ -143,6 +143,9 @@ func (db *DB) execFusedUnit(u *scanUnit, args []Value, branchRows []*Rows) error
 
 	// emit projects the shared row through branch j's SELECT list.
 	emit := func(j int, vals []Value) error {
+		if t := u.plans[j].trace; t != nil {
+			t.rowsReturned++
+		}
 		var proj []Value
 		if u.stmts[j].star {
 			proj = append([]Value(nil), vals...)
@@ -173,6 +176,9 @@ func (db *DB) execFusedUnit(u *scanUnit, args []Value, branchRows []*Rows) error
 			for j := range u.idxs {
 				if u.plans[j].empty {
 					continue
+				}
+				if t := u.plans[j].trace; t != nil {
+					t.rowsExamined++ // every decoded row, per live branch
 				}
 				if f := filters[j]; f != nil {
 					ok, err := f(vals)
@@ -260,6 +266,11 @@ func (db *DB) execFusedUnit(u *scanUnit, args []Value, branchRows []*Rows) error
 				pass[j] = false
 				if p.empty || !inRange(key, p) {
 					continue
+				}
+				if p.trace != nil {
+					// A dedicated scan of this branch would visit exactly the
+					// entries inside its own bounds.
+					p.trace.rowsExamined++
 				}
 				if kf := keyFilters[j]; kf != nil {
 					if !decoded {

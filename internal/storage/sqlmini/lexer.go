@@ -30,7 +30,7 @@ var keywords = map[string]bool{
 	"INSERT": true, "INTO": true, "VALUES": true,
 	"SELECT": true, "FROM": true, "WHERE": true,
 	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "LIMIT": true,
-	"DELETE": true, "EXPLAIN": true, "UNION": true,
+	"DELETE": true, "EXPLAIN": true, "ANALYZE": true, "UNION": true,
 	"AND": true, "OR": true, "NOT": true,
 	"INT": true, "REAL": true, "TEXT": true,
 	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true,

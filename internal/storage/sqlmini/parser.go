@@ -96,16 +96,23 @@ func (p *parser) statement() (stmt, error) {
 	case p.accept(tokKeyword, "DELETE"):
 		return p.deleteStmt()
 	case p.accept(tokKeyword, "EXPLAIN"):
+		analyze := p.accept(tokKeyword, "ANALYZE")
 		inner, err := p.statement()
 		if err != nil {
 			return nil, err
 		}
 		switch inner.(type) {
-		case selectStmt, unionStmt, deleteStmt:
-			return explainStmt{inner: inner}, nil
+		case selectStmt, unionStmt:
+		case deleteStmt:
+			// EXPLAIN ANALYZE runs under the shared read lock, which must
+			// not execute a mutating statement.
+			if analyze {
+				return nil, p.errorf("EXPLAIN ANALYZE supports only SELECT")
+			}
 		default:
 			return nil, p.errorf("EXPLAIN supports only SELECT and DELETE")
 		}
+		return explainStmt{inner: inner, analyze: analyze}, nil
 	default:
 		return nil, p.errorf("expected a statement, found %q", p.cur().text)
 	}

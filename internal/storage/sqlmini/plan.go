@@ -48,6 +48,10 @@ type scanPlan struct {
 	// zone maps; readahead is the configured prefetch distance.
 	zonemap   bool
 	readahead int
+	// trace, when non-nil, accumulates runtime row counters for EXPLAIN
+	// ANALYZE (see analyze.go). Plans are per-execution, so attaching a
+	// trace never leaks between queries; nil on every other path.
+	trace *scanTrace
 }
 
 // planEstimate is the statistics-based costing of one access path,

@@ -1,0 +1,70 @@
+package wal
+
+import (
+	"testing"
+
+	"segdiff/internal/storage/pager"
+)
+
+// TestLogStats pins the counter semantics the metrics registry folds
+// into engine snapshots: commits and fsyncs advance on Commit, fsyncs
+// also on Truncate, and pagesLogged counts page images (deduplicated
+// staging counts the final image only).
+func TestLogStats(t *testing.T) {
+	l, err := OpenFile(pager.NewMemFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := l.Close(); cerr != nil {
+			t.Error(cerr)
+		}
+	}()
+	if got := l.Stats(); got != (Stats{}) {
+		t.Fatalf("fresh log stats = %+v", got)
+	}
+
+	page := make([]byte, 8)
+	if err := l.Stage(0, 1, page); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Stage(0, 1, page); err != nil { // dedup: same page restaged
+		t.Fatal(err)
+	}
+	if err := l.Stage(0, 2, page); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want := Stats{Commits: 1, Fsyncs: 1, PagesLogged: 2}
+	if got := l.Stats(); got != want {
+		t.Fatalf("after commit: %+v, want %+v", got, want)
+	}
+
+	if err := l.AppendPage(0, 3, page); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	want = Stats{Commits: 2, Fsyncs: 3, PagesLogged: 3}
+	if got := l.Stats(); got != want {
+		t.Fatalf("after append+commit+truncate: %+v, want %+v", got, want)
+	}
+
+	// An aborted batch logs nothing.
+	if err := l.Stage(0, 4, page); err != nil {
+		t.Fatal(err)
+	}
+	l.DiscardStaged()
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().PagesLogged; got != 3 {
+		t.Fatalf("discarded stage logged pages: %d", got)
+	}
+}

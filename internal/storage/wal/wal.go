@@ -34,6 +34,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"segdiff/internal/storage/pager"
 )
@@ -50,7 +51,8 @@ const headerLen = 1 + 2 + 4 + 4 + 4 // op, file, page, len, crc
 // file (without committing them).
 const flushThreshold = 1 << 16
 
-// Log is an append-only write-ahead log. Not safe for concurrent use.
+// Log is an append-only write-ahead log. Not safe for concurrent use,
+// except for Stats, which may be called from any goroutine.
 type Log struct {
 	f      pager.File
 	buf    []byte // appended records not yet written to f
@@ -61,6 +63,29 @@ type Log struct {
 	// deduplicated by (file, page).
 	staged    map[uint64]int // (file, page) -> index into stagedBuf
 	stagedBuf []stagedPage
+
+	// Cumulative counters. The log has a single writer, but metrics
+	// snapshots read these from other goroutines, so they are atomics.
+	commits     atomic.Uint64
+	fsyncs      atomic.Uint64
+	pagesLogged atomic.Uint64
+}
+
+// Stats are cumulative log counters; see Log.Stats.
+type Stats struct {
+	Commits     uint64 // committed batches (commit markers written and fsynced)
+	Fsyncs      uint64 // fsyncs issued (commits plus truncations)
+	PagesLogged uint64 // page images appended to the log
+}
+
+// Stats returns a snapshot of the log's cumulative counters. Safe to
+// call concurrently with the (single) log writer.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Commits:     l.commits.Load(),
+		Fsyncs:      l.fsyncs.Load(),
+		PagesLogged: l.pagesLogged.Load(),
+	}
 }
 
 type stagedPage struct {
@@ -120,6 +145,9 @@ func (l *Log) appendRecord(op byte, file uint16, page uint32, data []byte) error
 	binary.LittleEndian.PutUint32(hdr[11:15], crc.Sum32())
 	l.buf = append(l.buf, hdr[:]...)
 	l.buf = append(l.buf, data...)
+	if op == opPageImage {
+		l.pagesLogged.Add(1)
+	}
 	if len(l.buf) >= flushThreshold {
 		return l.spill()
 	}
@@ -184,7 +212,12 @@ func (l *Log) Commit() error {
 	if err := l.spill(); err != nil {
 		return err
 	}
-	return l.f.Sync()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.fsyncs.Add(1)
+	l.commits.Add(1)
+	return nil
 }
 
 // Flush pushes buffered records to the file without committing them.
@@ -212,7 +245,11 @@ func (l *Log) Truncate() error {
 		return err
 	}
 	l.off = 0
-	return l.f.Sync()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.fsyncs.Add(1)
+	return nil
 }
 
 // Close flushes and closes the log file. It does not commit: an open batch
