@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-json vet cover
+.PHONY: all build test race lint lint-json vet cover serve-smoke
 
 all: build vet lint test
 
@@ -20,10 +20,15 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Coverage gate CI enforces: internal/obs floor plus the module-wide
-# ratchet against scripts/coverage_baseline.txt.
+# Coverage gate CI enforces: internal/obs and internal/server floors
+# plus the module-wide ratchet against scripts/coverage_baseline.txt.
 cover:
 	./scripts/covergate.sh
+
+# End-to-end serving gate CI runs: boot segdiffd, ingest and query over
+# HTTP, verify responses match direct Collection searches, drain.
+serve-smoke:
+	$(GO) run ./cmd/benchrunner -serve-smoke -days 5
 
 # Run the segdifflint analyzer suite over the whole module. Contributors
 # should run this before pushing; CI enforces a clean run.

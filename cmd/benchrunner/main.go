@@ -39,6 +39,7 @@ func main() {
 		ccRA    = flag.Int("coldcache-readahead", 16, "readahead depth for the cold-cache comparison")
 		toSmoke = flag.Bool("trace-smoke", false, "run only the metrics-on vs metrics-off comparison; exit nonzero unless results are identical and the overhead stays under -trace-max-pct")
 		toMax   = flag.Float64("trace-max-pct", 2.0, "maximum tolerated metrics overhead percentage for -trace-smoke")
+		svSmoke = flag.Bool("serve-smoke", false, "run only the end-to-end serving check: boot segdiffd, ingest and query over HTTP, verify responses match direct searches, drain")
 
 		// Cross-commit go test -bench numbers (ms/op) to embed in the -perf
 		// report; the single-lock baseline cannot be linked into this build,
@@ -72,6 +73,11 @@ func main() {
 
 	if *toSmoke {
 		runTraceSmoke(cfg, *iters, *toMax)
+		return
+	}
+
+	if *svSmoke {
+		runServeSmoke(cfg)
 		return
 	}
 
@@ -268,6 +274,15 @@ func runPerf(cfg bench.Config, path string, iters, readAhead int, gb *bench.GoBe
 	}
 	fmt.Fprintf(os.Stderr, " done in %v\n", time.Since(start).Round(time.Millisecond))
 
+	start = time.Now()
+	fmt.Fprintf(os.Stderr, "running direct-vs-HTTP serving comparison...")
+	rep.Serve, err = bench.RunServePerf(cfg, iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr)
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, " done in %v\n", time.Since(start).Round(time.Millisecond))
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -306,6 +321,19 @@ func runPerf(cfg bench.Config, path string, iters, readAhead int, gb *bench.GoBe
 	if to := rep.TraceOverhead; to != nil {
 		printTraceOverhead(to)
 	}
+	if sv := rep.Serve; sv != nil {
+		printServe(sv)
+	}
+}
+
+// printServe renders the serving comparison for stderr.
+func printServe(sv *bench.ServeReport) {
+	for _, sc := range []bench.ServeScenario{sv.Direct, sv.HTTP} {
+		fmt.Fprintf(os.Stderr, "  serve %-12s clients=%d  mean %.1f ms/query  %.1f queries/s\n",
+			sc.Name, sc.Clients, sc.MeanLatMS, sc.Throughput)
+	}
+	fmt.Fprintf(os.Stderr, "  serve wire overhead %.2fx, results identical: %v, lane admitted %d rejected %d\n",
+		sv.WireOverhead, sv.Identical, sv.Admitted, sv.Rejected)
 }
 
 // printTraceOverhead renders the metrics-overhead comparison for stderr.
@@ -414,6 +442,19 @@ func runTraceSmoke(cfg bench.Config, iters int, maxPct float64) {
 		fatal(fmt.Errorf("trace smoke: metrics overhead %.2f%% exceeds the %.1f%% budget (fused %+.2f%%, cold %+.2f%%)",
 			rep.MaxOverheadPct, maxPct, rep.Fused.OverheadPct, rep.Cold.OverheadPct))
 	}
+}
+
+// runServeSmoke is the CI gate for the serving layer: a full pass over
+// the HTTP stack (boot, ingest, identical search, explain, drain) must
+// succeed end to end.
+func runServeSmoke(cfg bench.Config) {
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "running serve smoke (GOMAXPROCS=%d)...", runtime.GOMAXPROCS(0))
+	if err := bench.RunServeSmoke(cfg); err != nil {
+		fmt.Fprintln(os.Stderr)
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, " done in %v\n", time.Since(start).Round(time.Millisecond))
 }
 
 func fatal(err error) {

@@ -1,0 +1,107 @@
+// Command segdiffd serves a SegDiff collection over HTTP: many
+// concurrent exploratory clients running the paper's ad-hoc (V, T)
+// drop and jump searches against a shared, continuously ingesting
+// store (see internal/server for the endpoint list).
+//
+//	segdiffd -db DIR [-addr :8080] [-epsilon 0.2] [-window 8h]
+//	         [-read-slots N] [-write-slots N] [-timeout 30s]
+//	         [-max-timeout 2m] [-slow 200ms] [-debug]
+//
+// With no -db the collection lives in memory: useful for demos and
+// smoke tests, gone on exit. On SIGINT/SIGTERM the server drains
+// gracefully — the listener closes, in-flight requests finish (bounded
+// by -drain), the collection checkpoints, and the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"segdiff"
+	"segdiff/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "segdiffd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string) error {
+	fs := flag.NewFlagSet("segdiffd", flag.ExitOnError)
+	var (
+		db         = fs.String("db", "", "collection directory (empty: in-memory)")
+		addr       = fs.String("addr", ":8080", "listen address")
+		epsilon    = fs.Float64("epsilon", 0.2, "approximation tolerance ε")
+		window     = fs.Duration("window", 8*time.Hour, "longest searchable span")
+		readSlots  = fs.Int("read-slots", 0, "read-lane admission bound (0: 4×GOMAXPROCS)")
+		writeSlots = fs.Int("write-slots", 0, "write-lane admission bound (0: 2)")
+		timeout    = fs.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout = fs.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
+		slow       = fs.Duration("slow", 200*time.Millisecond, "slow-request log threshold")
+		drain      = fs.Duration("drain", 30*time.Second, "graceful-shutdown bound for in-flight requests")
+		debug      = fs.Bool("debug", false, "mount /debug (pprof, expvar) on the listener")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	opts := segdiff.Options{Epsilon: *epsilon, Window: *window}
+	var (
+		col *segdiff.Collection
+		err error
+	)
+	if *db == "" {
+		col = segdiff.NewMemoryCollection(opts)
+		log.Printf("segdiffd: serving an in-memory collection (no -db; data is not persisted)")
+	} else {
+		col, err = segdiff.OpenCollection(*db, opts)
+		if err != nil {
+			return err
+		}
+	}
+
+	srv := server.New(col, server.Config{
+		ReadSlots:      *readSlots,
+		WriteSlots:     *writeSlots,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		SlowThreshold:  *slow,
+		Debug:          *debug,
+	})
+	if err := srv.Start(*addr); err != nil {
+		return errors.Join(err, col.Close())
+	}
+	log.Printf("segdiffd: listening on %s", srv.Addr())
+
+	// The SIGTERM sequence: stop accepting, finish in-flight requests,
+	// checkpoint, close. signal.NotifyContext restores default handling
+	// after the first signal, so a second Ctrl-C kills a stuck drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	log.Printf("segdiffd: draining (bound %v)", *drain)
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("segdiffd: drain: %v", err)
+	}
+	if err := col.Finish(); err != nil {
+		return errors.Join(fmt.Errorf("checkpoint: %w", err), col.Close())
+	}
+	if err := col.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	log.Printf("segdiffd: drained and checkpointed, bye")
+	return nil
+}

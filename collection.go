@@ -1,6 +1,8 @@
 package segdiff
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -95,10 +97,19 @@ func (c *Collection) Names() ([]string, error) {
 	return out, nil
 }
 
+// Options returns the options the collection was opened with (defaults
+// not yet resolved — a zero Epsilon or Window means the engine default).
+// Servers use it to validate request parameters before touching the
+// engine.
+func (c *Collection) Options() Options { return c.opts }
+
+// ValidSensorName reports whether name is acceptable as a sensor name.
+func ValidSensorName(name string) bool { return sensorNameRE.MatchString(name) }
+
 // SensorBatch is one sensor's share of a multi-sensor ingest batch.
 type SensorBatch struct {
-	Sensor string
-	Points []Point
+	Sensor string  `json:"sensor"`
+	Points []Point `json:"points"`
 }
 
 // AppendAll ingests batches for many sensors concurrently: each sensor's
@@ -166,27 +177,81 @@ func (c *Collection) AppendAll(batches []SensorBatch) error {
 
 // SensorMatches pairs a sensor name with its matches.
 type SensorMatches struct {
-	Sensor  string
-	Matches []Match
+	Sensor  string  `json:"sensor"`
+	Matches []Match `json:"matches"`
 }
+
+// ErrUnknownSensor is wrapped by searches whose sensor filter names a
+// sensor the collection does not hold.
+var ErrUnknownSensor = errors.New("segdiff: unknown sensor")
 
 // Drops searches every sensor concurrently for drops of at least |v|
 // within span, returning per-sensor results sorted by sensor name.
 func (c *Collection) Drops(span time.Duration, v float64) ([]SensorMatches, error) {
-	return c.fanout(func(ix *Index) ([]Match, error) { return ix.Drops(span, v) })
+	return c.DropsContext(context.Background(), span, v)
 }
 
 // Jumps is the symmetric multi-sensor jump search.
 func (c *Collection) Jumps(span time.Duration, v float64) ([]SensorMatches, error) {
-	return c.fanout(func(ix *Index) ([]Match, error) { return ix.Jumps(span, v) })
+	return c.JumpsContext(context.Background(), span, v)
 }
 
-// fanout runs search against every sensor on a bounded worker pool
-// (Options.SearchConcurrency workers, default GOMAXPROCS) instead of one
-// goroutine per sensor, so a thousand-sensor collection does not explode
-// into a thousand concurrent searches.
-func (c *Collection) fanout(search func(*Index) ([]Match, error)) ([]SensorMatches, error) {
+// DropsContext searches the named sensors — every sensor when none are
+// given — under a request context. The context is consulted before each
+// sensor's search is dispatched and between the scan units of each
+// search, so an expired deadline aborts the fanout promptly with an
+// error wrapping ctx.Err(). A filter naming a sensor the collection
+// does not hold fails with ErrUnknownSensor.
+func (c *Collection) DropsContext(ctx context.Context, span time.Duration, v float64, sensors ...string) ([]SensorMatches, error) {
+	return c.fanout(ctx, sensors, func(ctx context.Context, ix *Index) ([]Match, error) {
+		return ix.DropsContext(ctx, span, v)
+	})
+}
+
+// JumpsContext is the context-aware, sensor-filtered multi-sensor jump
+// search; see DropsContext.
+func (c *Collection) JumpsContext(ctx context.Context, span time.Duration, v float64, sensors ...string) ([]SensorMatches, error) {
+	return c.fanout(ctx, sensors, func(ctx context.Context, ix *Index) ([]Match, error) {
+		return ix.JumpsContext(ctx, span, v)
+	})
+}
+
+// searchNames resolves a sensor filter: nil/empty selects every sensor;
+// otherwise each requested name must exist and the result is the sorted,
+// deduplicated filter.
+func (c *Collection) searchNames(filter []string) ([]string, error) {
 	names, err := c.Names()
+	if err != nil {
+		return nil, err
+	}
+	if len(filter) == 0 {
+		return names, nil
+	}
+	have := make(map[string]bool, len(names))
+	for _, name := range names {
+		have[name] = true
+	}
+	set := make(map[string]bool, len(filter))
+	out := make([]string, 0, len(filter))
+	for _, name := range filter {
+		if !have[name] {
+			return nil, fmt.Errorf("%w %q", ErrUnknownSensor, name)
+		}
+		if !set[name] {
+			set[name] = true
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// fanout runs search against the filtered sensors on a bounded worker
+// pool (Options.SearchConcurrency workers, default GOMAXPROCS) instead
+// of one goroutine per sensor, so a thousand-sensor collection does not
+// explode into a thousand concurrent searches.
+func (c *Collection) fanout(ctx context.Context, filter []string, search func(context.Context, *Index) ([]Match, error)) ([]SensorMatches, error) {
+	names, err := c.searchNames(filter)
 	if err != nil {
 		return nil, err
 	}
@@ -211,7 +276,14 @@ func (c *Collection) fanout(search func(*Index) ([]Match, error)) ([]SensorMatch
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				ms, err := search(j.ix)
+				// A sensor whose search has not started when the request
+				// context dies is skipped instead of searched, so the
+				// fanout drains quickly once the deadline passes.
+				if err := ctx.Err(); err != nil {
+					errs[j.i] = fmt.Errorf("segdiff: sensor %s: search canceled: %w", names[j.i], err)
+					continue
+				}
+				ms, err := search(ctx, j.ix)
 				out[j.i] = SensorMatches{Sensor: names[j.i], Matches: ms}
 				errs[j.i] = err
 			}

@@ -68,6 +68,7 @@ type PerfReport struct {
 	Fusion        *FusionReport        `json:"fusion,omitempty"`
 	ColdCache     *ColdCacheReport     `json:"cold_cache,omitempty"`
 	TraceOverhead *TraceOverheadReport `json:"trace_overhead,omitempty"`
+	Serve         *ServeReport         `json:"serve,omitempty"`
 }
 
 // FusionReport is the fused-vs-branch-at-a-time comparison: the same

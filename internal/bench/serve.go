@@ -1,0 +1,269 @@
+package bench
+
+// Serving-layer benchmarks: the same multi-client drop-search workload
+// run twice against one in-memory collection — once through direct
+// Collection calls, once over loopback HTTP through segdiffd's handler
+// stack (admission lane, deadline, NDJSON encode/decode) — with the
+// responses checked element-identical. The ratio is the wire tax a
+// client pays for the serving layer. cmd/benchrunner -perf persists the
+// report; -serve-smoke runs the abbreviated identity check as a CI gate.
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"time"
+
+	"segdiff"
+	"segdiff/internal/server"
+)
+
+// ServeScenario is one measured configuration of the serving
+// comparison.
+type ServeScenario struct {
+	Name       string  `json:"name"`
+	Clients    int     `json:"clients"`
+	Queries    int     `json:"queries"`
+	WallMS     float64 `json:"wall_ms"`
+	MeanLatMS  float64 `json:"mean_latency_ms"`
+	Throughput float64 `json:"throughput_qps"`
+}
+
+// ServeReport is the direct-vs-HTTP comparison for the query path.
+type ServeReport struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Sensors    int     `json:"sensors"`
+	Days       int64   `json:"days"`
+	QueryT     int64   `json:"query_t_seconds"`
+	QueryV     float64 `json:"query_v"`
+	// Direct is Collection.DropsContext called in-process.
+	Direct ServeScenario `json:"direct"`
+	// HTTP is the same workload through segdiffd over loopback.
+	HTTP ServeScenario `json:"http"`
+	// WireOverhead is direct over HTTP throughput: how much the serving
+	// layer costs per query (1.0 = free).
+	WireOverhead float64 `json:"wire_overhead"`
+	Identical    bool    `json:"results_identical"`
+	// Admitted and Rejected are the read lane's counters after the run;
+	// a sized lane admits everything, so Rejected must be 0 here.
+	Admitted uint64 `json:"lane_admitted"`
+	Rejected uint64 `json:"lane_rejected"`
+}
+
+// serveCollection builds an in-memory collection holding sensors
+// bench-0..n-1 from the standard workload.
+func serveCollection(cfg Config, sensors int) (*segdiff.Collection, error) {
+	series, err := Workload(cfg, sensors, cfg.Days)
+	if err != nil {
+		return nil, err
+	}
+	col := segdiff.NewMemoryCollection(segdiff.Options{
+		Epsilon: cfg.DefaultEps,
+		Window:  time.Duration(cfg.DefaultWH) * time.Hour,
+	})
+	batches := make([]segdiff.SensorBatch, len(series))
+	for i, s := range series {
+		pts := make([]segdiff.Point, s.Len())
+		for j, p := range s.Points() {
+			pts[j] = segdiff.Point{Time: p.T, Value: p.V}
+		}
+		batches[i] = segdiff.SensorBatch{Sensor: fmt.Sprintf("bench-%d", i), Points: pts}
+	}
+	if err := col.AppendAll(batches); err != nil {
+		return nil, joinErr(err, col.Close())
+	}
+	return col, nil
+}
+
+func joinErr(err, other error) error {
+	if other != nil {
+		return fmt.Errorf("%w (and: %v)", err, other)
+	}
+	return err
+}
+
+// runServeScenario times clients×iters drop searches through query.
+func runServeScenario(name string, clients, iters int, query func() error) (ServeScenario, error) {
+	// One warm call per scenario: the comparison targets the serving
+	// layer, not cold caches.
+	if err := query(); err != nil {
+		return ServeScenario{}, err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := query(); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ServeScenario{}, err
+		}
+	}
+	total := clients * iters
+	return ServeScenario{
+		Name:       name,
+		Clients:    clients,
+		Queries:    total,
+		WallMS:     float64(wall.Microseconds()) / 1e3,
+		MeanLatMS:  float64(wall.Microseconds()) / 1e3 * float64(clients) / float64(total),
+		Throughput: float64(total) / wall.Seconds(),
+	}, nil
+}
+
+// RunServePerf measures the serving layer's overhead: GOMAXPROCS
+// concurrent clients running the reference drop search directly
+// against the collection, then over loopback HTTP, with both response
+// streams checked element-identical.
+func RunServePerf(cfg Config, iters int) (_ *ServeReport, err error) {
+	if iters <= 0 {
+		iters = 20
+	}
+	procs := runtime.GOMAXPROCS(0)
+	const sensors = 3
+	col, err := serveCollection(cfg, sensors)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if cerr := col.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	srv := server.New(col, server.Config{ReadSlots: 4 * procs * 2})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if serr := srv.Shutdown(sctx); serr != nil && err == nil {
+			err = serr
+		}
+	}()
+	cl := segdiff.NewClient(srv.URL(), nil)
+
+	ctx := context.Background()
+	span := time.Duration(cfg.QueryT) * time.Second
+	direct, err := col.DropsContext(ctx, span, cfg.QueryV)
+	if err != nil {
+		return nil, err
+	}
+	wire, err := cl.Drops(ctx, span, cfg.QueryV)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ServeReport{
+		GOMAXPROCS: procs,
+		Sensors:    sensors,
+		Days:       cfg.Days,
+		QueryT:     cfg.QueryT,
+		QueryV:     cfg.QueryV,
+		Identical:  reflect.DeepEqual(direct, wire),
+	}
+	if !rep.Identical {
+		return nil, fmt.Errorf("bench: direct search and HTTP response diverge (%d vs %d sensors)",
+			len(direct), len(wire))
+	}
+
+	rep.Direct, err = runServeScenario("direct", procs, iters, func() error {
+		_, err := col.DropsContext(ctx, span, cfg.QueryV)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.HTTP, err = runServeScenario("http", procs, iters, func() error {
+		_, err := cl.Drops(ctx, span, cfg.QueryV)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.WireOverhead = rep.Direct.Throughput / rep.HTTP.Throughput
+
+	snap := srv.Registry().Snapshot()
+	rep.Admitted = snap.Counter("lane_read_admitted")
+	rep.Rejected = snap.Counter("lane_read_rejected")
+	if rep.Rejected != 0 {
+		return nil, fmt.Errorf("bench: sized read lane rejected %d requests", rep.Rejected)
+	}
+	return rep, nil
+}
+
+// RunServeSmoke is the CI gate: a short end-to-end pass over the
+// serving stack — boot, ingest over HTTP, search identical to direct,
+// explain, drain — returning an error on any divergence.
+func RunServeSmoke(cfg Config) (err error) {
+	col, err := serveCollection(cfg, 2)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := col.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	srv := server.New(col, server.Config{})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	cl := segdiff.NewClient(srv.URL(), nil)
+	ctx := context.Background()
+	span := time.Duration(cfg.QueryT) * time.Second
+
+	names, err := cl.Sensors(ctx)
+	if err != nil {
+		return fmt.Errorf("serve-smoke: sensors: %w", err)
+	}
+	if len(names) != 2 {
+		return fmt.Errorf("serve-smoke: %d sensors, want 2", len(names))
+	}
+	wire, err := cl.Drops(ctx, span, cfg.QueryV)
+	if err != nil {
+		return fmt.Errorf("serve-smoke: drops: %w", err)
+	}
+	direct, err := col.DropsContext(ctx, span, cfg.QueryV)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(wire, direct) {
+		return fmt.Errorf("serve-smoke: HTTP response differs from direct search")
+	}
+	if _, _, err := cl.Append(ctx, []segdiff.SensorBatch{{
+		Sensor: "smoke",
+		Points: []segdiff.Point{{Time: 0, Value: 5}, {Time: 60, Value: 5.5}},
+	}}); err != nil {
+		return fmt.Errorf("serve-smoke: append: %w", err)
+	}
+	tr, err := cl.Explain(ctx, names[0], false, span, cfg.QueryV)
+	if err != nil {
+		return fmt.Errorf("serve-smoke: explain: %w", err)
+	}
+	if tr.SQL == "" || len(tr.Lines) == 0 {
+		return fmt.Errorf("serve-smoke: explain returned an empty trace: %+v", tr)
+	}
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("serve-smoke: drain: %w", err)
+	}
+	if err := cl.Health(ctx); err == nil {
+		return fmt.Errorf("serve-smoke: server still answering after drain")
+	}
+	return nil
+}

@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -527,21 +528,30 @@ func (s *Store) Close() error {
 // holds: no true event is missed, and every returned pair contains an
 // event with Δv ≤ V + 2ε within (0, T].
 func (s *Store) SearchDrops(T int64, V float64) ([]Match, error) {
-	return s.search(feature.Drop, T, V, sqlmini.PlanAuto)
+	return s.search(context.Background(), feature.Drop, T, V, sqlmini.PlanAuto)
 }
 
 // SearchJumps is the symmetric jump search (Δv ≥ V > 0).
 func (s *Store) SearchJumps(T int64, V float64) ([]Match, error) {
-	return s.search(feature.Jump, T, V, sqlmini.PlanAuto)
+	return s.search(context.Background(), feature.Jump, T, V, sqlmini.PlanAuto)
 }
 
 // SearchMode runs a drop or jump search under an explicit access-path
 // mode (sequential scan vs indexes), as the experiments require.
 func (s *Store) SearchMode(kind feature.Kind, T int64, V float64, mode sqlmini.PlanMode) ([]Match, error) {
-	return s.search(kind, T, V, mode)
+	return s.search(context.Background(), kind, T, V, mode)
 }
 
-func (s *Store) search(kind feature.Kind, T int64, V float64, mode sqlmini.PlanMode) ([]Match, error) {
+// SearchContext is SearchMode under a request context: the engine checks
+// the context before execution and between scan units of the search
+// UNION, so an expired deadline or a disconnected client aborts the
+// query within one bounded unit of work. The returned error wraps
+// context.DeadlineExceeded / context.Canceled for errors.Is.
+func (s *Store) SearchContext(ctx context.Context, kind feature.Kind, T int64, V float64, mode sqlmini.PlanMode) ([]Match, error) {
+	return s.search(ctx, kind, T, V, mode)
+}
+
+func (s *Store) search(ctx context.Context, kind feature.Kind, T int64, V float64, mode sqlmini.PlanMode) ([]Match, error) {
 	if _, err := feature.NewRegion(kind, T, V); err != nil {
 		return nil, err
 	}
@@ -552,7 +562,7 @@ func (s *Store) search(kind feature.Kind, T int64, V float64, mode sqlmini.PlanM
 	for _, q := range searchQueries(kind) {
 		args = append(args, q.args(T, V)...)
 	}
-	rows, err := s.searchStmt[kind].QueryMode(mode, args...)
+	rows, err := s.searchStmt[kind].QueryModeContext(ctx, mode, args...)
 	if err != nil {
 		return nil, err
 	}

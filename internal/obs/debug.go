@@ -20,14 +20,13 @@ type DebugServer struct {
 	served chan error // closed send of the Serve result; joined in Close
 }
 
-// ServeDebug starts a debug server on addr (for example "127.0.0.1:0"
-// to pick a free port; the chosen address is available from Addr). The
-// slow log may be nil. The server runs until Close.
-func ServeDebug(addr string, reg *Registry, slow *SlowLog) (*DebugServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
+// DebugMux builds the debug route set on a fresh mux: registry
+// snapshots as JSON under /metrics, the slow-query log under /slow,
+// expvar under /debug/vars, and the pprof profilers under
+// /debug/pprof/. The slow log may be nil. Callers that already run an
+// HTTP listener (cmd/segdiffd) mount these routes on their own mux;
+// ServeDebug wraps them in a standalone server.
+func DebugMux(reg *Registry, slow *SlowLog) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, reg.Snapshot())
@@ -45,6 +44,18 @@ func ServeDebug(addr string, reg *Registry, slow *SlowLog) (*DebugServer, error)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts a debug server on addr (for example "127.0.0.1:0"
+// to pick a free port; the chosen address is available from Addr). The
+// slow log may be nil. The server runs until Close.
+func ServeDebug(addr string, reg *Registry, slow *SlowLog) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := DebugMux(reg, slow)
 	d := &DebugServer{
 		ln:     ln,
 		srv:    &http.Server{Handler: mux},

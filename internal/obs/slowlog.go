@@ -18,6 +18,11 @@ type SlowQuery struct {
 	Rows int           `json:"rows"`
 	Err  string        `json:"err,omitempty"`
 	When time.Time     `json:"when"`
+	// Source identifies where the query came from when the log is fed
+	// by a layer above the engine — segdiffd records the request id and
+	// endpoint here so a slow entry can be joined back to its request.
+	// Engine-level logs leave it empty.
+	Source string `json:"source,omitempty"`
 }
 
 // SlowLog is a fixed-capacity ring buffer of the most recent queries

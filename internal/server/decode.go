@@ -1,0 +1,205 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"segdiff"
+)
+
+// httpError is a request-decoding or request-routing failure with the
+// status it must produce. Every malformed input maps to a 4xx through
+// this type; the decoders never let bad bytes reach the engine.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// badf builds a 400.
+func badf(format string, args ...any) *httpError {
+	return &httpError{code: 400, msg: fmt.Sprintf(format, args...)}
+}
+
+// parseDuration accepts a Go duration string ("90m", "1h30m") or a bare
+// integer number of seconds ("5400").
+func parseDuration(s string) (time.Duration, error) {
+	if secs, err := strconv.ParseInt(s, 10, 64); err == nil {
+		const maxSeconds = int64(math.MaxInt64) / int64(time.Second)
+		if secs < -maxSeconds || secs > maxSeconds {
+			return 0, fmt.Errorf("seconds value %d overflows a duration", secs)
+		}
+		return time.Duration(secs) * time.Second, nil
+	}
+	return time.ParseDuration(s)
+}
+
+// parseTimeout resolves the optional per-request timeout parameter
+// against the server defaults: absent selects def, anything above max
+// is capped to max, and a non-positive or unparsable value is a 400.
+func parseTimeout(q url.Values, def, max time.Duration) (time.Duration, error) {
+	raw := q.Get("timeout")
+	if raw == "" {
+		return def, nil
+	}
+	d, err := parseDuration(raw)
+	if err != nil {
+		return 0, badf("invalid timeout %q: %v", raw, err)
+	}
+	if d <= 0 {
+		return 0, badf("timeout %q must be positive", raw)
+	}
+	if d > max {
+		d = max
+	}
+	return d, nil
+}
+
+// searchParams is one decoded /v1/drops or /v1/jumps request.
+type searchParams struct {
+	Span    time.Duration
+	V       float64
+	Sensors []string // nil = every sensor
+}
+
+// parseSearchParams decodes and validates span/v/sensors. jump selects
+// the sign convention (drops need v < 0, jumps v > 0); maxSpan is the
+// collection's window, the longest span any search may use. Validation
+// here means engine-side failures are genuine 5xx server faults: a
+// request that passes this function is well-formed.
+func parseSearchParams(q url.Values, jump bool, maxSpan time.Duration) (searchParams, error) {
+	var p searchParams
+	rawSpan := q.Get("span")
+	if rawSpan == "" {
+		return p, badf("missing span parameter (duration, e.g. span=1h)")
+	}
+	span, err := parseDuration(rawSpan)
+	if err != nil {
+		return p, badf("invalid span %q: %v", rawSpan, err)
+	}
+	if span < time.Second {
+		return p, badf("span %q is below one second", rawSpan)
+	}
+	if maxSpan > 0 && span > maxSpan {
+		return p, badf("span %v exceeds the collection window %v", span, maxSpan)
+	}
+	p.Span = span
+
+	rawV := q.Get("v")
+	if rawV == "" {
+		return p, badf("missing v parameter (minimum change, e.g. v=-3)")
+	}
+	v, err := strconv.ParseFloat(rawV, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return p, badf("invalid v %q: not a finite number", rawV)
+	}
+	if jump && v <= 0 {
+		return p, badf("jump searches need v > 0, got %v", v)
+	}
+	if !jump && v >= 0 {
+		return p, badf("drop searches need v < 0, got %v", v)
+	}
+	p.V = v
+
+	p.Sensors, err = parseSensorList(q.Get("sensors"))
+	if err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// parseSensorList decodes the comma-separated sensor filter; "" means
+// every sensor (nil).
+func parseSensorList(raw string) ([]string, error) {
+	if raw == "" {
+		return nil, nil
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]string, 0, len(parts))
+	for _, name := range parts {
+		if !segdiff.ValidSensorName(name) {
+			return nil, badf("invalid sensor name %q", name)
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// explainParams is one decoded /v1/explain request: a single sensor's
+// search to trace.
+type explainParams struct {
+	Sensor string
+	Jump   bool
+	Span   time.Duration
+	V      float64
+}
+
+// parseExplainParams decodes sensor/kind/span/v for the EXPLAIN ANALYZE
+// passthrough.
+func parseExplainParams(q url.Values, maxSpan time.Duration) (explainParams, error) {
+	var p explainParams
+	switch kind := q.Get("kind"); kind {
+	case "", "drop":
+		p.Jump = false
+	case "jump":
+		p.Jump = true
+	default:
+		return p, badf("invalid kind %q: want drop or jump", kind)
+	}
+	sp, err := parseSearchParams(q, p.Jump, maxSpan)
+	if err != nil {
+		return p, err
+	}
+	p.Span, p.V = sp.Span, sp.V
+	p.Sensor = q.Get("sensor")
+	if p.Sensor == "" {
+		return p, badf("missing sensor parameter")
+	}
+	if !segdiff.ValidSensorName(p.Sensor) {
+		return p, badf("invalid sensor name %q", p.Sensor)
+	}
+	return p, nil
+}
+
+// decodeAppendBody decodes a /v1/append body: a JSON array of
+// SensorBatch objects. The whole body is decoded and validated before
+// anything reaches the collection, so a malformed request can never
+// leave a partial write — it fails here with a 4xx or it ingests as one
+// AppendAll call. Unknown fields and trailing garbage are rejected, and
+// every point value must be finite (JSON cannot encode NaN/Inf, but the
+// check keeps the invariant local).
+func decodeAppendBody(r io.Reader) ([]segdiff.SensorBatch, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var batches []segdiff.SensorBatch
+	if err := dec.Decode(&batches); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return nil, &httpError{code: 413, msg: fmt.Sprintf("append body exceeds %d bytes", maxErr.Limit)}
+		}
+		return nil, badf("invalid append body: %v", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, badf("append body has trailing data after the batch array")
+	}
+	for i, b := range batches {
+		if !segdiff.ValidSensorName(b.Sensor) {
+			return nil, badf("batch %d: invalid sensor name %q", i, b.Sensor)
+		}
+		for j, pt := range b.Points {
+			if math.IsNaN(pt.Value) || math.IsInf(pt.Value, 0) {
+				return nil, badf("batch %d point %d: non-finite value", i, j)
+			}
+		}
+	}
+	return batches, nil
+}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond for up to two seconds.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestGracefulDrain walks the SIGTERM sequence: with a request held
+// in flight, Shutdown must close the listener to new connections,
+// let the in-flight request finish with a full response, and only
+// then return, leaving the in-flight gauge at zero.
+func TestGracefulDrain(t *testing.T) {
+	col := newTestCollection(t)
+	s := New(col, Config{})
+	admitted := make(chan struct{})
+	release := make(chan struct{})
+	s.testHookRequest = func(endpoint string) {
+		if endpoint == "drops" {
+			admitted <- struct{}{}
+			<-release
+		}
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	addr := s.Addr()
+
+	inflight := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(s.URL() + "/v1/drops?span=1h&v=-3")
+		if err != nil {
+			inflight <- -1
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == 200 && len(body) > 0 {
+			inflight <- 200
+		} else {
+			inflight <- resp.StatusCode
+		}
+	}()
+	<-admitted
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	waitFor(t, "draining flag", s.Draining)
+
+	// New connections are refused once the listener closes.
+	waitFor(t, "listener to close", func() bool {
+		conn, err := net.DialTimeout("tcp", addr, 100*time.Millisecond)
+		if err != nil {
+			return true
+		}
+		conn.Close()
+		return false
+	})
+
+	// The in-flight request is still running — Shutdown has not
+	// returned — and completes normally once released.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a request was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if code := <-inflight; code != 200 {
+		t.Fatalf("in-flight request finished with %d, want 200 with a body", code)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if got := s.Registry().Snapshot().Counters["lane_read_inflight"]; got != 0 {
+		t.Fatalf("lane_read_inflight = %d after drain, want 0", got)
+	}
+	// The collection is untouched by Shutdown: the caller checkpoints.
+	if _, err := col.Names(); err != nil {
+		t.Fatalf("collection unusable after drain: %v", err)
+	}
+}
+
+// TestDrainRejectsNewRequests checks the 503 path for requests that
+// arrive on an already-open connection after draining begins.
+func TestDrainRejectsNewRequests(t *testing.T) {
+	col := newTestCollection(t)
+	s := New(col, Config{})
+	s.draining.Store(true) // drain without Start: exercise the flag alone
+
+	resp := doHandler(t, s, "GET", "/v1/drops?span=1h&v=-3", "")
+	if resp.code != http.StatusServiceUnavailable {
+		t.Fatalf("laned request while draining = %d, want 503", resp.code)
+	}
+	hresp := doHandler(t, s, "GET", "/healthz", "")
+	if hresp.code != http.StatusServiceUnavailable || !strings.Contains(hresp.body, "draining") {
+		t.Fatalf("healthz while draining = %d %q, want 503 draining", hresp.code, hresp.body)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown before Start: %v", err)
+	}
+}
+
+// TestDeadlineExpiry holds a request past its deadline and wants a
+// prompt 504 with the admission slot released and the gauge back at
+// zero — an expired deadline must not leak capacity.
+func TestDeadlineExpiry(t *testing.T) {
+	col := newTestCollection(t)
+	s := New(col, Config{ReadSlots: 1})
+	s.testHookRequest = func(endpoint string) {
+		if endpoint == "drops" || endpoint == "append" {
+			time.Sleep(30 * time.Millisecond) // past the 1ms deadline below
+		}
+	}
+	hs := newHTTPTestServer(t, s)
+
+	start := time.Now()
+	resp, err := http.Get(hs + "/v1/drops?span=1h&v=-3&timeout=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired request = %d %q, want 504", resp.StatusCode, body)
+	}
+	if wall := time.Since(start); wall > time.Second {
+		t.Fatalf("504 took %v, want prompt failure", wall)
+	}
+
+	// Appends check the deadline before touching the collection.
+	before := countPoints(t, col)
+	wresp, err := http.Post(hs+"/v1/append?timeout=1ms", "application/json",
+		strings.NewReader(`[{"sensor":"late","points":[{"t":0,"v":1}]}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wresp.Body.Close()
+	if wresp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired append = %d, want 504", wresp.StatusCode)
+	}
+	if got := countPoints(t, col); got != before {
+		t.Fatalf("expired append wrote points: %d -> %d", before, got)
+	}
+
+	// The slot came back: with ReadSlots=1, a fresh request only
+	// succeeds if the expired one released its admission.
+	s.testHookRequest = nil
+	ok, err := http.Get(hs + "/v1/drops?span=1h&v=-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok.Body.Close()
+	if ok.StatusCode != 200 {
+		t.Fatalf("request after expiry = %d, want 200 (slot leaked?)", ok.StatusCode)
+	}
+	snap := s.Registry().Snapshot()
+	if got := snap.Counters["lane_read_inflight"]; got != 0 {
+		t.Fatalf("lane_read_inflight = %d after expiry, want 0", got)
+	}
+	if got := snap.Counters["lane_write_inflight"]; got != 0 {
+		t.Fatalf("lane_write_inflight = %d after expiry, want 0", got)
+	}
+}
+
+// TestStartTwice guards the listener bookkeeping.
+func TestStartTwice(t *testing.T) {
+	col := newTestCollection(t)
+	s := New(col, Config{})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err == nil {
+		t.Fatal("second Start did not error")
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}

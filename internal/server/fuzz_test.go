@@ -1,0 +1,101 @@
+package server
+
+import (
+	"errors"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"segdiff"
+)
+
+// FuzzSearchParams throws arbitrary query strings at the three query
+// decoders. The contract under fuzzing: never panic, and every
+// rejection is an *httpError carrying a 4xx — malformed input must not
+// be able to reach the engine or map to a 5xx.
+func FuzzSearchParams(f *testing.F) {
+	for _, seed := range []string{
+		"span=1h&v=-3",
+		"span=3600&v=-0.5&sensors=alpha,beta",
+		"span=1h&v=3&kind=jump&sensor=alpha",
+		"span=&v=",
+		"span=banana&v=NaN",
+		"span=-1h&v=-1e308&timeout=0",
+		"span=99999999999999999999&v=-3",
+		"span=1h&v=-3&sensors=,,,",
+		"span=1h&v=-3&timeout=banana",
+		"v=%zz&span=%zz",
+		"span=1h&v=-3&sensors=" + strings.Repeat("a", 300),
+		"kind=dip&sensor=x&span=1s&v=-1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			return // not even a query string; nothing to decode
+		}
+		check := func(what string, err error) {
+			if err == nil {
+				return
+			}
+			var he *httpError
+			if !errors.As(err, &he) {
+				t.Fatalf("%s(%q) returned a non-http error: %v", what, raw, err)
+			}
+			if he.code < 400 || he.code > 499 {
+				t.Fatalf("%s(%q) mapped to %d, want 4xx", what, raw, he.code)
+			}
+		}
+		for _, jump := range []bool{false, true} {
+			_, err := parseSearchParams(q, jump, 8*time.Hour)
+			check("parseSearchParams", err)
+		}
+		_, err = parseExplainParams(q, 8*time.Hour)
+		check("parseExplainParams", err)
+		_, err = parseTimeout(q, 30*time.Second, 2*time.Minute)
+		check("parseTimeout", err)
+	})
+}
+
+// FuzzAppendBody throws arbitrary bytes at the append body decoder.
+// Same contract: no panic, rejections are 4xx httpErrors, and — since
+// the decoder is the only gate before Collection.AppendAll — anything
+// it accepts must be structurally valid batches.
+func FuzzAppendBody(f *testing.F) {
+	for _, seed := range []string{
+		`[]`,
+		`[{"sensor":"alpha","points":[{"t":0,"v":1.5},{"t":60,"v":2}]}]`,
+		`[{"sensor":"alpha","points":[]}]`,
+		`[{"sensor":"bad name","points":[]}]`,
+		`[{"sensor":"x","points":[{"t":0,"v":1}],"extra":true}]`,
+		`[] trailing`,
+		`{"sensor":"x"}`,
+		`[{"sensor":"x","points":[{"t":0,"v":1e999}]}]`,
+		`[[[[`,
+		`null`,
+		"\x00\x01\x02",
+		`[{"sensor":"` + strings.Repeat("s", 9000) + `","points":[]}]`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batches, err := decodeAppendBody(strings.NewReader(string(data)))
+		if err != nil {
+			var he *httpError
+			if !errors.As(err, &he) {
+				t.Fatalf("decodeAppendBody(%q) returned a non-http error: %v", data, err)
+			}
+			if he.code < 400 || he.code > 499 {
+				t.Fatalf("decodeAppendBody(%q) mapped to %d, want 4xx", data, he.code)
+			}
+			return
+		}
+		for _, b := range batches {
+			if !segdiff.ValidSensorName(b.Sensor) {
+				t.Fatalf("decoder accepted invalid sensor name %q", b.Sensor)
+			}
+		}
+	})
+}

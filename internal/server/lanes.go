@@ -1,0 +1,54 @@
+package server
+
+import (
+	"runtime"
+
+	"segdiff/internal/obs"
+)
+
+func maxProcs() int { return runtime.GOMAXPROCS(0) }
+
+// lane is one admission lane: a bounded semaphore with fast-fail
+// acquisition and its own metrics. Reads and writes each get a lane, so
+// a burst of ingest cannot occupy the query capacity (and vice versa);
+// requests beyond a lane's bound are rejected immediately with 429
+// rather than queued, pushing backpressure to the client while the
+// server keeps serving what it admitted.
+type lane struct {
+	name     string
+	slots    chan struct{}
+	inflight *obs.Gauge   // requests currently holding a slot
+	admitted *obs.Counter // lifetime admissions
+	rejected *obs.Counter // lifetime fast-fail rejections
+}
+
+// newLane builds a lane with n slots, registering its metrics as
+// lane_<name>_{inflight,admitted,rejected}.
+func newLane(reg *obs.Registry, name string, n int) *lane {
+	return &lane{
+		name:     name,
+		slots:    make(chan struct{}, n),
+		inflight: reg.Gauge("lane_" + name + "_inflight"),
+		admitted: reg.Counter("lane_" + name + "_admitted"),
+		rejected: reg.Counter("lane_" + name + "_rejected"),
+	}
+}
+
+// tryAcquire claims a slot without blocking, reporting whether it did.
+func (l *lane) tryAcquire() bool {
+	select {
+	case l.slots <- struct{}{}:
+		l.admitted.Inc()
+		l.inflight.Add(1)
+		return true
+	default:
+		l.rejected.Inc()
+		return false
+	}
+}
+
+// release returns a slot claimed by tryAcquire.
+func (l *lane) release() {
+	l.inflight.Add(-1)
+	<-l.slots
+}

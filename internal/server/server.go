@@ -1,0 +1,230 @@
+// Package server implements segdiffd, the drop-query server: the
+// Collection API exposed over HTTP/JSON for many concurrent exploratory
+// clients, in the spirit of the paper's ad-hoc (V, T) query model.
+//
+// Endpoints:
+//
+//	POST /v1/append   ingest SensorBatch JSON via Collection.AppendAll
+//	GET  /v1/drops    multi-sensor drop search, NDJSON (one sensor/line)
+//	GET  /v1/jumps    the symmetric jump search
+//	GET  /v1/sensors  sensor listing
+//	GET  /v1/explain  EXPLAIN ANALYZE passthrough for one sensor
+//	GET  /healthz     liveness (503 while draining)
+//	GET  /metrics     request + lane metrics registry snapshot
+//	GET  /slow        slow-request log (entries carry the request id)
+//	     /debug/...   pprof/expvar, mounted when Config.Debug is set
+//
+// Production posture is the point of the package: every request runs
+// under a context deadline that propagates into query execution, reads
+// and writes are admitted through separate bounded lanes that fast-fail
+// with 429 when full (so ingest cannot starve queries and vice versa),
+// handler panics become 500s without taking the process down, and
+// Shutdown drains gracefully — stop accepting, finish in-flight
+// requests, then hand the collection back for checkpoint and close.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"segdiff"
+	"segdiff/internal/obs"
+)
+
+// Config tunes a Server. The zero value serves with the documented
+// defaults.
+type Config struct {
+	// ReadSlots bounds concurrently executing search/explain requests
+	// (default 4×GOMAXPROCS). Requests beyond the bound fail fast with
+	// 429 rather than queueing without limit.
+	ReadSlots int
+	// WriteSlots bounds concurrently executing append requests
+	// (default 2). Writes serialize on each sensor's engine lock anyway;
+	// a small lane keeps ingest from occupying request capacity.
+	WriteSlots int
+	// DefaultTimeout is the per-request deadline applied when the
+	// client does not send one (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts (default 2m).
+	MaxTimeout time.Duration
+	// MaxBodyBytes caps the append request body (default 32 MiB).
+	MaxBodyBytes int64
+	// SlowThreshold is the slow-request log threshold (default 200ms).
+	SlowThreshold time.Duration
+	// Debug additionally mounts the obs debug mux (pprof, expvar) on
+	// the same listener. /metrics and /slow are always mounted.
+	Debug bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReadSlots <= 0 {
+		c.ReadSlots = 4 * maxProcs()
+	}
+	if c.WriteSlots <= 0 {
+		c.WriteSlots = 2
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.SlowThreshold <= 0 {
+		c.SlowThreshold = 200 * time.Millisecond
+	}
+	return c
+}
+
+// Server serves one Collection. Create with New, start with Start (or
+// mount Handler on a listener of your own), stop with Shutdown.
+type Server struct {
+	col  *segdiff.Collection
+	cfg  Config
+	reg  *obs.Registry
+	slow *obs.SlowLog
+
+	read  *lane
+	write *lane
+
+	mux      *http.ServeMux
+	hsrv     *http.Server
+	ln       net.Listener
+	served   chan error // closed send of the Serve result; joined in Shutdown
+	reqSeq   atomic.Uint64
+	draining atomic.Bool
+	panics   *obs.Counter
+
+	// testHookRequest, when set, runs inside every admitted /v1 request
+	// after admission and deadline setup, before the handler body. Tests
+	// use it to hold requests in flight deterministically.
+	testHookRequest func(endpoint string)
+}
+
+// New builds a server over col. The collection stays caller-owned:
+// Shutdown drains HTTP traffic but leaves checkpointing and closing the
+// collection to the caller, which knows whether it will serve again.
+func New(col *segdiff.Collection, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		col:  col,
+		cfg:  cfg,
+		reg:  obs.NewRegistry(),
+		slow: obs.NewSlowLog(cfg.SlowThreshold, 0),
+	}
+	s.read = newLane(s.reg, "read", cfg.ReadSlots)
+	s.write = newLane(s.reg, "write", cfg.WriteSlots)
+	s.panics = s.reg.Counter("http_panics")
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// routes mounts every endpoint on the server mux.
+func (s *Server) routes() {
+	s.mux.Handle("/v1/append", s.endpoint("append", s.write, http.MethodPost, s.handleAppend))
+	s.mux.Handle("/v1/drops", s.endpoint("drops", s.read, http.MethodGet, s.searchHandler(false)))
+	s.mux.Handle("/v1/jumps", s.endpoint("jumps", s.read, http.MethodGet, s.searchHandler(true)))
+	s.mux.Handle("/v1/sensors", s.endpoint("sensors", nil, http.MethodGet, s.handleSensors))
+	s.mux.Handle("/v1/explain", s.endpoint("explain", s.read, http.MethodGet, s.handleExplain))
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+
+	// The obs debug mux rides on the same listener: metric snapshots and
+	// the slow-request log are always available; the profilers only when
+	// asked for (Config.Debug), matching ServeDebug's opt-in posture.
+	dm := obs.DebugMux(s.reg, s.slow)
+	s.mux.Handle("/metrics", dm)
+	s.mux.Handle("/slow", dm)
+	if s.cfg.Debug {
+		s.mux.Handle("/debug/", dm)
+	}
+}
+
+// Handler returns the server's root handler, for callers that manage
+// their own listener (and for httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the request-level metrics registry (lane gauges,
+// per-endpoint latency histograms, panic and rejection counters).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// SlowLog exposes the slow-request log.
+func (s *Server) SlowLog() *obs.SlowLog { return s.slow }
+
+// Start listens on addr (for example "127.0.0.1:0" to pick a free
+// port; see Addr) and serves in the background until Shutdown.
+func (s *Server) Start(addr string) error {
+	if s.ln != nil {
+		return fmt.Errorf("server: already started on %s", s.Addr())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.hsrv = &http.Server{Handler: s.mux}
+	s.served = make(chan error, 1)
+	go func() { s.served <- s.hsrv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the listening address, "" before Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns the base URL of a started server.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains the server gracefully: the listener closes (new
+// connections are refused), new requests on live connections get 503,
+// in-flight requests run to completion, and the serve goroutine is
+// joined. ctx bounds the drain; when it expires remaining connections
+// are closed forcefully and ctx.Err() is returned. The collection is
+// not touched — callers checkpoint and close it once Shutdown returns,
+// completing the SIGTERM sequence (stop accepting, finish in-flight,
+// checkpoint, close).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.hsrv == nil {
+		return nil
+	}
+	err := s.hsrv.Shutdown(ctx)
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		err = errors.Join(err, s.hsrv.Close())
+	}
+	if serr := <-s.served; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		err = errors.Join(err, serr)
+	}
+	return err
+}
+
+// nextRequestID labels one request for response headers and the
+// slow-request log.
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("req-%d", s.reqSeq.Add(1))
+}
+
+// handleHealth is the liveness probe: cheap, unlaned, and the first
+// endpoint to observe a drain.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,528 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"segdiff"
+)
+
+// testOptions is the collection shape every server test uses.
+func testOptions() segdiff.Options {
+	return segdiff.Options{Epsilon: 0.2, Window: 8 * time.Hour}
+}
+
+// wavePoints builds n points for one sensor: a slow ramp with a sharp
+// drop of depth at the midpoint, so Drops(1h, -depth/2) always finds
+// it. seed offsets the series so sensors differ.
+func wavePoints(seed, n int) []segdiff.Point {
+	pts := make([]segdiff.Point, n)
+	level := 10.0 + float64(seed)
+	for i := range pts {
+		v := level + 0.001*float64(i%7)
+		if i >= n/2 {
+			v -= 8
+		}
+		pts[i] = segdiff.Point{Time: int64(i * 60), Value: v}
+	}
+	return pts
+}
+
+// batchFor wraps one sensor's wave as a SensorBatch.
+func batchFor(name string, seed, n int) segdiff.SensorBatch {
+	return segdiff.SensorBatch{Sensor: name, Points: wavePoints(seed, n)}
+}
+
+// newTestCollection builds an in-memory collection holding sensors
+// alpha, beta, gamma with distinct waves.
+func newTestCollection(t *testing.T) *segdiff.Collection {
+	t.Helper()
+	col := segdiff.NewMemoryCollection(testOptions())
+	err := col.AppendAll([]segdiff.SensorBatch{
+		batchFor("alpha", 0, 400),
+		batchFor("beta", 3, 400),
+		batchFor("gamma", 7, 400),
+	})
+	if err != nil {
+		t.Fatalf("seed AppendAll: %v", err)
+	}
+	t.Cleanup(func() { col.Close() })
+	return col
+}
+
+// newTestServer wires a collection into a Server behind httptest and
+// returns a Client pointed at it.
+func newTestServer(t *testing.T, col *segdiff.Collection, cfg Config) (*Server, *segdiff.Client) {
+	t.Helper()
+	s := New(col, cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, segdiff.NewClient(hs.URL, hs.Client())
+}
+
+func TestServerHappyPath(t *testing.T) {
+	col := newTestCollection(t)
+	srv, cl := newTestServer(t, col, Config{SlowThreshold: time.Nanosecond})
+	ctx := context.Background()
+
+	if err := cl.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+
+	names, err := cl.Sensors(ctx)
+	if err != nil {
+		t.Fatalf("sensors: %v", err)
+	}
+	if want := []string{"alpha", "beta", "gamma"}; !reflect.DeepEqual(names, want) {
+		t.Fatalf("sensors = %v, want %v", names, want)
+	}
+
+	// Searches over the wire must be element-identical to direct
+	// Collection calls, including sensors with no matches.
+	for _, tc := range []struct {
+		jump    bool
+		v       float64
+		sensors []string
+	}{
+		{false, -3, nil},
+		{false, -3, []string{"beta"}},
+		{false, -100, nil}, // no matches anywhere: three empty lines
+		{true, 3, nil},
+		{true, 3, []string{"gamma", "alpha"}},
+	} {
+		span := time.Hour
+		var got, want []segdiff.SensorMatches
+		if tc.jump {
+			got, err = cl.Jumps(ctx, span, tc.v, tc.sensors...)
+			if err == nil {
+				want, err = col.JumpsContext(ctx, span, tc.v, tc.sensors...)
+			}
+		} else {
+			got, err = cl.Drops(ctx, span, tc.v, tc.sensors...)
+			if err == nil {
+				want, err = col.DropsContext(ctx, span, tc.v, tc.sensors...)
+			}
+		}
+		if err != nil {
+			t.Fatalf("search jump=%v v=%v sensors=%v: %v", tc.jump, tc.v, tc.sensors, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("search jump=%v v=%v sensors=%v:\n got %+v\nwant %+v", tc.jump, tc.v, tc.sensors, got, want)
+		}
+	}
+
+	// Ingest through the client, then observe the new sensor's drop.
+	sensors, points, err := cl.Append(ctx, []segdiff.SensorBatch{batchFor("delta", 1, 300)})
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if sensors != 1 || points != 300 {
+		t.Fatalf("append counted sensors=%d points=%d, want 1, 300", sensors, points)
+	}
+	got, err := cl.Drops(ctx, time.Hour, -3, "delta")
+	if err != nil {
+		t.Fatalf("drops after append: %v", err)
+	}
+	if len(got) != 1 || got[0].Sensor != "delta" || len(got[0].Matches) == 0 {
+		t.Fatalf("drops after append = %+v, want delta with matches", got)
+	}
+
+	// EXPLAIN ANALYZE passthrough carries the trace fields.
+	tr, err := cl.Explain(ctx, "alpha", false, time.Hour, -3)
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	if tr.SQL == "" || len(tr.Lines) == 0 || tr.Rows == 0 {
+		t.Fatalf("explain trace looks empty: %+v", tr)
+	}
+	if _, err := cl.Explain(ctx, "alpha", true, time.Hour, 3); err != nil {
+		t.Fatalf("explain jump: %v", err)
+	}
+
+	// Request metrics and the slow log (threshold 1ns: everything logs)
+	// are visible on the same listener.
+	snap := srv.Registry().Snapshot()
+	if snap.Counter("http_drops_requests") == 0 || snap.Counter("http_append_requests") == 0 {
+		t.Fatalf("request counters missing from %v", snap.Names())
+	}
+	entries := srv.SlowLog().Entries()
+	if len(entries) == 0 {
+		t.Fatal("slow log is empty at a 1ns threshold")
+	}
+	foundID := false
+	for _, e := range entries {
+		if strings.HasPrefix(e.Source, "req-") {
+			foundID = true
+			break
+		}
+	}
+	if !foundID {
+		t.Fatalf("no slow entry carries a request id: %+v", entries)
+	}
+}
+
+func TestDebugEndpointsOnListener(t *testing.T) {
+	col := newTestCollection(t)
+	s := New(col, Config{Debug: true})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	for _, path := range []string{"/metrics", "/slow", "/debug/vars", "/healthz"} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d: %s", path, resp.StatusCode, body)
+		}
+	}
+
+	// Without Debug, the profilers stay unmounted.
+	s2 := New(col, Config{})
+	hs2 := httptest.NewServer(s2.Handler())
+	defer hs2.Close()
+	resp, err := http.Get(hs2.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("GET /debug/vars without Debug = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestMalformedRequestsNever5xx(t *testing.T) {
+	col := newTestCollection(t)
+	s := New(col, Config{MaxBodyBytes: 1 << 10})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	directPoints := countPoints(t, col)
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"missing span", "GET", "/v1/drops?v=-3", "", 400},
+		{"bad span", "GET", "/v1/drops?span=banana&v=-3", "", 400},
+		{"zero span", "GET", "/v1/drops?span=0&v=-3", "", 400},
+		{"negative span", "GET", "/v1/drops?span=-1h&v=-3", "", 400},
+		{"span over window", "GET", "/v1/drops?span=9h&v=-3", "", 400},
+		{"span overflow seconds", "GET", "/v1/drops?span=99999999999999999999&v=-3", "", 400},
+		{"missing v", "GET", "/v1/drops?span=1h", "", 400},
+		{"bad v", "GET", "/v1/drops?span=1h&v=abc", "", 400},
+		{"infinite v", "GET", "/v1/drops?span=1h&v=1e999", "", 400},
+		{"drop with positive v", "GET", "/v1/drops?span=1h&v=3", "", 400},
+		{"jump with negative v", "GET", "/v1/jumps?span=1h&v=-3", "", 400},
+		{"bad sensor name", "GET", "/v1/drops?span=1h&v=-3&sensors=no%20spaces", "", 400},
+		{"empty sensor in list", "GET", "/v1/drops?span=1h&v=-3&sensors=alpha,,beta", "", 400},
+		{"unknown sensor", "GET", "/v1/drops?span=1h&v=-3&sensors=nosuch", "", 404},
+		{"bad timeout", "GET", "/v1/drops?span=1h&v=-3&timeout=soon", "", 400},
+		{"negative timeout", "GET", "/v1/drops?span=1h&v=-3&timeout=-5s", "", 400},
+		{"search as POST", "POST", "/v1/drops?span=1h&v=-3", "", 405},
+		{"append as GET", "GET", "/v1/append", "", 405},
+		{"append empty body", "POST", "/v1/append", "", 400},
+		{"append not json", "POST", "/v1/append", "hello", 400},
+		{"append wrong shape", "POST", "/v1/append", `{"sensor":"x"}`, 400},
+		{"append unknown field", "POST", "/v1/append", `[{"sensor":"x","points":[],"extra":1}]`, 400},
+		{"append trailing data", "POST", "/v1/append", `[] []`, 400},
+		{"append bad sensor name", "POST", "/v1/append", `[{"sensor":"bad name","points":[]}]`, 400},
+		{"append oversized body", "POST", "/v1/append", `[{"sensor":"x","points":[` + strings.Repeat(`{"t":1,"v":2},`, 200) + `{"t":9,"v":9}]}]`, 413},
+		{"explain missing sensor", "GET", "/v1/explain?span=1h&v=-3", "", 400},
+		{"explain unknown sensor", "GET", "/v1/explain?span=1h&v=-3&sensor=nosuch", "", 404},
+		{"explain bad kind", "GET", "/v1/explain?span=1h&v=-3&sensor=alpha&kind=dip", "", 400},
+		{"explain kind/v mismatch", "GET", "/v1/explain?span=1h&v=-3&sensor=alpha&kind=jump", "", 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body io.Reader
+			if tc.body != "" {
+				body = strings.NewReader(tc.body)
+			}
+			req, err := http.NewRequest(tc.method, hs.URL+tc.path, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := hs.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			msg, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status = %d, want %d (body: %s)", resp.StatusCode, tc.want, msg)
+			}
+			if resp.StatusCode >= 500 {
+				t.Fatalf("malformed input produced a 5xx: %d %s", resp.StatusCode, msg)
+			}
+		})
+	}
+
+	// None of the rejected appends may have written anything.
+	if got := countPoints(t, col); got != directPoints {
+		t.Fatalf("rejected appends changed the collection: %d -> %d points", directPoints, got)
+	}
+}
+
+// TestAppendRejectsPartialBatch feeds a body whose first batch is valid
+// and second is not: nothing at all may be written.
+func TestAppendRejectsPartialBatch(t *testing.T) {
+	col := newTestCollection(t)
+	s := New(col, Config{})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	before := countPoints(t, col)
+	body := `[{"sensor":"fresh","points":[{"t":0,"v":1}]},{"sensor":"bad name","points":[]}]`
+	resp, err := http.Post(hs.URL+"/v1/append", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	names, err := col.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if n == "fresh" {
+			t.Fatal("partially valid append created sensor \"fresh\"")
+		}
+	}
+	if got := countPoints(t, col); got != before {
+		t.Fatalf("partially valid append wrote points: %d -> %d", before, got)
+	}
+}
+
+// countPoints totals Stats().Points across the collection's sensors.
+func countPoints(t *testing.T, col *segdiff.Collection) int {
+	t.Helper()
+	names, err := col.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range names {
+		ix, err := col.Sensor(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := ix.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.Points
+	}
+	return total
+}
+
+func TestPanicIsolation(t *testing.T) {
+	col := newTestCollection(t)
+	s := New(col, Config{})
+	boom := true
+	s.testHookRequest = func(endpoint string) {
+		if boom && endpoint == "drops" {
+			boom = false
+			panic("handler bug")
+		}
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	resp, err := http.Get(hs.URL + "/v1/drops?span=1h&v=-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 500 || !strings.Contains(string(body), "handler bug") {
+		t.Fatalf("panicking request = %d %q, want 500 mentioning the panic", resp.StatusCode, body)
+	}
+	if got := s.Registry().Snapshot().Counter("http_panics"); got != 1 {
+		t.Fatalf("http_panics = %d, want 1", got)
+	}
+
+	// The process survived; the next request on the same server works,
+	// and the panicking request released its lane slot.
+	resp, err = http.Get(hs.URL + "/v1/drops?span=1h&v=-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("request after panic = %d, want 200", resp.StatusCode)
+	}
+	if got := s.Registry().Snapshot().Counters["lane_read_inflight"]; got != 0 {
+		t.Fatalf("lane_read_inflight = %d after requests finished, want 0", got)
+	}
+}
+
+func TestLaneAdmission(t *testing.T) {
+	col := newTestCollection(t)
+	s := New(col, Config{ReadSlots: 1, WriteSlots: 1})
+	admitted := make(chan struct{})
+	release := make(chan struct{})
+	s.testHookRequest = func(endpoint string) {
+		if endpoint == "drops" {
+			admitted <- struct{}{}
+			<-release
+		}
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(hs.URL + "/v1/drops?span=1h&v=-3")
+		if err != nil {
+			done <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	<-admitted // the slot is now held
+
+	// Second read: the lane is full, fast-fail 429 with Retry-After.
+	resp, err := http.Get(hs.URL + "/v1/jumps?span=1h&v=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second read = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response missing Retry-After")
+	}
+
+	// Writes ride a separate lane: ingest still works while reads are
+	// saturated, which is the whole point of two lanes.
+	wresp, err := http.Post(hs.URL+"/v1/append", "application/json",
+		strings.NewReader(`[{"sensor":"w","points":[{"t":0,"v":1}]}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wresp.Body.Close()
+	if wresp.StatusCode != 200 {
+		t.Fatalf("append during read saturation = %d, want 200", wresp.StatusCode)
+	}
+
+	// Unlaned endpoints are unaffected too.
+	sresp, err := http.Get(hs.URL + "/v1/sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != 200 {
+		t.Fatalf("sensors during read saturation = %d, want 200", sresp.StatusCode)
+	}
+
+	close(release)
+	if code := <-done; code != 200 {
+		t.Fatalf("held request finished with %d, want 200", code)
+	}
+	snap := s.Registry().Snapshot()
+	if snap.Counter("lane_read_rejected") == 0 {
+		t.Fatal("lane_read_rejected never incremented")
+	}
+	if got := snap.Counters["lane_read_inflight"]; got != 0 {
+		t.Fatalf("lane_read_inflight = %d at rest, want 0", got)
+	}
+}
+
+func TestRequestIDHeader(t *testing.T) {
+	col := newTestCollection(t)
+	s := New(col, Config{})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(hs.URL + "/v1/sensors")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		id := resp.Header.Get("X-Request-Id")
+		if !strings.HasPrefix(id, "req-") || seen[id] {
+			t.Fatalf("bad or repeated request id %q (seen %v)", id, seen)
+		}
+		seen[id] = true
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.ReadSlots <= 0 || c.WriteSlots <= 0 || c.DefaultTimeout <= 0 ||
+		c.MaxTimeout <= 0 || c.MaxBodyBytes <= 0 || c.SlowThreshold <= 0 {
+		t.Fatalf("withDefaults left a zero field: %+v", c)
+	}
+	kept := Config{ReadSlots: 3, WriteSlots: 5, DefaultTimeout: time.Second,
+		MaxTimeout: time.Minute, MaxBodyBytes: 99, SlowThreshold: time.Millisecond}
+	if got := kept.withDefaults(); !reflect.DeepEqual(got, kept) {
+		t.Fatalf("withDefaults overrode explicit values: %+v", got)
+	}
+}
+
+func TestClientTimeoutForwarding(t *testing.T) {
+	// The client forwards its context deadline as the server-side
+	// timeout parameter; a request without a deadline sends none.
+	var gotTimeout string
+	probe := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotTimeout = r.URL.Query().Get("timeout")
+		fmt.Fprintln(w, `{"sensors":[]}`)
+	}))
+	defer probe.Close()
+	cl := segdiff.NewClient(probe.URL, nil)
+
+	if _, err := cl.Sensors(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if gotTimeout != "" {
+		t.Fatalf("deadline-free request sent timeout=%q", gotTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := cl.Sensors(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if gotTimeout == "" {
+		t.Fatal("deadline was not forwarded as a timeout parameter")
+	}
+	if d, err := time.ParseDuration(gotTimeout); err != nil || d <= 0 || d > 5*time.Second {
+		t.Fatalf("forwarded timeout %q out of range", gotTimeout)
+	}
+}
+
+func TestAPIErrorShape(t *testing.T) {
+	col := newTestCollection(t)
+	_, cl := newTestServer(t, col, Config{})
+	_, err := cl.Drops(context.Background(), time.Hour, -3, "nosuch")
+	if err == nil {
+		t.Fatal("unknown sensor did not error")
+	}
+	var ae *segdiff.APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error is %T, want *segdiff.APIError", err)
+	}
+	if ae.StatusCode != 404 || ae.RequestID == "" || !strings.Contains(ae.Message, "nosuch") {
+		t.Fatalf("APIError = %+v, want 404 with request id and sensor name", ae)
+	}
+}

@@ -1,0 +1,30 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// handlerResp is one in-process handler invocation's result.
+type handlerResp struct {
+	code int
+	body string
+}
+
+// doHandler drives the server mux directly, no listener involved.
+func doHandler(t *testing.T, s *Server, method, path, body string) handlerResp {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return handlerResp{code: rec.Code, body: rec.Body.String()}
+}
+
+// newHTTPTestServer mounts s behind httptest and returns its base URL.
+func newHTTPTestServer(t *testing.T, s *Server) string {
+	t.Helper()
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return hs.URL
+}

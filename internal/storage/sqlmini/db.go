@@ -1,6 +1,7 @@
 package sqlmini
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -619,27 +620,47 @@ func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
 // which is how the benchmark harness forces "sequential scan" versus
 // "execution using indexes" as in the paper's experiments.
 func (db *DB) QueryMode(mode PlanMode, sql string, args ...Value) (*Rows, error) {
+	return db.QueryModeContext(context.Background(), mode, sql, args...)
+}
+
+// QueryModeContext is QueryMode under a context: the query fails with a
+// ctx-wrapping error as soon as the deadline expires or the caller
+// cancels, checked before execution and again between scan units of a
+// UNION, so a long search gives up within one unit of work.
+func (db *DB) QueryModeContext(ctx context.Context, mode PlanMode, sql string, args ...Value) (*Rows, error) {
 	st, err := parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.observedQuery(st, sql, args, mode)
+	return db.observedQuery(ctx, st, sql, args, mode)
+}
+
+// ctxErr reports why a query's context is done, nil while it is live.
+// The wrapped cause is preserved so callers can errors.Is against
+// context.DeadlineExceeded / context.Canceled.
+func ctxErr(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("sqlmini: query canceled: %w", ctx.Err())
+	default:
+		return nil
+	}
 }
 
 // observedQuery runs one parsed read statement under the shared lock,
 // feeding the always-on query metrics and the slow-query log. With both
 // disabled it adds exactly two nil checks to the query path.
-func (db *DB) observedQuery(st stmt, sql string, args []Value, mode PlanMode) (*Rows, error) {
+func (db *DB) observedQuery(ctx context.Context, st stmt, sql string, args []Value, mode PlanMode) (*Rows, error) {
 	if db.reg == nil && db.slow == nil {
 		db.mu.RLock()
 		defer db.mu.RUnlock()
-		return db.queryLocked(st, args, mode)
+		return db.queryLocked(ctx, st, args, mode)
 	}
 	start := time.Now()
 	rows, err := func() (*Rows, error) {
 		db.mu.RLock()
 		defer db.mu.RUnlock()
-		return db.queryLocked(st, args, mode)
+		return db.queryLocked(ctx, st, args, mode)
 	}()
 	db.noteQuery(sql, time.Since(start), rows, err)
 	return rows, err
@@ -675,9 +696,12 @@ func (db *DB) noteQuery(sql string, wall time.Duration, rows *Rows, err error) {
 // engine state, so any number of queries proceed in parallel.
 //
 // locks: db.mu (shared)
-func (db *DB) queryLocked(st stmt, args []Value, mode PlanMode) (*Rows, error) {
+func (db *DB) queryLocked(ctx context.Context, st stmt, args []Value, mode PlanMode) (*Rows, error) {
 	if db.closed {
 		return nil, fmt.Errorf("sqlmini: database is closed")
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
 	}
 	if n := countParams(st); n != len(args) {
 		return nil, fmt.Errorf("sqlmini: statement has %d placeholders, got %d args", n, len(args))
@@ -686,7 +710,7 @@ func (db *DB) queryLocked(st stmt, args []Value, mode PlanMode) (*Rows, error) {
 	case selectStmt:
 		return db.execSelect(s, args, mode)
 	case unionStmt:
-		return db.execUnion(s, args, mode)
+		return db.execUnion(ctx, s, args, mode)
 	case explainStmt:
 		return db.explain(s, args, mode)
 	default:
@@ -833,7 +857,13 @@ func (s *Stmt) Query(args ...Value) (*Rows, error) {
 
 // QueryMode executes a prepared SELECT/EXPLAIN under an explicit plan mode.
 func (s *Stmt) QueryMode(mode PlanMode, args ...Value) (*Rows, error) {
-	return s.db.observedQuery(s.st, s.sql, args, mode)
+	return s.QueryModeContext(context.Background(), mode, args...)
+}
+
+// QueryModeContext is QueryMode under a context; see
+// DB.QueryModeContext for the cancellation contract.
+func (s *Stmt) QueryModeContext(ctx context.Context, mode PlanMode, args ...Value) (*Rows, error) {
+	return s.db.observedQuery(ctx, s.st, s.sql, args, mode)
 }
 
 // BeginBatch suspends per-statement commits: subsequent writes become

@@ -2,6 +2,7 @@ package sqlmini
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -668,14 +669,21 @@ func (db *DB) execDelete(st deleteStmt, args []Value, mode PlanMode) (int, error
 // evaluation.
 //
 // locks: db.mu (shared)
-func (db *DB) execUnion(st unionStmt, args []Value, mode PlanMode) (*Rows, error) {
+func (db *DB) execUnion(ctx context.Context, st unionStmt, args []Value, mode PlanMode) (*Rows, error) {
 	branchRows := make([]*Rows, len(st.branches))
 	units, err := db.buildUnionUnits(st, args, mode)
 	if err != nil {
 		return nil, err
 	}
 
+	// Cancellation is checked once per scan unit: each unit is one
+	// bounded index descent or heap pass, so an expired request context
+	// stops the union within a unit of work instead of finishing the
+	// whole statement.
 	runUnit := func(u *scanUnit) error {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		if u.solo {
 			// Placeholder indices are assigned left to right across the
 			// whole statement, so every branch evaluates against the full

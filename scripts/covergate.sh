@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Coverage gate. Runs the short test suite with a merged coverage profile
-# and fails when either:
+# and fails when any of:
 #   - internal/obs (the observability layer, which is cheap to cover and
-#     easy to silently regress) drops below its 90% floor, or
+#     easy to silently regress) drops below its 90% floor,
+#   - internal/server (the request-handling surface of segdiffd, where
+#     an uncovered branch is an unhandled request shape) drops below its
+#     90% floor, or
 #   - module-wide coverage regresses more than 2 points against the
 #     committed baseline in scripts/coverage_baseline.txt.
 # The baseline is a ratchet, not a mirror: raise it when coverage
@@ -14,6 +17,7 @@ cd "$(dirname "$0")/.."
 
 PROFILE="${1:-coverage.out}"
 OBS_FLOOR=90.0
+SERVER_FLOOR=90.0
 SLACK_PTS=2.0
 BASELINE_FILE=scripts/coverage_baseline.txt
 
@@ -22,14 +26,21 @@ go test -short -count=1 -coverprofile="$PROFILE" ./... > /dev/null
 total=$(go tool cover -func="$PROFILE" | awk '/^total:/ {gsub(/%/, "", $3); print $3}')
 obs=$(awk '/segdiff\/internal\/obs\// { stmts += $(NF-1); if ($NF > 0) covered += $(NF-1) }
            END { if (stmts == 0) print "0.0"; else printf "%.1f", covered * 100 / stmts }' "$PROFILE")
+srv=$(awk '/segdiff\/internal\/server\// { stmts += $(NF-1); if ($NF > 0) covered += $(NF-1) }
+           END { if (stmts == 0) print "0.0"; else printf "%.1f", covered * 100 / stmts }' "$PROFILE")
 baseline=$(cat "$BASELINE_FILE")
 
 echo "coverage: module total ${total}% (baseline ${baseline}%, slack ${SLACK_PTS}pt)"
 echo "coverage: internal/obs ${obs}% (floor ${OBS_FLOOR}%)"
+echo "coverage: internal/server ${srv}% (floor ${SERVER_FLOOR}%)"
 
 fail=0
 if awk -v got="$obs" -v floor="$OBS_FLOOR" 'BEGIN { exit !(got < floor) }'; then
     echo "FAIL: internal/obs coverage ${obs}% is below the ${OBS_FLOOR}% floor" >&2
+    fail=1
+fi
+if awk -v got="$srv" -v floor="$SERVER_FLOOR" 'BEGIN { exit !(got < floor) }'; then
+    echo "FAIL: internal/server coverage ${srv}% is below the ${SERVER_FLOOR}% floor" >&2
     fail=1
 fi
 if awk -v got="$total" -v base="$baseline" -v slack="$SLACK_PTS" 'BEGIN { exit !(got < base - slack) }'; then

@@ -57,6 +57,7 @@
 package segdiff
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -71,13 +72,14 @@ import (
 // Point is one observation: a value sampled at a Unix-style timestamp in
 // seconds (any integral time unit works as long as it is consistent).
 type Point struct {
-	Time  int64
-	Value float64
+	Time  int64   `json:"t"`
+	Value float64 `json:"v"`
 }
 
 // Interval is a closed time interval [Start, End].
 type Interval struct {
-	Start, End int64
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
 }
 
 // Contains reports whether t lies in the interval.
@@ -88,7 +90,8 @@ func (iv Interval) Contains(t int64) bool { return iv.Start <= t && t <= iv.End 
 // To are endpoints of data segments of the underlying piecewise linear
 // approximation; a matched period typically contains one or more events.
 type Match struct {
-	From, To Interval
+	From Interval `json:"from"`
+	To   Interval `json:"to"`
 }
 
 // Options configures an Index.
@@ -198,20 +201,33 @@ func (ix *Index) Close() error { return ix.st.Close() }
 // units (v must be negative) within a span of at most span. No true event
 // is missed; every returned match contains an event with change ≤ v + 2ε.
 func (ix *Index) Drops(span time.Duration, v float64) ([]Match, error) {
-	return ix.search(feature.Drop, span, v)
+	return ix.search(context.Background(), feature.Drop, span, v)
 }
 
 // Jumps searches for rises of at least v (v must be positive) within span.
 func (ix *Index) Jumps(span time.Duration, v float64) ([]Match, error) {
-	return ix.search(feature.Jump, span, v)
+	return ix.search(context.Background(), feature.Jump, span, v)
 }
 
-func (ix *Index) search(kind feature.Kind, span time.Duration, v float64) ([]Match, error) {
-	T := int64(span / time.Second)
-	if T <= 0 {
-		return nil, fmt.Errorf("segdiff: span %v is below one second", span)
+// DropsContext is Drops under a request context: the search aborts with
+// an error wrapping ctx.Err() as soon as the deadline expires or the
+// caller cancels, checked between the bounded scan units of the search
+// union, so servers can enforce per-request deadlines.
+func (ix *Index) DropsContext(ctx context.Context, span time.Duration, v float64) ([]Match, error) {
+	return ix.search(ctx, feature.Drop, span, v)
+}
+
+// JumpsContext is the context-aware jump search; see DropsContext.
+func (ix *Index) JumpsContext(ctx context.Context, span time.Duration, v float64) ([]Match, error) {
+	return ix.search(ctx, feature.Jump, span, v)
+}
+
+func (ix *Index) search(ctx context.Context, kind feature.Kind, span time.Duration, v float64) ([]Match, error) {
+	T, err := spanSeconds(span)
+	if err != nil {
+		return nil, err
 	}
-	ms, err := ix.st.SearchMode(kind, T, v, sqlmini.PlanAuto)
+	ms, err := ix.st.SearchContext(ctx, kind, T, v, sqlmini.PlanAuto)
 	if err != nil {
 		return nil, err
 	}
@@ -223,6 +239,62 @@ func (ix *Index) search(kind feature.Kind, span time.Duration, v float64) ([]Mat
 		}
 	}
 	return out, nil
+}
+
+func spanSeconds(span time.Duration) (int64, error) {
+	T := int64(span / time.Second)
+	if T <= 0 {
+		return 0, fmt.Errorf("segdiff: span %v is below one second", span)
+	}
+	return T, nil
+}
+
+// QueryTrace is the EXPLAIN ANALYZE record of one search: the executed
+// plan rendered line by line — every scan unit annotated with actual
+// rows, page I/O, zone-map skips, and wall time next to the planner's
+// estimates — plus the aggregate runtime counters.
+type QueryTrace struct {
+	SQL          string        `json:"sql"`
+	Mode         string        `json:"mode"`
+	Wall         time.Duration `json:"wall_ns"`
+	Rows         int           `json:"rows"`
+	Lines        []string      `json:"lines"`
+	RowsExamined int64         `json:"rows_examined"`
+	RowsReturned int64         `json:"rows_returned"`
+	PagesRead    uint64        `json:"pages_read"`
+}
+
+// ExplainDrops runs a drop search under EXPLAIN ANALYZE and returns its
+// runtime trace. The search executes exactly as Drops would, but
+// sequentially so page attribution stays per scan unit.
+func (ix *Index) ExplainDrops(span time.Duration, v float64) (QueryTrace, error) {
+	return ix.explain(feature.Drop, span, v)
+}
+
+// ExplainJumps is the symmetric jump-search trace; see ExplainDrops.
+func (ix *Index) ExplainJumps(span time.Duration, v float64) (QueryTrace, error) {
+	return ix.explain(feature.Jump, span, v)
+}
+
+func (ix *Index) explain(kind feature.Kind, span time.Duration, v float64) (QueryTrace, error) {
+	T, err := spanSeconds(span)
+	if err != nil {
+		return QueryTrace{}, err
+	}
+	tr, err := ix.st.TraceSearch(kind, T, v, sqlmini.PlanAuto)
+	if err != nil {
+		return QueryTrace{}, err
+	}
+	return QueryTrace{
+		SQL:          tr.SQL,
+		Mode:         tr.Mode,
+		Wall:         time.Duration(tr.WallNS),
+		Rows:         tr.Rows,
+		Lines:        tr.Lines(),
+		RowsExamined: tr.RowsExaminedTotal(),
+		RowsReturned: tr.RowsReturnedTotal(),
+		PagesRead:    tr.PagesReadTotal(),
+	}, nil
 }
 
 // Stats reports storage and compression statistics.
